@@ -1,0 +1,47 @@
+// Ablation — Theorem 2 thread scaling.
+//
+// The paper extracts each output bit in its own thread ("in n threads",
+// 16 on their Xeon).  This harness measures wall-clock extraction time of
+// the same multiplier at 1, 2 and 4 threads; the per-bit work is identical
+// (Theorem 2 independence), so wall time should shrink until the physical
+// core count of the machine is reached.
+#include "bench_common.hpp"
+#include "gen/mastrovito.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace gfre;
+  bench::print_header("Ablation: Theorem 2 parallel extraction scaling");
+
+  const unsigned m = full_scale_requested() ? 233 : 96;
+  const gf2m::Field field(gf2::paper_polynomial(m).p);
+  const auto netlist = gen::generate_mastrovito(field);
+  std::printf("multiplier: GF(2^%u), %zu equations\n\n", m,
+              netlist.num_equations());
+
+  TextTable table({"threads", "wall(s)", "speedup vs 1T", "sum of per-bit(s)"});
+  double base = 0;
+  double wall_1t = 0, wall_2t = 0;
+  for (unsigned threads : {1u, 2u, 4u}) {
+    const auto result = core::extract_all_outputs(netlist, threads);
+    double per_bit_total = 0;
+    for (const auto& stats : result.per_bit) per_bit_total += stats.seconds;
+    if (threads == 1) base = result.wall_seconds;
+    if (threads == 1) wall_1t = result.wall_seconds;
+    if (threads == 2) wall_2t = result.wall_seconds;
+    table.add_row({std::to_string(threads),
+                   fmt_double(result.wall_seconds, 3),
+                   fmt_double(base / result.wall_seconds, 2),
+                   fmt_double(per_bit_total, 3)});
+    std::printf("  done %u threads\n", threads);
+    std::fflush(stdout);
+  }
+  std::printf("\n%s\n", table.render("Thread-scaling ablation").c_str());
+
+  const bool shape = wall_2t < wall_1t;
+  std::printf("shape check: 2 threads beat 1 thread on this %u-core "
+              "machine: %s\n",
+              static_cast<unsigned>(ThreadPool::default_threads()),
+              shape ? "PASS" : "FAIL");
+  return shape ? 0 : 1;
+}

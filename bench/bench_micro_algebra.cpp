@@ -1,0 +1,168 @@
+// google-benchmark micro suite for the algebra substrates: GF(2)[x]
+// arithmetic, irreducibility testing, GF(2^m) field ops, and the ANF
+// engine primitives that dominate backward-rewriting cost.
+#include <benchmark/benchmark.h>
+
+#include "anf/anf.hpp"
+#include "gf2m/field.hpp"
+#include "gf2m/montgomery.hpp"
+#include "gf2poly/catalog.hpp"
+#include "gf2poly/gf2_poly.hpp"
+#include "gf2poly/irreducible.hpp"
+#include "netlist/cell.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using gfre::Prng;
+using gfre::gf2::Poly;
+
+Poly random_poly(Prng& rng, unsigned degree) {
+  Poly p;
+  for (unsigned i = 0; i <= degree; ++i) {
+    if (rng.next_bool()) p.set_coeff(i, true);
+  }
+  p.set_coeff(degree, true);
+  return p;
+}
+
+void BM_PolyMultiply(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  Prng rng(m);
+  const Poly a = random_poly(rng, m - 1);
+  const Poly b = random_poly(rng, m - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_PolyMultiply)->Arg(64)->Arg(233)->Arg(571);
+
+void BM_PolyMod(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  Prng rng(m);
+  const Poly a = random_poly(rng, 2 * m - 2);
+  const Poly p = gfre::gf2::paper_polynomial(m).p;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.mod(p));
+  }
+}
+BENCHMARK(BM_PolyMod)->Arg(64)->Arg(233)->Arg(571);
+
+void BM_PolySquareMod(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  Prng rng(m);
+  const Poly a = random_poly(rng, m - 1);
+  const Poly p = gfre::gf2::paper_polynomial(m).p;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.square().mod(p));
+  }
+}
+BENCHMARK(BM_PolySquareMod)->Arg(64)->Arg(233)->Arg(571);
+
+void BM_RabinIrreducibility(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const Poly p = gfre::gf2::paper_polynomial(m).p;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gfre::gf2::is_irreducible(p));
+  }
+}
+BENCHMARK(BM_RabinIrreducibility)->Arg(64)->Arg(233)->Arg(571);
+
+void BM_FieldMul(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const gfre::gf2m::Field field(gfre::gf2::paper_polynomial(m).p);
+  Prng rng(m);
+  const Poly a = field.random_element(rng);
+  const Poly b = field.random_element(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(field.mul(a, b));
+  }
+}
+BENCHMARK(BM_FieldMul)->Arg(64)->Arg(233)->Arg(571);
+
+void BM_FieldInverse(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const gfre::gf2m::Field field(gfre::gf2::paper_polynomial(m).p);
+  Prng rng(m);
+  Poly a = field.random_element(rng);
+  if (a.is_zero()) a = Poly::one();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(field.inverse(a));
+  }
+}
+BENCHMARK(BM_FieldInverse)->Arg(64)->Arg(233);
+
+void BM_MontgomeryMontPro(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const gfre::gf2m::Field field(gfre::gf2::paper_polynomial(m).p);
+  const gfre::gf2m::Montgomery mont(field);
+  Prng rng(m);
+  const Poly a = field.random_element(rng);
+  const Poly b = field.random_element(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mont.mont_pro(a, b));
+  }
+}
+BENCHMARK(BM_MontgomeryMontPro)->Arg(64)->Arg(233);
+
+// -- ANF engine ------------------------------------------------------------
+
+void BM_AnfToggleChurn(benchmark::State& state) {
+  // Insert/cancel cycles over degree-2 monomials — the inner loop of
+  // Algorithm 1's mod-2 simplification.
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  std::vector<gfre::anf::Monomial> monomials;
+  for (unsigned i = 0; i < n; ++i) {
+    for (unsigned j = 0; j < n; ++j) {
+      monomials.push_back(
+          gfre::anf::Monomial::from_vars({i, 1000 + j}));
+    }
+  }
+  for (auto _ : state) {
+    gfre::anf::Anf f;
+    for (const auto& monomial : monomials) f.toggle(monomial);
+    for (const auto& monomial : monomials) f.toggle(monomial);
+    benchmark::DoNotOptimize(f.is_zero());
+  }
+  state.SetItemsProcessed(state.iterations() * monomials.size() * 2);
+}
+BENCHMARK(BM_AnfToggleChurn)->Arg(16)->Arg(64);
+
+void BM_AnfProduct(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  gfre::anf::Anf a, b;
+  for (unsigned i = 0; i < n; ++i) {
+    a.toggle(gfre::anf::Monomial(i));
+    b.toggle(gfre::anf::Monomial(1000 + i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_AnfProduct)->Arg(8)->Arg(32);
+
+void BM_CellAnfAoi22(benchmark::State& state) {
+  const std::vector<gfre::anf::Var> inputs{0, 1, 2, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gfre::nl::cell_anf(gfre::nl::CellType::Aoi22, inputs));
+  }
+}
+BENCHMARK(BM_CellAnfAoi22);
+
+void BM_MoebiusTransform(benchmark::State& state) {
+  // Truth table -> ANF for a 6-input function.
+  const std::vector<gfre::anf::Var> inputs{0, 1, 2, 3, 4, 5};
+  Prng rng(99);
+  std::vector<bool> table(64);
+  for (auto&& bit : table) bit = rng.next_bool();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gfre::anf::Anf::from_truth_table(inputs, table));
+  }
+}
+BENCHMARK(BM_MoebiusTransform);
+
+}  // namespace
+
+BENCHMARK_MAIN();

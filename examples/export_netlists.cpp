@@ -1,0 +1,77 @@
+// Netlist exporter — generates benchmark circuits for external tools.
+//
+// Writes a multiplier netlist in all three supported formats (.eqn, .blif,
+// structural .v), optionally synthesized/tech-mapped first.  This is how a
+// user would produce inputs for ABC, Yosys or the paper's own tool chain,
+// and how the regression corpus under test was created.
+//
+//   export_netlists [m] [outdir]
+//     m       field size (default 16; uses the paper polynomial when the
+//             width is in the catalog, else the NIST-convention default)
+//     outdir  output directory (default ".")
+#include <cstdlib>
+#include <iostream>
+
+#include "gen/karatsuba.hpp"
+#include "gen/mastrovito.hpp"
+#include "gen/montgomery_gate.hpp"
+#include "gen/shift_add.hpp"
+#include "gf2m/field.hpp"
+#include "gf2poly/catalog.hpp"
+#include "gf2poly/irreducible.hpp"
+#include "netlist/io_blif.hpp"
+#include "netlist/io_eqn.hpp"
+#include "netlist/io_verilog.hpp"
+#include "opt/passes.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gfre;
+
+  unsigned m = 16;
+  std::string outdir = ".";
+  if (argc > 1) m = static_cast<unsigned>(std::strtoul(argv[1], nullptr, 10));
+  if (argc > 2) outdir = argv[2];
+
+  const gf2::Poly p = gf2::has_paper_polynomial(m)
+                          ? gf2::paper_polynomial(m).p
+                          : gf2::default_irreducible(m);
+  const gf2m::Field field(p);
+  std::cout << "field: " << field.to_string() << "\n";
+
+  struct Job {
+    std::string name;
+    nl::Netlist netlist;
+  };
+  std::vector<Job> jobs;
+  jobs.push_back({"mastrovito", gen::generate_mastrovito(field)});
+  {
+    gen::MastrovitoOptions options;
+    options.style = gen::MastrovitoOptions::Style::Matrix;
+    jobs.push_back({"mastrovito_matrix",
+                    gen::generate_mastrovito(field, options)});
+  }
+  jobs.push_back({"montgomery", gen::generate_montgomery(field)});
+  jobs.push_back({"karatsuba", gen::generate_karatsuba(field)});
+  jobs.push_back({"shiftadd", gen::generate_shift_add(field)});
+  jobs.push_back({"mastrovito_syn",
+                  opt::synthesize(gen::generate_mastrovito(field))});
+  {
+    opt::SynthesisOptions options;
+    options.run_tech_map = true;
+    jobs.push_back(
+        {"mastrovito_mapped",
+         opt::synthesize(gen::generate_mastrovito(field), options)});
+  }
+
+  for (const auto& job : jobs) {
+    const std::string base =
+        outdir + "/" + job.name + "_m" + std::to_string(m);
+    nl::write_eqn_file(job.netlist, base + ".eqn");
+    nl::write_blif_file(job.netlist, base + ".blif");
+    nl::write_verilog_file(job.netlist, base + ".v");
+    std::cout << "wrote " << base << ".{eqn,blif,v}  ("
+              << job.netlist.num_equations() << " equations)\n";
+  }
+  std::cout << "\nanalyze any of them with:\n  reverse_engineer <file>\n";
+  return 0;
+}

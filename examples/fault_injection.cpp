@@ -1,0 +1,104 @@
+// Fault-injection demo — what the verification leg of the flow is for.
+//
+// The paper's pipeline does not just emit a polynomial: it checks the
+// implementation against a golden model built from the recovered P(x).
+// This example corrupts a correct GF(2^8) multiplier in four different
+// ways and shows the diagnosis each corruption produces:
+//   1. a partial-product AND flipped to OR   -> non-bilinear ANF
+//   2. a reduction XOR flipped to XNOR       -> constant term, non-bilinear
+//   3. one reduction tap moved to another bit-> inconsistent rows
+//   4. the correct circuit                   -> SUCCESS
+#include <iostream>
+
+#include "core/flow.hpp"
+#include "gen/mastrovito.hpp"
+#include "gf2m/field.hpp"
+
+namespace {
+
+using namespace gfre;
+
+/// Rebuilds the netlist applying `mutate` to each gate (type, inputs).
+template <typename MutateFn>
+nl::Netlist rebuild_with(const nl::Netlist& netlist, MutateFn&& mutate) {
+  nl::Netlist out(netlist.name() + "_mutated");
+  std::vector<nl::Var> map(netlist.num_vars());
+  for (nl::Var v : netlist.inputs()) {
+    map[v] = out.add_input(netlist.var_name(v));
+  }
+  std::size_t index = 0;
+  for (std::size_t g : netlist.topological_order()) {
+    const nl::Gate& gate = netlist.gate(g);
+    std::vector<nl::Var> inputs;
+    for (nl::Var in : gate.inputs) inputs.push_back(map[in]);
+    nl::CellType type = gate.type;
+    mutate(index, gate, type, inputs);
+    map[gate.output] =
+        out.add_gate(type, std::move(inputs), netlist.var_name(gate.output));
+    ++index;
+  }
+  for (nl::Var v : netlist.outputs()) out.mark_output(map[v]);
+  return out;
+}
+
+void run_case(const std::string& label, const nl::Netlist& netlist) {
+  std::cout << "=== " << label << " ===\n";
+  const auto report = core::reverse_engineer(netlist);
+  std::cout << report.summary() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const gf2m::Field field(gf2::Poly{8, 4, 3, 1, 0});  // the AES field
+  const auto good = gen::generate_mastrovito(field);
+  std::cout << "Base design: " << good.name() << " over "
+            << field.to_string() << ", " << good.num_equations()
+            << " equations\n\n";
+
+  // 1. Partial-product AND -> OR.
+  const auto fault_and = rebuild_with(
+      good, [&](std::size_t, const nl::Gate& gate, nl::CellType& type,
+                std::vector<nl::Var>&) {
+        if (type == nl::CellType::And &&
+            good.var_name(gate.output) == "pp_3_4") {
+          type = nl::CellType::Or;
+        }
+      });
+  run_case("fault 1: partial product pp_3_4 AND -> OR", fault_and);
+
+  // 2. A reduction XOR -> XNOR (injects a constant 1).
+  bool flipped = false;
+  const auto fault_xnor = rebuild_with(
+      good, [&](std::size_t, const nl::Gate&, nl::CellType& type,
+                std::vector<nl::Var>&) {
+        if (!flipped && type == nl::CellType::Xor) {
+          type = nl::CellType::Xnor;
+          flipped = true;
+        }
+      });
+  run_case("fault 2: first XOR -> XNOR", fault_xnor);
+
+  // 3. Swap the inputs of the last XOR with a stale signal: emulate a
+  //    mis-routed reduction tap by replacing one input of the final output
+  //    XOR with a different convolution sum.
+  const auto order = good.topological_order();
+  std::size_t last_xor = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (good.gate(order[i]).type == nl::CellType::Xor) last_xor = i;
+  }
+  const auto fault_route = rebuild_with(
+      good, [&](std::size_t index, const nl::Gate&, nl::CellType&,
+                std::vector<nl::Var>& inputs) {
+        if (index == last_xor && inputs.size() >= 2 && inputs[0] != inputs[1]) {
+          inputs[1] = inputs[0];  // duplicate tap: drops a term mod 2
+        }
+      });
+  run_case("fault 3: mis-routed reduction tap on the last XOR", fault_route);
+
+  // 4. Control: the untouched design.
+  run_case("control: unmodified multiplier", good);
+
+  const auto control = core::reverse_engineer(good);
+  return control.success ? 0 : 1;
+}

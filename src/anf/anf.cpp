@@ -1,0 +1,168 @@
+#include "anf/anf.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace gfre::anf {
+
+Anf Anf::one() {
+  Anf a;
+  a.toggle(Monomial());
+  return a;
+}
+
+Anf Anf::var(Var v) {
+  Anf a;
+  a.toggle(Monomial(v));
+  return a;
+}
+
+Anf Anf::from_monomials(std::vector<Monomial> monomials) {
+  Anf a;
+  for (auto& m : monomials) a.toggle(m);
+  return a;
+}
+
+bool Anf::is_one() const {
+  return monomials_.size() == 1 && monomials_.begin()->is_one();
+}
+
+bool Anf::toggle(const Monomial& m) {
+  auto it = monomials_.find(m);
+  if (it != monomials_.end()) {
+    monomials_.erase(it);
+    return false;
+  }
+  monomials_.insert(m);
+  return true;
+}
+
+Anf& Anf::operator+=(const Anf& rhs) {
+  for (const auto& m : rhs.monomials_) toggle(m);
+  return *this;
+}
+
+Anf Anf::operator+(const Anf& rhs) const {
+  Anf out = *this;
+  out += rhs;
+  return out;
+}
+
+Anf Anf::operator*(const Anf& rhs) const {
+  Anf out;
+  for (const auto& a : monomials_) {
+    for (const auto& b : rhs.monomials_) {
+      out.toggle(a.times(b));
+    }
+  }
+  return out;
+}
+
+Anf Anf::times(const Monomial& m) const {
+  Anf out;
+  for (const auto& a : monomials_) out.toggle(a.times(m));
+  return out;
+}
+
+void Anf::substitute(Var v, const Anf& e) {
+  GFRE_ASSERT(!e.mentions(v), "substitution expression mentions its own lhs");
+  std::vector<Monomial> hits;
+  for (const auto& m : monomials_) {
+    if (m.contains(v)) hits.push_back(m);
+  }
+  for (const auto& m : hits) {
+    monomials_.erase(m);
+    const Monomial rest = m.without(v);
+    for (const auto& t : e.monomials_) {
+      toggle(rest.times(t));
+    }
+  }
+}
+
+bool Anf::mentions(Var v) const {
+  for (const auto& m : monomials_) {
+    if (m.contains(v)) return true;
+  }
+  return false;
+}
+
+std::vector<Var> Anf::variables() const {
+  std::vector<Var> vars;
+  for (const auto& m : monomials_) {
+    vars.insert(vars.end(), m.vars().begin(), m.vars().end());
+  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+unsigned Anf::degree() const {
+  unsigned deg = 0;
+  for (const auto& m : monomials_) deg = std::max(deg, m.degree());
+  return deg;
+}
+
+bool Anf::eval(const std::function<bool(Var)>& assignment) const {
+  bool acc = false;
+  for (const auto& m : monomials_) {
+    bool term = true;
+    for (Var v : m.vars()) {
+      if (!assignment(v)) {
+        term = false;
+        break;
+      }
+    }
+    acc ^= term;
+  }
+  return acc;
+}
+
+std::vector<Monomial> Anf::sorted_monomials() const {
+  std::vector<Monomial> out(monomials_.begin(), monomials_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Anf::to_string(
+    const std::function<std::string(Var)>& name) const {
+  if (is_zero()) return "0";
+  std::string out;
+  bool first = true;
+  for (const auto& m : sorted_monomials()) {
+    if (!first) out += "+";
+    first = false;
+    out += m.to_string(name);
+  }
+  return out;
+}
+
+Anf Anf::from_truth_table(const std::vector<Var>& inputs,
+                          const std::vector<bool>& truth_table) {
+  const std::size_t n = inputs.size();
+  GFRE_ASSERT(n <= 20, "truth table too wide: " << n << " inputs");
+  GFRE_ASSERT(truth_table.size() == (std::size_t{1} << n),
+              "truth table size " << truth_table.size() << " != 2^" << n);
+  // In-place XOR Möbius transform: coeffs[S] = XOR of f(T) over T subset S.
+  std::vector<bool> coeffs = truth_table;
+  for (std::size_t bit = 0; bit < n; ++bit) {
+    const std::size_t stride = std::size_t{1} << bit;
+    for (std::size_t s = 0; s < coeffs.size(); ++s) {
+      if (s & stride) {
+        coeffs[s] = coeffs[s] != coeffs[s ^ stride];
+      }
+    }
+  }
+  Anf out;
+  for (std::size_t s = 0; s < coeffs.size(); ++s) {
+    if (!coeffs[s]) continue;
+    std::vector<Var> vars;
+    for (std::size_t bit = 0; bit < n; ++bit) {
+      if (s & (std::size_t{1} << bit)) vars.push_back(inputs[bit]);
+    }
+    out.toggle(Monomial::from_vars(std::move(vars)));
+  }
+  return out;
+}
+
+}  // namespace gfre::anf

@@ -1,0 +1,79 @@
+#include "anf/monomial.hpp"
+
+#include <algorithm>
+
+namespace gfre::anf {
+
+namespace {
+// 64-bit mix (splitmix64 finalizer) — order-sensitive accumulation over the
+// sorted variable list gives a high-quality, platform-stable hash.
+inline std::size_t mix(std::size_t h, std::uint64_t v) {
+  std::uint64_t z = h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Monomial Monomial::from_vars(std::vector<Var> vars) {
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  Monomial m;
+  m.vars_ = std::move(vars);
+  m.rehash();
+  return m;
+}
+
+bool Monomial::contains(Var v) const {
+  return std::binary_search(vars_.begin(), vars_.end(), v);
+}
+
+Monomial Monomial::times(const Monomial& other) const {
+  if (other.is_one()) return *this;
+  if (is_one()) return other;
+  Monomial out;
+  out.vars_.reserve(vars_.size() + other.vars_.size());
+  std::set_union(vars_.begin(), vars_.end(), other.vars_.begin(),
+                 other.vars_.end(), std::back_inserter(out.vars_));
+  out.rehash();
+  return out;
+}
+
+Monomial Monomial::times(Var v) const {
+  if (contains(v)) return *this;
+  Monomial out;
+  out.vars_.reserve(vars_.size() + 1);
+  const auto pos = std::lower_bound(vars_.begin(), vars_.end(), v);
+  out.vars_.insert(out.vars_.end(), vars_.begin(), pos);
+  out.vars_.push_back(v);
+  out.vars_.insert(out.vars_.end(), pos, vars_.end());
+  out.rehash();
+  return out;
+}
+
+Monomial Monomial::without(Var v) const {
+  if (!contains(v)) return *this;
+  Monomial out;
+  out.vars_.reserve(vars_.size() - 1);
+  for (Var u : vars_) {
+    if (u != v) out.vars_.push_back(u);
+  }
+  out.rehash();
+  return out;
+}
+
+bool Monomial::operator<(const Monomial& rhs) const {
+  if (vars_.size() != rhs.vars_.size()) {
+    return vars_.size() < rhs.vars_.size();
+  }
+  return std::lexicographical_compare(vars_.begin(), vars_.end(),
+                                      rhs.vars_.begin(), rhs.vars_.end());
+}
+
+void Monomial::rehash() {
+  std::size_t h = kEmptyHash;
+  for (Var v : vars_) h = mix(h, v);
+  hash_ = h;
+}
+
+}  // namespace gfre::anf

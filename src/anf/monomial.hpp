@@ -1,0 +1,84 @@
+// Monomials of the multilinear GF(2) algebra.
+//
+// Every signal in the paper's algebraic model (Eq. 1) is a Boolean variable,
+// so monomials are multilinear (x^2 = x): a monomial is just a set of
+// variables, stored sorted for O(log d) membership and cheap hashing, with
+// the empty set denoting the constant 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gfre::anf {
+
+/// Variable identifier; the netlist layer assigns and names these.
+using Var = std::uint32_t;
+
+/// Immutable multilinear monomial: a sorted set of variables.
+/// The empty monomial is the constant 1.
+class Monomial {
+ public:
+  /// The constant 1.
+  Monomial() : hash_(kEmptyHash) {}
+
+  /// Single variable.
+  explicit Monomial(Var v) : vars_{v} { rehash(); }
+
+  /// Builds from an arbitrary variable list: sorts and removes duplicates
+  /// (variables are idempotent, so aab == ab).
+  static Monomial from_vars(std::vector<Var> vars);
+
+  const std::vector<Var>& vars() const { return vars_; }
+  bool is_one() const { return vars_.empty(); }
+  unsigned degree() const { return static_cast<unsigned>(vars_.size()); }
+
+  /// Binary-search membership.
+  bool contains(Var v) const;
+
+  /// Product with another monomial (set union).
+  Monomial times(const Monomial& other) const;
+
+  /// Product with a single variable.
+  Monomial times(Var v) const;
+
+  /// This monomial with variable v removed (no-op if absent).
+  Monomial without(Var v) const;
+
+  bool operator==(const Monomial& rhs) const {
+    return hash_ == rhs.hash_ && vars_ == rhs.vars_;
+  }
+  bool operator!=(const Monomial& rhs) const { return !(*this == rhs); }
+
+  /// Graded lexicographic order — gives deterministic printing and
+  /// canonical serialized ANFs.
+  bool operator<(const Monomial& rhs) const;
+
+  std::size_t hash() const { return hash_; }
+
+  /// Renders like "a0*b1" given a variable-name callback.
+  template <typename NameFn>
+  std::string to_string(NameFn&& name) const {
+    if (is_one()) return "1";
+    std::string out;
+    for (std::size_t i = 0; i < vars_.size(); ++i) {
+      if (i != 0) out += "*";
+      out += name(vars_[i]);
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t kEmptyHash = 0x9e3779b97f4a7c15ull;
+
+  void rehash();
+
+  std::vector<Var> vars_;
+  std::size_t hash_ = kEmptyHash;
+};
+
+struct MonomialHash {
+  std::size_t operator()(const Monomial& m) const { return m.hash(); }
+};
+
+}  // namespace gfre::anf

@@ -1,0 +1,136 @@
+#include "core/flow.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/permutation.hpp"
+#include "core/poly_extract.hpp"
+#include "gf2poly/irreducible.hpp"
+#include "util/error.hpp"
+#include "util/rss.hpp"
+#include "util/timer.hpp"
+
+namespace gfre::core {
+
+std::uint64_t FlowReport::memory_bytes() const {
+  if (rss_peak_bytes != 0) return rss_peak_bytes;
+  // ~72 bytes per live monomial: two packed var ids, vector header, hash
+  // node, and bucket share.  A coarse but platform-independent proxy.
+  const std::uint64_t engine_estimate =
+      static_cast<std::uint64_t>(extraction.total_peak_terms) * 72;
+  return std::max(rss_after_bytes, engine_estimate);
+}
+
+std::string FlowReport::summary() const {
+  std::ostringstream oss;
+  oss << "GF(2^" << m << ") multiplier, " << equations << " equations\n";
+  oss << "  circuit class : " << to_string(recovery.circuit_class) << "\n";
+  oss << "  Algorithm 2   : P(x) = " << algorithm2_p.to_string() << "\n";
+  oss << "  recovered P(x): " << recovery.p.to_string()
+      << (recovery.p_is_irreducible ? " (irreducible)" : " (NOT irreducible)")
+      << "\n";
+  oss << "  rows check    : "
+      << (recovery.rows_consistent ? "consistent" : "INCONSISTENT") << "\n";
+  if (!recovery.diagnosis.empty()) {
+    oss << "  diagnosis     : " << recovery.diagnosis << "\n";
+  }
+  if (output_permutation.has_value()) {
+    oss << "  output order  : scrambled — recovered permutation [";
+    for (unsigned i = 0; i < output_permutation->size(); ++i) {
+      if (i != 0) oss << " ";
+      oss << (*output_permutation)[i];
+    }
+    oss << "]\n";
+  }
+  oss << "  verification  : " << verification.detail << "\n";
+  oss << "  extraction    : " << extraction.wall_seconds << " s in "
+      << extraction.threads << " threads\n";
+  oss << "  status        : " << (success ? "SUCCESS" : "FAILED") << "\n";
+  return oss.str();
+}
+
+FlowReport reverse_engineer(const nl::Netlist& netlist,
+                            const FlowOptions& options) {
+  Timer total;
+  FlowReport report;
+
+  nl::MultiplierPorts ports;
+  if (options.infer_ports) {
+    auto inferred = nl::infer_multiplier_ports(netlist);
+    if (!inferred.has_value()) {
+      throw InvalidArgument("netlist '" + netlist.name() +
+                            "' does not expose a two-operand word-level "
+                            "multiplier interface");
+    }
+    ports = std::move(*inferred);
+  } else {
+    ports = nl::multiplier_ports(netlist, options.a_base, options.b_base,
+                                 options.z_base);
+  }
+  report.m = ports.m();
+  report.equations = netlist.num_equations();
+
+  // Phase 1: parallel backward rewriting (Algorithms 1 + Theorem 2).
+  report.extraction =
+      extract_outputs(netlist, ports.z.bits, options.threads,
+                      options.strategy);
+
+  // Phase 2: Algorithm 2 (Theorem 3 membership test).
+  report.algorithm2_p = recover_irreducible(report.extraction.anfs, ports);
+
+  // Phase 3: full reduction-matrix recovery + classification.
+  report.recovery = recover_reduction_matrix(report.extraction.anfs, ports);
+
+  // Phase 3b (extension): if the declared output order does not form a
+  // multiplier, the bus may be permuted — recover the bit order from the
+  // in-field product sets and retry.
+  if (report.recovery.circuit_class == CircuitClass::NotAMultiplier &&
+      options.try_output_permutation) {
+    if (const auto order =
+            recover_output_order(report.extraction.anfs, ports)) {
+      bool identity = true;
+      for (unsigned i = 0; i < report.m; ++i) identity &= (*order)[i] == i;
+      if (!identity) {
+        std::vector<anf::Anf> reordered(report.m);
+        std::vector<RewriteStats> reordered_stats(report.m);
+        for (unsigned i = 0; i < report.m; ++i) {
+          reordered[i] = report.extraction.anfs[(*order)[i]];
+          reordered_stats[i] = report.extraction.per_bit[(*order)[i]];
+        }
+        report.extraction.anfs = std::move(reordered);
+        report.extraction.per_bit = std::move(reordered_stats);
+        report.output_permutation = *order;
+        report.algorithm2_p =
+            recover_irreducible(report.extraction.anfs, ports);
+        report.recovery =
+            recover_reduction_matrix(report.extraction.anfs, ports);
+      }
+    }
+  }
+
+  // Phase 4: golden-model equivalence.
+  if (options.verify_with_golden &&
+      report.recovery.circuit_class != CircuitClass::NotAMultiplier &&
+      report.recovery.p_is_irreducible) {
+    const gf2m::Field field(report.recovery.p);
+    report.verification =
+        verify_against_golden(report.extraction.anfs, field, ports,
+                              report.recovery.circuit_class);
+  } else if (!options.verify_with_golden) {
+    report.verification.detail = "skipped";
+  } else {
+    report.verification.detail = "skipped: no irreducible P(x) recovered";
+  }
+
+  report.success =
+      report.recovery.circuit_class != CircuitClass::NotAMultiplier &&
+      report.recovery.p_is_irreducible && report.recovery.rows_consistent &&
+      (!options.verify_with_golden || report.verification.equivalent);
+
+  report.total_seconds = total.seconds();
+  report.rss_peak_bytes = peak_rss_bytes();
+  report.rss_after_bytes = current_rss_bytes();
+  return report;
+}
+
+}  // namespace gfre::core

@@ -1,0 +1,86 @@
+// End-to-end reverse-engineering flow — the paper's complete pipeline:
+//
+//   gate-level netlist
+//     -> per-output-bit backward rewriting in n threads   (Alg. 1, Thm. 2)
+//     -> irreducible polynomial recovery                   (Alg. 2, Thm. 3)
+//     -> reduction-matrix validation & classification      (extension)
+//     -> golden-model equivalence check                    (Section I)
+//
+// This is the public entry point the examples and benches use.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/parallel_extract.hpp"
+#include "core/redmatrix.hpp"
+#include "core/verify.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/ports.hpp"
+
+namespace gfre::core {
+
+struct FlowOptions {
+  unsigned threads = 1;
+  RewriteStrategy strategy = RewriteStrategy::Indexed;
+  /// Skip the golden comparison (used by benches that only time
+  /// extraction, matching the paper's reported "extraction" runtimes).
+  bool verify_with_golden = true;
+  /// Discover the operand/result ports from the netlist's word structure
+  /// instead of using the base names below (extension).
+  bool infer_ports = false;
+  /// When the declared output order does not form a multiplier, try to
+  /// recover the bit permutation from the in-field product sets and re-run
+  /// the analysis (extension; see core/permutation.hpp).
+  bool try_output_permutation = true;
+  /// Operand/result port base names (ignored when infer_ports is set).
+  std::string a_base = "a";
+  std::string b_base = "b";
+  std::string z_base = "z";
+};
+
+struct FlowReport {
+  unsigned m = 0;
+  std::size_t equations = 0;  ///< the paper's "#eqns" column
+
+  /// Algorithm 2 result (Theorem 3 membership test, verbatim).
+  gf2::Poly algorithm2_p;
+
+  /// Extended recovery (classification + consistency checking).
+  RecoveryReport recovery;
+
+  /// Set when the declared output order was scrambled and the flow
+  /// recovered it: output_permutation[i] is the index (in declared output
+  /// order) of true bit i.
+  std::optional<std::vector<unsigned>> output_permutation;
+
+  /// Golden-model comparison (when enabled and a P(x) was recovered).
+  VerifyResult verification;
+
+  /// Extraction timings/statistics (per-bit stats feed Figure 4).
+  ExtractionResult extraction;
+
+  double total_seconds = 0.0;
+  std::uint64_t rss_peak_bytes = 0;   ///< VmHWM after the flow (0 if N/A)
+  std::uint64_t rss_after_bytes = 0;  ///< VmRSS after the flow (0 if N/A)
+
+  /// Best available memory figure: the RSS high-water mark when the kernel
+  /// provides one, otherwise max(current RSS, engine live-monomial
+  /// estimate).  This feeds the paper tables' "Mem" column.
+  std::uint64_t memory_bytes() const;
+
+  /// True when the flow succeeded end to end: a multiplier was recognized,
+  /// its P(x) is irreducible, rows are consistent, and (if run) the golden
+  /// check passed.
+  bool success = false;
+
+  std::string summary() const;
+};
+
+/// Runs the full flow on a multiplier netlist.
+FlowReport reverse_engineer(const nl::Netlist& netlist,
+                            const FlowOptions& options = {});
+
+}  // namespace gfre::core

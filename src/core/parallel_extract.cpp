@@ -1,0 +1,48 @@
+#include "core/parallel_extract.hpp"
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace gfre::core {
+
+ExtractionResult extract_outputs(const nl::Netlist& netlist,
+                                 const std::vector<nl::Var>& outputs,
+                                 unsigned threads,
+                                 RewriteStrategy strategy) {
+  GFRE_ASSERT(threads >= 1, "need at least one extraction thread");
+  ExtractionResult result;
+  result.threads = threads;
+  result.anfs.resize(outputs.size());
+  result.per_bit.resize(outputs.size());
+
+  Timer timer;
+  RewriteOptions options;
+  options.strategy = strategy;
+
+  if (threads == 1) {
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      result.anfs[i] = extract_output_anf(netlist, outputs[i], options,
+                                          &result.per_bit[i]);
+    }
+  } else {
+    ThreadPool pool(threads);
+    pool.parallel_for(outputs.size(), [&](std::size_t i) {
+      result.anfs[i] = extract_output_anf(netlist, outputs[i], options,
+                                          &result.per_bit[i]);
+    });
+  }
+  result.wall_seconds = timer.seconds();
+  for (const auto& stats : result.per_bit) {
+    result.total_peak_terms += stats.peak_terms;
+  }
+  return result;
+}
+
+ExtractionResult extract_all_outputs(const nl::Netlist& netlist,
+                                     unsigned threads,
+                                     RewriteStrategy strategy) {
+  return extract_outputs(netlist, netlist.outputs(), threads, strategy);
+}
+
+}  // namespace gfre::core

@@ -1,0 +1,31 @@
+// Scrambled-output recovery — an extension beyond the paper.
+//
+// The paper assumes the netlist's outputs are labeled z0..z{m-1} in bit
+// order.  In a real reverse-engineering setting the bit order of the result
+// bus may be unknown (bus bits get permuted by place-and-route or by
+// deliberate obfuscation).  For a standard product Z = A*B mod P the
+// in-field half of the coefficient matrix identifies each bit uniquely:
+// product set S_k (k < m) feeds output bit k and no other, so the output
+// whose ANF contains S_k *is* bit k.  This module recovers that
+// permutation, after which Algorithm 2 proceeds as usual.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "anf/anf.hpp"
+#include "netlist/ports.hpp"
+
+namespace gfre::core {
+
+/// Given the extracted ANFs of the m output nets in *arbitrary* order,
+/// returns `order` such that anfs[order[i]] is the ANF of output bit i —
+/// or nullopt when the functions do not have standard-product shape (no
+/// unique in-field product set per output, duplicate claims, ...).
+///
+/// Only the a/b operand bits of `ports` are used; the z entries may be in
+/// any order (that is the point).
+std::optional<std::vector<unsigned>> recover_output_order(
+    const std::vector<anf::Anf>& anfs, const nl::MultiplierPorts& ports);
+
+}  // namespace gfre::core

@@ -1,0 +1,192 @@
+#include "core/rewriter.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace gfre::core {
+
+using anf::Anf;
+using anf::Monomial;
+using nl::Var;
+
+namespace {
+
+/// Occurrence-indexed polynomial: an Anf plus a lazy variable -> monomial
+/// index.  Entries may be stale (monomial since cancelled); consumers
+/// re-validate against the set.
+class IndexedPoly {
+ public:
+  void toggle(const Monomial& m, std::size_t* cancellations) {
+    if (anf_.toggle(m)) {
+      for (Var v : m.vars()) index_[v].push_back(m);
+    } else if (cancellations != nullptr) {
+      ++(*cancellations);
+    }
+  }
+
+  /// Monomials currently containing v (validated against the live set).
+  std::vector<Monomial> occurrences(Var v) {
+    std::vector<Monomial> hits;
+    const auto it = index_.find(v);
+    if (it == index_.end()) return hits;
+    auto& bucket = it->second;
+    // Compact the bucket while validating: stale entries are dropped.
+    std::vector<Monomial> fresh;
+    for (const Monomial& m : bucket) {
+      if (anf_.contains(m)) {
+        hits.push_back(m);
+        fresh.push_back(m);
+      }
+    }
+    // Deduplicate (a monomial can be re-toggled into the same bucket).
+    std::sort(hits.begin(), hits.end());
+    hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+    bucket = std::move(fresh);
+    return hits;
+  }
+
+  void erase(const Monomial& m) {
+    const bool present = anf_.contains(m);
+    GFRE_ASSERT(present, "erasing absent monomial");
+    anf_.toggle(m);
+  }
+
+  const Anf& value() const { return anf_; }
+  std::size_t size() const { return anf_.size(); }
+
+ private:
+  Anf anf_;
+  std::unordered_map<Var, std::vector<Monomial>> index_;
+};
+
+void trace_step(std::ostream& out, const nl::Netlist& netlist,
+                std::size_t gate_index, const Anf& f,
+                std::size_t cancelled_this_step) {
+  out << "G" << gate_index << ": "
+      << f.to_string([&](Var v) { return netlist.var_name(v); });
+  if (cancelled_this_step > 0) {
+    out << "   elim: " << cancelled_this_step << " monomial"
+        << (cancelled_this_step == 1 ? "" : "s");
+  }
+  out << "\n";
+}
+
+Anf rewrite_indexed(const nl::Netlist& netlist, Var output,
+                    const RewriteOptions& options, RewriteStats* stats) {
+  const auto cone = netlist.fanin_cone(output);
+  if (stats != nullptr) stats->cone_gates = cone.size();
+
+  IndexedPoly f;
+  std::size_t cancellations = 0;
+  f.toggle(Monomial(output), &cancellations);
+
+  std::size_t peak = f.size();
+  // Reverse topological order: consumers before producers.
+  for (std::size_t idx = cone.size(); idx-- > 0;) {
+    const nl::Gate& gate = netlist.gate(cone[idx]);
+    const Var v = gate.output;
+    const auto hits = f.occurrences(v);
+    if (hits.empty()) continue;
+    if (stats != nullptr) ++stats->substitutions;
+
+    const Anf expression = nl::cell_anf(gate.type, gate.inputs);
+    const std::size_t cancelled_before = cancellations;
+    for (const Monomial& hit : hits) {
+      f.erase(hit);
+      const Monomial rest = hit.without(v);
+      for (const Monomial& term : expression.monomials()) {
+        f.toggle(rest.times(term), &cancellations);
+      }
+    }
+    peak = std::max(peak, f.size());
+    if (options.trace != nullptr) {
+      trace_step(*options.trace, netlist, cone[idx], f.value(),
+                 cancellations - cancelled_before);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->cancellations = cancellations;
+    stats->peak_terms = peak;
+    stats->final_terms = f.size();
+  }
+  return f.value();
+}
+
+Anf rewrite_naive(const nl::Netlist& netlist, Var output,
+                  const RewriteOptions& options, RewriteStats* stats) {
+  const auto cone = netlist.fanin_cone(output);
+  if (stats != nullptr) stats->cone_gates = cone.size();
+
+  Anf f = Anf::var(output);
+  std::size_t peak = f.size();
+  std::size_t cancellations = 0;
+
+  for (std::size_t idx = cone.size(); idx-- > 0;) {
+    const nl::Gate& gate = netlist.gate(cone[idx]);
+    const Var v = gate.output;
+    // Whole-polynomial scan (lines 4-5 of Algorithm 1, literal reading).
+    std::vector<Monomial> hits;
+    for (const Monomial& m : f.monomials()) {
+      if (m.contains(v)) hits.push_back(m);
+    }
+    if (hits.empty()) continue;
+    if (stats != nullptr) ++stats->substitutions;
+
+    const Anf expression = nl::cell_anf(gate.type, gate.inputs);
+    const std::size_t size_before_products =
+        f.size() - hits.size() + hits.size() * expression.size();
+    for (const Monomial& hit : hits) {
+      f.toggle(hit);  // remove
+      const Monomial rest = hit.without(v);
+      for (const Monomial& term : expression.monomials()) {
+        if (!f.toggle(rest.times(term))) ++cancellations;
+      }
+    }
+    peak = std::max({peak, f.size(), size_before_products});
+    if (options.trace != nullptr) {
+      trace_step(*options.trace, netlist, cone[idx], f, 0);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->cancellations = cancellations;
+    stats->peak_terms = peak;
+    stats->final_terms = f.size();
+  }
+  return f;
+}
+
+}  // namespace
+
+Anf extract_output_anf(const nl::Netlist& netlist, Var output,
+                       const RewriteOptions& options, RewriteStats* stats) {
+  Timer timer;
+  Anf result;
+  switch (options.strategy) {
+    case RewriteStrategy::Indexed:
+      result = rewrite_indexed(netlist, output, options, stats);
+      break;
+    case RewriteStrategy::NaiveScan:
+      result = rewrite_naive(netlist, output, options, stats);
+      break;
+  }
+  // Sanity (Theorem 1): a fully rewritten polynomial mentions only primary
+  // inputs.
+  for (const auto& monomial : result.monomials()) {
+    for (Var v : monomial.vars()) {
+      GFRE_ASSERT(netlist.is_input(v),
+                  "rewriting left internal variable '" << netlist.var_name(v)
+                                                       << "' in the ANF");
+    }
+  }
+  if (stats != nullptr) stats->seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace gfre::core

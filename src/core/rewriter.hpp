@@ -1,0 +1,55 @@
+// Backward rewriting — Algorithm 1 of the paper.
+//
+// Starting from F0 = (the output bit's variable), walk the output's fanin
+// cone in reverse topological order; for every gate whose output variable
+// occurs in F, substitute the gate's ANF over its inputs, cancelling
+// monomials mod 2.  After the last substitution F mentions only primary
+// inputs: it is the unique ANF of that output bit (Theorem 1), and by
+// Theorem 2 each output bit can be rewritten independently.
+//
+// Two substitution strategies are provided:
+//  * Indexed   — a variable -> monomial occurrence index makes each
+//                substitution O(occurrences x |gate ANF|);
+//  * NaiveScan — re-scans the whole polynomial per gate (the textbook
+//                reading of Algorithm 1; kept for the ablation benchmark).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "anf/anf.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gfre::core {
+
+enum class RewriteStrategy {
+  Indexed,
+  NaiveScan,
+};
+
+/// Per-extraction statistics (drives the paper's runtime/memory columns and
+/// the Figure 4 per-bit profile).
+struct RewriteStats {
+  std::size_t cone_gates = 0;      ///< gates in the output's fanin cone
+  std::size_t substitutions = 0;   ///< gates whose output occurred in F
+  std::size_t cancellations = 0;   ///< monomials removed mod 2
+  std::size_t peak_terms = 0;      ///< max |F| during rewriting
+  std::size_t final_terms = 0;     ///< |ANF| at the end
+  double seconds = 0.0;            ///< wall time of this extraction
+};
+
+struct RewriteOptions {
+  RewriteStrategy strategy = RewriteStrategy::Indexed;
+  /// When set, prints a per-iteration trace in the style of the paper's
+  /// Figure 3 ("G3: (1+a0b1+p0+s2)x+x   elim: 2x").
+  std::ostream* trace = nullptr;
+};
+
+/// Extracts the ANF of one output bit by backward rewriting.
+/// `output` may be any net; gates outside its cone are never touched.
+anf::Anf extract_output_anf(const nl::Netlist& netlist, nl::Var output,
+                            const RewriteOptions& options = {},
+                            RewriteStats* stats = nullptr);
+
+}  // namespace gfre::core

@@ -1,0 +1,116 @@
+#include "core/squarer.hpp"
+
+#include <unordered_map>
+
+#include "gf2m/field.hpp"
+#include "gf2poly/irreducible.hpp"
+#include "util/error.hpp"
+
+namespace gfre::core {
+
+using gf2::Poly;
+
+SquarerRecovery recover_squarer(const std::vector<anf::Anf>& anfs,
+                                const nl::WordPort& a) {
+  const unsigned m = a.width();
+  SquarerRecovery result;
+  GFRE_ASSERT(anfs.size() == m,
+              "expected " << m << " output ANFs, got " << anfs.size());
+  GFRE_ASSERT(m >= 2, "need m >= 2");
+
+  // 1. The function must be linear over the input word: every monomial a
+  //    single a_k variable (constant terms or products => not a squarer).
+  std::unordered_map<anf::Var, unsigned> bit_of;
+  for (unsigned k = 0; k < m; ++k) bit_of[a.bits[k]] = k;
+
+  // rows[k].coeff(i) == 1 iff a_k feeds output bit i.
+  std::vector<Poly> rows(m);
+  for (unsigned i = 0; i < m; ++i) {
+    for (const auto& monomial : anfs[i].monomials()) {
+      if (monomial.degree() != 1) {
+        result.diagnosis = "output bit " + std::to_string(i) +
+                           " is not linear in the input word";
+        return result;
+      }
+      const auto it = bit_of.find(monomial.vars()[0]);
+      if (it == bit_of.end()) {
+        result.diagnosis = "output bit " + std::to_string(i) +
+                           " reads a variable outside the input word";
+        return result;
+      }
+      rows[it->second].set_coeff(i, true);
+    }
+  }
+
+  // 2. Unreduced half: x^(2k) for 2k < m must map straight through.
+  for (unsigned k = 0; 2 * k < m; ++k) {
+    if (rows[k] != Poly::monomial(2 * k)) {
+      result.diagnosis = "input bit " + std::to_string(k) +
+                         " does not map to x^(2k) — not a squarer";
+      return result;
+    }
+  }
+
+  // 3. Reconstruct P(x) from the first reduced row.
+  Poly p_prime;  // P' = P + x^m
+  if (m % 2 == 0) {
+    // r_{m/2} = x^m mod P = P'.
+    p_prime = rows[m / 2];
+  } else {
+    // r_{(m+1)/2} = x^(m+1) mod P = x*P' mod P.  Let u = P'; since P is
+    // irreducible, u[0] = p_0 = 1, so row[0] discriminates the two cases:
+    //   u[m-1] == 0: row = u << 1              (row[0] = 0),
+    //   u[m-1] == 1: row[j] = u[j-1] + u[j]    (row[0] = u[0] = 1),
+    // the latter solvable by the forward recurrence u[j] = row[j] + u[j-1].
+    const Poly& row = rows[(m + 1) / 2];
+    if (!row.coeff(0)) {  // case A
+      p_prime = row >> 1;
+      if (p_prime.coeff(m - 1)) {
+        result.diagnosis = "reduced row is inconsistent with x*P' mod P";
+        return result;
+      }
+    } else {  // case B
+      Poly u;
+      bool prev = false;
+      for (unsigned j = 0; j < m; ++j) {
+        const bool bit = row.coeff(j) != prev;
+        if (bit) u.set_coeff(j, true);
+        prev = bit;
+      }
+      if (!u.coeff(m - 1)) {
+        result.diagnosis = "reduced row is inconsistent with x*P' mod P";
+        return result;
+      }
+      p_prime = u;
+    }
+  }
+
+  Poly p = p_prime + Poly::monomial(m);
+  if (p.degree() != static_cast<int>(m) || !p.coeff(0)) {
+    result.diagnosis = "reconstructed modulus " + p.to_string() +
+                       " is malformed";
+    return result;
+  }
+  result.p = p;
+  result.p_is_irreducible = gf2::is_irreducible(p);
+  if (!result.p_is_irreducible) {
+    result.diagnosis = "recovered modulus " + p.to_string() +
+                       " is reducible";
+    return result;
+  }
+
+  // 4. Validate every row against x^(2k) mod P.
+  const gf2m::Field field(p);
+  for (unsigned k = 0; k < m; ++k) {
+    const Poly expected = field.reduce(Poly::monomial(2 * k));
+    if (rows[k] != expected) {
+      result.diagnosis = "row for input bit " + std::to_string(k) +
+                         " mismatches x^(2k) mod P";
+      return result;
+    }
+  }
+  result.recognized = true;
+  return result;
+}
+
+}  // namespace gfre::core

@@ -1,0 +1,34 @@
+// P(x) recovery from GF(2^m) squarers — an extension beyond the paper.
+//
+// A squarer Z = A^2 mod P is linear: its coefficient matrix rows are
+// r_k = x^(2k) mod P.  P(x) is reconstructed from the first reduced row:
+//   m even: r_{m/2} = x^m mod P = P + x^m directly;
+//   m odd:  r_{(m+1)/2} = x^(m+1) mod P = x * P' (mod P) with P' = P + x^m,
+//           which yields P' by a one-pass bit recurrence (two cases on
+//           whether the multiplication by x overflowed into x^m).
+// Every remaining row is then checked against x^(2k) mod P, so a corrupted
+// squarer is rejected rather than mis-identified.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "anf/anf.hpp"
+#include "gf2poly/gf2_poly.hpp"
+#include "netlist/ports.hpp"
+
+namespace gfre::core {
+
+struct SquarerRecovery {
+  bool recognized = false;       ///< linear, consistent squarer shape
+  gf2::Poly p;                   ///< recovered modulus (when recognized)
+  bool p_is_irreducible = false;
+  std::string diagnosis;         ///< reason when !recognized
+};
+
+/// Attempts to interpret the extracted output ANFs as Z = A^2 mod P over
+/// the single input word `a`.  anfs[i] must be the ANF of output bit i.
+SquarerRecovery recover_squarer(const std::vector<anf::Anf>& anfs,
+                                const nl::WordPort& a);
+
+}  // namespace gfre::core

@@ -1,0 +1,95 @@
+#include "core/verify.hpp"
+
+#include "core/parallel_extract.hpp"
+#include "core/poly_extract.hpp"
+#include "util/error.hpp"
+
+namespace gfre::core {
+
+using anf::Anf;
+using gf2::Poly;
+
+std::vector<Anf> golden_anfs(const gf2m::Field& field,
+                             const nl::MultiplierPorts& ports,
+                             bool montgomery_raw) {
+  const unsigned m = field.m();
+  GFRE_ASSERT(ports.m() == m,
+              "port width " << ports.m() << " != field degree " << m);
+
+  // Coefficient rows: C[k] says which output bits receive product set S_k.
+  std::vector<Poly> rows(2 * m - 1);
+  if (!montgomery_raw) {
+    for (unsigned k = 0; k < m; ++k) rows[k] = Poly::monomial(k);
+    for (unsigned k = m; k <= 2 * m - 2; ++k) {
+      rows[k] = field.reduction_rows()[k - m];
+    }
+  } else {
+    const Poly x_inv_m = field.inverse(field.reduce(Poly::monomial(m)));
+    for (unsigned k = 0; k < m; ++k) {
+      rows[k] = field.mul(field.reduce(Poly::monomial(k)), x_inv_m);
+    }
+    for (unsigned k = m; k <= 2 * m - 2; ++k) {
+      rows[k] = Poly::monomial(k - m);
+    }
+  }
+
+  std::vector<Anf> spec(m);
+  for (unsigned k = 0; k <= 2 * m - 2; ++k) {
+    const auto set = product_set(ports, k);
+    for (unsigned i = 0; i < m; ++i) {
+      if (!rows[k].coeff(i)) continue;
+      for (const auto& monomial : set) spec[i].toggle(monomial);
+    }
+  }
+  return spec;
+}
+
+VerifyResult verify_against_golden(const std::vector<Anf>& extracted,
+                                   const gf2m::Field& field,
+                                   const nl::MultiplierPorts& ports,
+                                   CircuitClass circuit_class) {
+  VerifyResult result;
+  if (circuit_class == CircuitClass::NotAMultiplier) {
+    result.detail = "no golden model: circuit is not a GF(2^m) multiplier";
+    return result;
+  }
+  const auto spec = golden_anfs(
+      field, ports, circuit_class == CircuitClass::MontgomeryRaw);
+  GFRE_ASSERT(spec.size() == extracted.size(), "width mismatch");
+  for (unsigned i = 0; i < spec.size(); ++i) {
+    if (spec[i] != extracted[i]) {
+      result.equivalent = false;
+      result.mismatch_bit = i;
+      result.detail = "output bit " + std::to_string(i) +
+                      ": implementation ANF has " +
+                      std::to_string(extracted[i].size()) +
+                      " monomials, golden has " +
+                      std::to_string(spec[i].size());
+      return result;
+    }
+  }
+  result.equivalent = true;
+  result.detail = "all " + std::to_string(spec.size()) +
+                  " output ANFs match the golden model";
+  return result;
+}
+
+VerifyResult verify_known_multiplier(const nl::Netlist& netlist,
+                                     const gf2m::Field& field,
+                                     unsigned threads,
+                                     const std::string& a_base,
+                                     const std::string& b_base,
+                                     const std::string& z_base) {
+  const auto ports = nl::multiplier_ports(netlist, a_base, b_base, z_base);
+  if (ports.m() != field.m()) {
+    VerifyResult result;
+    result.detail = "netlist width " + std::to_string(ports.m()) +
+                    " != field degree " + std::to_string(field.m());
+    return result;
+  }
+  const auto extraction = extract_outputs(netlist, ports.z.bits, threads);
+  return verify_against_golden(extraction.anfs, field, ports,
+                               CircuitClass::StandardProduct);
+}
+
+}  // namespace gfre::core

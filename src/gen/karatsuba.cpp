@@ -1,0 +1,113 @@
+#include "gen/karatsuba.hpp"
+
+#include "util/error.hpp"
+
+namespace gfre::gen {
+
+using nl::Netlist;
+using nl::Var;
+
+namespace {
+
+/// Schoolbook polynomial product of two signal vectors (any lengths);
+/// result has size |a| + |b| - 1.
+std::vector<Sig> schoolbook(Netlist& netlist, const std::vector<Sig>& a,
+                            const std::vector<Sig>& b, XorShape shape) {
+  std::vector<std::vector<Sig>> columns(a.size() + b.size() - 1);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      columns[i + j].push_back(sig_and(netlist, a[i], b[j]));
+    }
+  }
+  std::vector<Sig> out;
+  out.reserve(columns.size());
+  for (auto& column : columns) {
+    out.push_back(sig_xor_tree(netlist, std::move(column), shape));
+  }
+  return out;
+}
+
+/// Karatsuba polynomial product; both operands must be the same length n
+/// (the splitter pads as needed).
+std::vector<Sig> karatsuba(Netlist& netlist, const std::vector<Sig>& a,
+                           const std::vector<Sig>& b,
+                           const KaratsubaOptions& options) {
+  const std::size_t n = a.size();
+  GFRE_ASSERT(b.size() == n, "karatsuba operands must match");
+  if (n <= options.threshold) {
+    return schoolbook(netlist, a, b, options.xor_shape);
+  }
+  const std::size_t h = n / 2;        // low-half width
+  const std::size_t hi = n - h;       // high-half width (>= h)
+
+  const std::vector<Sig> a0(a.begin(), a.begin() + h);
+  const std::vector<Sig> a1(a.begin() + h, a.end());
+  const std::vector<Sig> b0(b.begin(), b.begin() + h);
+  const std::vector<Sig> b1(b.begin() + h, b.end());
+
+  // Sums of halves, padded to the high-half width.
+  std::vector<Sig> as(hi, Sig::zero());
+  std::vector<Sig> bs(hi, Sig::zero());
+  for (std::size_t i = 0; i < hi; ++i) {
+    as[i] = (i < h) ? sig_xor(netlist, a0[i], a1[i]) : a1[i];
+    bs[i] = (i < h) ? sig_xor(netlist, b0[i], b1[i]) : b1[i];
+  }
+
+  const auto p0 = karatsuba(netlist, a0, b0, options);   // 2h-1
+  const auto p2 = karatsuba(netlist, a1, b1, options);   // 2hi-1
+  const auto p1 = karatsuba(netlist, as, bs, options);   // 2hi-1
+
+  // result = p0 + x^h * (p1 + p0 + p2) + x^(2h) * p2  (char 2: + == -).
+  std::vector<Sig> result(2 * n - 1, Sig::zero());
+  for (std::size_t i = 0; i < p0.size(); ++i) {
+    result[i] = sig_xor(netlist, result[i], p0[i]);
+  }
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    Sig mid = p1[i];
+    if (i < p0.size()) mid = sig_xor(netlist, mid, p0[i]);
+    if (i < p2.size()) mid = sig_xor(netlist, mid, p2[i]);
+    result[h + i] = sig_xor(netlist, result[h + i], mid);
+  }
+  for (std::size_t i = 0; i < p2.size(); ++i) {
+    result[2 * h + i] = sig_xor(netlist, result[2 * h + i], p2[i]);
+  }
+  return result;
+}
+
+}  // namespace
+
+Netlist generate_karatsuba(const gf2m::Field& field,
+                           const KaratsubaOptions& options) {
+  GFRE_ASSERT(options.threshold >= 1, "threshold must be positive");
+  const unsigned m = field.m();
+  Netlist netlist("karatsuba_m" + std::to_string(m));
+
+  std::vector<Sig> a, b;
+  for (unsigned i = 0; i < m; ++i) {
+    a.push_back(
+        Sig::wire(netlist.add_input(options.a_base + std::to_string(i))));
+  }
+  for (unsigned i = 0; i < m; ++i) {
+    b.push_back(
+        Sig::wire(netlist.add_input(options.b_base + std::to_string(i))));
+  }
+
+  // Double-width polynomial product, then the standard reduction network.
+  const std::vector<Sig> s = karatsuba(netlist, a, b, options);
+  GFRE_ASSERT(s.size() == 2 * std::size_t{m} - 1, "product width");
+
+  const auto& rows = field.reduction_rows();
+  for (unsigned i = 0; i < m; ++i) {
+    std::vector<Sig> terms{s[i]};
+    for (unsigned k = m; k <= 2 * m - 2; ++k) {
+      if (rows[k - m].coeff(i)) terms.push_back(s[k]);
+    }
+    const Sig z = sig_xor_tree(netlist, std::move(terms), options.xor_shape);
+    netlist.mark_output(
+        materialize(netlist, z, options.z_base + std::to_string(i)));
+  }
+  netlist.validate();
+  return netlist;
+}
+
+}  // namespace gfre::gen

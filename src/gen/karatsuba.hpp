@@ -1,0 +1,31 @@
+// Gate-level Karatsuba GF(2^m) multiplier generator.
+//
+// Large-field multipliers (ECC sizes like the paper's m = 233..571) are
+// often built as a Karatsuba polynomial multiplication followed by the
+// modular reduction, because Karatsuba trades AND gates for XOR gates:
+// sub-products are computed once and *shared* between result positions,
+// giving a recursive, heavily-shared, deep structure completely unlike
+// Mastrovito's flat product array — a demanding instance of the paper's
+// claim that extraction works "regardless of the GF(2^m) algorithm used".
+#pragma once
+
+#include "gen/signal.hpp"
+#include "gf2m/field.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gfre::gen {
+
+struct KaratsubaOptions {
+  /// Operand width at which recursion falls back to schoolbook.
+  unsigned threshold = 4;
+  XorShape xor_shape = XorShape::Balanced;
+  std::string a_base = "a";
+  std::string b_base = "b";
+  std::string z_base = "z";
+};
+
+/// Generates a flattened Karatsuba multiplier (Z = A*B mod P).
+nl::Netlist generate_karatsuba(const gf2m::Field& field,
+                               const KaratsubaOptions& options = {});
+
+}  // namespace gfre::gen

@@ -1,0 +1,116 @@
+#include "gen/mastrovito.hpp"
+
+#include "util/error.hpp"
+
+namespace gfre::gen {
+
+using nl::CellType;
+using nl::Netlist;
+using nl::Var;
+
+namespace {
+
+struct Operands {
+  std::vector<Var> a;
+  std::vector<Var> b;
+};
+
+Operands declare_operands(Netlist& netlist, unsigned m,
+                          const MastrovitoOptions& options) {
+  Operands ops;
+  for (unsigned i = 0; i < m; ++i) {
+    ops.a.push_back(netlist.add_input(options.a_base + std::to_string(i)));
+  }
+  for (unsigned i = 0; i < m; ++i) {
+    ops.b.push_back(netlist.add_input(options.b_base + std::to_string(i)));
+  }
+  return ops;
+}
+
+void generate_product_then_reduce(Netlist& netlist, const gf2m::Field& field,
+                                  const Operands& ops,
+                                  const MastrovitoOptions& options) {
+  const unsigned m = field.m();
+  // Partial products pp_i_j = a_i & b_j (named so traces read like Fig. 1).
+  std::vector<std::vector<Sig>> pp(m, std::vector<Sig>(m));
+  for (unsigned i = 0; i < m; ++i) {
+    for (unsigned j = 0; j < m; ++j) {
+      pp[i][j] = Sig::wire(
+          netlist.add_gate(CellType::And, {ops.a[i], ops.b[j]},
+                           "pp_" + std::to_string(i) + "_" +
+                               std::to_string(j)));
+    }
+  }
+  // Convolution sums s_k = XOR{pp_i_j : i+j == k}, k in [0, 2m-2].
+  std::vector<Sig> s(2 * m - 1);
+  for (unsigned k = 0; k <= 2 * m - 2; ++k) {
+    std::vector<Sig> terms;
+    const unsigned i_begin = (k >= m) ? (k - m + 1) : 0u;
+    const unsigned i_end = std::min(k, m - 1);
+    for (unsigned i = i_begin; i <= i_end; ++i) {
+      terms.push_back(pp[i][k - i]);
+    }
+    s[k] = sig_xor_tree(netlist, std::move(terms), options.xor_shape);
+  }
+  // Reduction: z_i = s_i XOR {s_k : k >= m and (x^k mod P) has term x^i}.
+  const auto& rows = field.reduction_rows();
+  for (unsigned i = 0; i < m; ++i) {
+    std::vector<Sig> terms{s[i]};
+    for (unsigned k = m; k <= 2 * m - 2; ++k) {
+      if (rows[k - m].coeff(i)) terms.push_back(s[k]);
+    }
+    const Sig z = sig_xor_tree(netlist, std::move(terms), options.xor_shape);
+    netlist.mark_output(
+        materialize(netlist, z, options.z_base + std::to_string(i)));
+  }
+}
+
+void generate_matrix_form(Netlist& netlist, const gf2m::Field& field,
+                          const Operands& ops,
+                          const MastrovitoOptions& options) {
+  const unsigned m = field.m();
+  const auto& rows = field.reduction_rows();
+  // Mastrovito matrix entry M[i][j] = XOR of the a-bits feeding output i
+  // through operand bit b_j:
+  //   a_{i-j}                 when j <= i (the in-field diagonal), plus
+  //   a_{k-j} for every k >= m with j <= k <= m-1+j and (x^k mod P)|x^i.
+  for (unsigned i = 0; i < m; ++i) {
+    std::vector<Sig> row_terms;
+    for (unsigned j = 0; j < m; ++j) {
+      std::vector<Sig> entry;
+      if (j <= i) entry.push_back(Sig::wire(ops.a[i - j]));
+      for (unsigned k = m; k <= 2 * m - 2; ++k) {
+        if (k < j || k - j > m - 1) continue;
+        if (rows[k - m].coeff(i)) entry.push_back(Sig::wire(ops.a[k - j]));
+      }
+      Sig m_ij = sig_xor_tree(netlist, std::move(entry), options.xor_shape);
+      row_terms.push_back(sig_and(netlist, m_ij, Sig::wire(ops.b[j])));
+    }
+    const Sig z =
+        sig_xor_tree(netlist, std::move(row_terms), options.xor_shape);
+    netlist.mark_output(
+        materialize(netlist, z, options.z_base + std::to_string(i)));
+  }
+}
+
+}  // namespace
+
+Netlist generate_mastrovito(const gf2m::Field& field,
+                            const MastrovitoOptions& options) {
+  const unsigned m = field.m();
+  Netlist netlist("mastrovito_m" + std::to_string(m));
+  const Operands ops = declare_operands(netlist, m, options);
+  switch (options.style) {
+    case MastrovitoOptions::Style::ProductThenReduce:
+      generate_product_then_reduce(netlist, field, ops, options);
+      break;
+    case MastrovitoOptions::Style::Matrix:
+      netlist.set_name("mastrovito_matrix_m" + std::to_string(m));
+      generate_matrix_form(netlist, field, ops, options);
+      break;
+  }
+  netlist.validate();
+  return netlist;
+}
+
+}  // namespace gfre::gen

@@ -1,0 +1,39 @@
+// Gate-level Mastrovito multiplier generator.
+//
+// Produces the flattened GF(2^m) multiplier netlists of Tables I, III and
+// IV.  Two structural styles are supported:
+//
+//  * ProductThenReduce — the textbook structure from the paper's Figure 1:
+//    partial products pp_i_j = a_i & b_j, convolution sums s_k, then a
+//    reduction network z_i = s_i XOR {s_k : k >= m, (x^k mod P) has x^i}.
+//    This is the structure in which the paper's Theorem 3 placement of s_m
+//    is visually evident.
+//
+//  * Matrix — the classic Mastrovito product-matrix form z = M(a) * b:
+//    each matrix entry is an XOR of a-bits, then an AND row with b and a
+//    final XOR tree.  Functionally identical, structurally very different,
+//    which exercises the claim that extraction is implementation-agnostic.
+#pragma once
+
+#include "gen/signal.hpp"
+#include "gf2m/field.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gfre::gen {
+
+struct MastrovitoOptions {
+  enum class Style { ProductThenReduce, Matrix };
+  Style style = Style::ProductThenReduce;
+  XorShape xor_shape = XorShape::Balanced;
+  std::string a_base = "a";
+  std::string b_base = "b";
+  std::string z_base = "z";
+};
+
+/// Generates a flattened Mastrovito multiplier for the field.  The netlist
+/// has inputs a0..a{m-1}, b0..b{m-1} and outputs z0..z{m-1} with
+/// Z = A*B mod P(x).
+nl::Netlist generate_mastrovito(const gf2m::Field& field,
+                                const MastrovitoOptions& options = {});
+
+}  // namespace gfre::gen

@@ -1,0 +1,87 @@
+#include "gen/montgomery_gate.hpp"
+
+#include "gf2m/montgomery.hpp"
+#include "util/error.hpp"
+
+namespace gfre::gen {
+
+using nl::CellType;
+using nl::Netlist;
+using nl::Var;
+
+namespace {
+
+/// One unrolled bit-serial MontPro block: returns A*B*x^(-m) as signals.
+/// Operands may contain constant signals (used for the R^2 stage), which
+/// fold into wires/omissions.
+std::vector<Sig> mont_pro_block(Netlist& netlist, const gf2m::Field& field,
+                                const std::vector<Sig>& a,
+                                const std::vector<Sig>& b) {
+  const unsigned m = field.m();
+  GFRE_ASSERT(a.size() == m && b.size() == m, "MontPro operand width");
+  std::vector<Sig> z(m, Sig::zero());
+  for (unsigned round = 0; round < m; ++round) {
+    // Z += a_round * B
+    for (unsigned j = 0; j < m; ++j) {
+      const Sig product = sig_and(netlist, a[round], b[j]);
+      z[j] = sig_xor(netlist, z[j], product);
+    }
+    // Clear bit 0 with a conditional add of P: Z += z0 * P.
+    const Sig t0 = z[0];
+    for (unsigned j = 0; j < m; ++j) {
+      if (field.modulus().coeff(j)) {
+        z[j] = sig_xor(netlist, z[j], t0);
+      }
+    }
+    // At this point z[0] folded to 0 (t0 xor t0); divide by x.
+    GFRE_ASSERT(z[0].is_zero(), "Montgomery round failed to clear bit 0");
+    for (unsigned j = 0; j + 1 < m; ++j) z[j] = z[j + 1];
+    // x^(m-1) gets P's top coefficient contribution only via p_m = 1, which
+    // the shift models by feeding t0 * x^m... p_m term: Z += t0 * x^m then
+    // shift brings it to position m-1.
+    z[m - 1] = t0;
+  }
+  return z;
+}
+
+}  // namespace
+
+Netlist generate_montgomery(const gf2m::Field& field,
+                            const MontgomeryOptions& options) {
+  const unsigned m = field.m();
+  Netlist netlist((options.raw ? "montgomery_raw_m" : "montgomery_m") +
+                  std::to_string(m));
+
+  std::vector<Sig> a, b;
+  for (unsigned i = 0; i < m; ++i) {
+    a.push_back(
+        Sig::wire(netlist.add_input(options.a_base + std::to_string(i))));
+  }
+  for (unsigned i = 0; i < m; ++i) {
+    b.push_back(
+        Sig::wire(netlist.add_input(options.b_base + std::to_string(i))));
+  }
+
+  std::vector<Sig> z = mont_pro_block(netlist, field, a, b);
+
+  if (!options.raw) {
+    // Second stage against the constant R^2 = x^(2m) mod P recovers the
+    // plain product: MontPro(A*B*x^-m, R^2) = A*B mod P.
+    const gf2m::Montgomery montgomery(field);
+    const gf2::Poly& r2 = montgomery.r_squared();
+    std::vector<Sig> r2_bits;
+    for (unsigned i = 0; i < m; ++i) {
+      r2_bits.push_back(Sig::constant(r2.coeff(i)));
+    }
+    z = mont_pro_block(netlist, field, z, r2_bits);
+  }
+
+  for (unsigned i = 0; i < m; ++i) {
+    netlist.mark_output(
+        materialize(netlist, z[i], options.z_base + std::to_string(i)));
+  }
+  netlist.validate();
+  return netlist;
+}
+
+}  // namespace gfre::gen

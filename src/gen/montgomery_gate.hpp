@@ -1,0 +1,37 @@
+// Gate-level Montgomery multiplier generator.
+//
+// Unrolls the bit-serial Montgomery product
+//     MontPro(A, B) = A * B * x^(-m) mod P(x)
+// into a flattened combinational netlist (m rounds of conditional adds and
+// a divide-by-x), with no block boundaries — the Table II circuits.
+//
+// Two top-level functions:
+//  * Composed (default): Z = MontPro(MontPro(A, B), R^2) = A*B mod P.
+//    This is a *true* GF multiplier built the Montgomery way, which is what
+//    lets the paper claim P(x) extraction "regardless of the GF algorithm":
+//    the end-to-end function is the same as Mastrovito's.
+//  * Raw: Z = A*B*x^(-m) mod P.  Algorithm 2's P_m placement no longer
+//    applies directly; core recovers P(x) from these with the extended
+//    reduction-matrix analysis.
+#pragma once
+
+#include "gen/signal.hpp"
+#include "gf2m/field.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gfre::gen {
+
+struct MontgomeryOptions {
+  /// false: composed A*B mod P; true: raw A*B*x^(-m) mod P.
+  bool raw = false;
+  XorShape xor_shape = XorShape::Balanced;
+  std::string a_base = "a";
+  std::string b_base = "b";
+  std::string z_base = "z";
+};
+
+/// Generates a flattened Montgomery multiplier over the field.
+nl::Netlist generate_montgomery(const gf2m::Field& field,
+                                const MontgomeryOptions& options = {});
+
+}  // namespace gfre::gen

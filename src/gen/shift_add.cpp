@@ -1,0 +1,53 @@
+#include "gen/shift_add.hpp"
+
+#include "util/error.hpp"
+
+namespace gfre::gen {
+
+using nl::Netlist;
+
+Netlist generate_shift_add(const gf2m::Field& field,
+                           const ShiftAddOptions& options) {
+  const unsigned m = field.m();
+  Netlist netlist("shiftadd_m" + std::to_string(m));
+
+  std::vector<Sig> a, b;
+  for (unsigned i = 0; i < m; ++i) {
+    a.push_back(
+        Sig::wire(netlist.add_input(options.a_base + std::to_string(i))));
+  }
+  for (unsigned i = 0; i < m; ++i) {
+    b.push_back(
+        Sig::wire(netlist.add_input(options.b_base + std::to_string(i))));
+  }
+
+  std::vector<Sig> z(m, Sig::zero());
+  for (unsigned round = 0; round < m; ++round) {
+    const unsigned i = m - 1 - round;  // process a from the top bit down
+    if (round != 0) {
+      // Z = Z * x mod P: shift up; the spilled top bit folds back through
+      // P's low terms (x^m mod P = P - x^m).
+      const Sig top = z[m - 1];
+      for (unsigned j = m - 1; j > 0; --j) z[j] = z[j - 1];
+      z[0] = Sig::zero();
+      if (!top.is_zero()) {
+        for (unsigned j = 0; j < m; ++j) {
+          if (field.modulus().coeff(j)) z[j] = sig_xor(netlist, z[j], top);
+        }
+      }
+    }
+    // Z += a_i * B
+    for (unsigned j = 0; j < m; ++j) {
+      z[j] = sig_xor(netlist, z[j], sig_and(netlist, a[i], b[j]));
+    }
+  }
+
+  for (unsigned i = 0; i < m; ++i) {
+    netlist.mark_output(
+        materialize(netlist, z[i], options.z_base + std::to_string(i)));
+  }
+  netlist.validate();
+  return netlist;
+}
+
+}  // namespace gfre::gen

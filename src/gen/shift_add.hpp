@@ -1,0 +1,29 @@
+// Gate-level shift-and-add (interleaved-reduction / LFSR-style) multiplier.
+//
+// A third structural family for robustness experiments: the reduction is
+// interleaved with accumulation instead of applied to a full double-width
+// product —
+//     Z = 0;  for i = m-1 .. 0:  Z = (Z * x mod P) + a_i * B
+// The function is still A*B mod P, so extraction must recover the same
+// P(x) despite a completely different gate topology (no s_k signals exist
+// anywhere in this netlist).
+#pragma once
+
+#include "gen/signal.hpp"
+#include "gf2m/field.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gfre::gen {
+
+struct ShiftAddOptions {
+  XorShape xor_shape = XorShape::Balanced;
+  std::string a_base = "a";
+  std::string b_base = "b";
+  std::string z_base = "z";
+};
+
+/// Generates a flattened shift-and-add multiplier (Z = A*B mod P).
+nl::Netlist generate_shift_add(const gf2m::Field& field,
+                               const ShiftAddOptions& options = {});
+
+}  // namespace gfre::gen

@@ -1,0 +1,99 @@
+#include "gen/signal.hpp"
+
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace gfre::gen {
+
+using nl::CellType;
+using nl::Var;
+
+Sig sig_and(nl::Netlist& netlist, const Sig& x, const Sig& y) {
+  if (x.is_zero() || y.is_zero()) return Sig::zero();
+  if (x.is_one()) return y;
+  if (y.is_one()) return x;
+  if (x.same_net_as(y)) return x;  // idempotent
+  return Sig::wire(netlist.add_gate(CellType::And, {x.net, y.net}));
+}
+
+Sig sig_xor(nl::Netlist& netlist, const Sig& x, const Sig& y) {
+  if (x.same_net_as(y)) return Sig::zero();
+  if (x.is_zero()) return y;
+  if (y.is_zero()) return x;
+  if (x.is_one() && y.is_one()) return Sig::zero();
+  if (x.is_one()) return Sig::wire(netlist.add_gate(CellType::Inv, {y.net}));
+  if (y.is_one()) return Sig::wire(netlist.add_gate(CellType::Inv, {x.net}));
+  return Sig::wire(netlist.add_gate(CellType::Xor, {x.net, y.net}));
+}
+
+Sig sig_or(nl::Netlist& netlist, const Sig& x, const Sig& y) {
+  if (x.is_one() || y.is_one()) return Sig::one();
+  if (x.is_zero()) return y;
+  if (y.is_zero()) return x;
+  if (x.same_net_as(y)) return x;
+  return Sig::wire(netlist.add_gate(CellType::Or, {x.net, y.net}));
+}
+
+Sig sig_not(nl::Netlist& netlist, const Sig& x) {
+  if (x.is_zero()) return Sig::one();
+  if (x.is_one()) return Sig::zero();
+  return Sig::wire(netlist.add_gate(CellType::Inv, {x.net}));
+}
+
+Sig sig_xor_tree(nl::Netlist& netlist, std::vector<Sig> operands,
+                 XorShape shape) {
+  // Fold constants first: zeros vanish; ones pair off, a leftover inverts
+  // the final result.
+  bool invert = false;
+  std::deque<Sig> nets;
+  for (const Sig& s : operands) {
+    if (s.is_zero()) continue;
+    if (s.is_one()) {
+      invert = !invert;
+    } else {
+      nets.push_back(s);
+    }
+  }
+
+  Sig acc;
+  if (nets.empty()) {
+    acc = Sig::zero();
+  } else if (shape == XorShape::Chain) {
+    acc = nets.front();
+    nets.pop_front();
+    while (!nets.empty()) {
+      acc = sig_xor(netlist, acc, nets.front());
+      nets.pop_front();
+    }
+  } else {
+    // Balanced: repeatedly pair the two oldest operands (Huffman-like on
+    // equal weights gives a log-depth tree).
+    while (nets.size() > 1) {
+      Sig a = nets.front();
+      nets.pop_front();
+      Sig b = nets.front();
+      nets.pop_front();
+      nets.push_back(sig_xor(netlist, a, b));
+    }
+    acc = nets.front();
+  }
+
+  if (invert) acc = sig_xor(netlist, acc, Sig::one());
+  return acc;
+}
+
+Var materialize(nl::Netlist& netlist, const Sig& sig,
+                const std::string& name) {
+  switch (sig.kind) {
+    case Sig::Kind::Zero:
+      return netlist.add_gate(CellType::Const0, {}, name);
+    case Sig::Kind::One:
+      return netlist.add_gate(CellType::Const1, {}, name);
+    case Sig::Kind::Net:
+      return netlist.add_gate(CellType::Buf, {sig.net}, name);
+  }
+  throw InvalidArgument("bad signal kind");
+}
+
+}  // namespace gfre::gen

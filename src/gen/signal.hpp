@@ -1,0 +1,63 @@
+// Constant-folding signal helpers for the multiplier generators.
+//
+// Generators work over `Sig` values — either a net or a known constant —
+// so that constant operands (e.g. the R^2 word of a Montgomery stage, or
+// reduction rows with zero entries) fold away instead of emitting dead
+// gates, exactly like the paper's generator-produced netlists.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace gfre::gen {
+
+/// A symbolic bit: constant 0/1 or a netlist net.
+struct Sig {
+  enum class Kind { Zero, One, Net };
+  Kind kind = Kind::Zero;
+  nl::Var net = 0;
+
+  static Sig zero() { return {Kind::Zero, 0}; }
+  static Sig one() { return {Kind::One, 0}; }
+  static Sig wire(nl::Var v) { return {Kind::Net, v}; }
+  static Sig constant(bool b) { return b ? one() : zero(); }
+
+  bool is_zero() const { return kind == Kind::Zero; }
+  bool is_one() const { return kind == Kind::One; }
+  bool is_net() const { return kind == Kind::Net; }
+
+  bool same_net_as(const Sig& other) const {
+    return is_net() && other.is_net() && net == other.net;
+  }
+};
+
+/// Emits (or folds) x & y.
+Sig sig_and(nl::Netlist& netlist, const Sig& x, const Sig& y);
+
+/// Emits (or folds) x ^ y.  xor(x, x) folds to 0 structurally, which is
+/// what clears bit 0 in the unrolled Montgomery rounds.
+Sig sig_xor(nl::Netlist& netlist, const Sig& x, const Sig& y);
+
+/// Emits (or folds) x | y.
+Sig sig_or(nl::Netlist& netlist, const Sig& x, const Sig& y);
+
+/// Emits (or folds) ~x.
+Sig sig_not(nl::Netlist& netlist, const Sig& x);
+
+/// XOR-tree shape: Chain mirrors naive generator output; Balanced mirrors
+/// depth-optimized generator output.
+enum class XorShape { Chain, Balanced };
+
+/// XOR of an operand list with the requested tree shape (folds constants
+/// and empty lists).
+Sig sig_xor_tree(nl::Netlist& netlist, std::vector<Sig> operands,
+                 XorShape shape);
+
+/// Materializes a Sig as a named net: BUF for nets, CONST0/1 for constants.
+/// Used to give primary outputs their z<i> names.
+nl::Var materialize(nl::Netlist& netlist, const Sig& sig,
+                    const std::string& name);
+
+}  // namespace gfre::gen

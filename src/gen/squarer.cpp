@@ -1,0 +1,40 @@
+#include "gen/squarer.hpp"
+
+#include "util/error.hpp"
+
+namespace gfre::gen {
+
+using nl::Netlist;
+using nl::Var;
+
+Netlist generate_squarer(const gf2m::Field& field,
+                         const SquarerOptions& options) {
+  const unsigned m = field.m();
+  Netlist netlist("squarer_m" + std::to_string(m));
+
+  std::vector<Var> a;
+  for (unsigned i = 0; i < m; ++i) {
+    a.push_back(netlist.add_input(options.a_base + std::to_string(i)));
+  }
+
+  // z_i = XOR of { a_k : (x^(2k) mod P) has term x^i }.
+  for (unsigned i = 0; i < m; ++i) {
+    std::vector<Sig> terms;
+    for (unsigned k = 0; k < m; ++k) {
+      bool present;
+      if (2 * k < m) {
+        present = (2 * k == i);
+      } else {
+        present = field.reduction_rows()[2 * k - m].coeff(i);
+      }
+      if (present) terms.push_back(Sig::wire(a[k]));
+    }
+    const Sig z = sig_xor_tree(netlist, std::move(terms), options.xor_shape);
+    netlist.mark_output(
+        materialize(netlist, z, options.z_base + std::to_string(i)));
+  }
+  netlist.validate();
+  return netlist;
+}
+
+}  // namespace gfre::gen

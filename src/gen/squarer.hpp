@@ -1,0 +1,28 @@
+// Gate-level GF(2^m) squarer generator.
+//
+// Squaring is linear over GF(2): (sum a_i x^i)^2 = sum a_i x^(2i), so
+// Z = A^2 mod P is a pure XOR network — no partial products at all.
+// Squarers are as common as multipliers in ECC datapaths (point doubling,
+// inversion chains), and their P(x) is recoverable from the linear
+// coefficient matrix (see core/squarer.hpp), which extends the paper's
+// method to a circuit class it does not cover.
+#pragma once
+
+#include "gen/signal.hpp"
+#include "gf2m/field.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gfre::gen {
+
+struct SquarerOptions {
+  XorShape xor_shape = XorShape::Balanced;
+  std::string a_base = "a";
+  std::string z_base = "z";
+};
+
+/// Generates a flattened squarer: inputs a0..a{m-1}, outputs
+/// z0..z{m-1} with Z = A^2 mod P(x).
+nl::Netlist generate_squarer(const gf2m::Field& field,
+                             const SquarerOptions& options = {});
+
+}  // namespace gfre::gen

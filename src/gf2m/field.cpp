@@ -1,0 +1,106 @@
+#include "gf2m/field.hpp"
+
+#include "gf2poly/irreducible.hpp"
+#include "util/error.hpp"
+
+namespace gfre::gf2m {
+
+using gf2::Poly;
+
+Field::Field(Poly p) : p_(std::move(p)) {
+  const int deg = p_.degree();
+  if (deg < 2 || !gf2::is_irreducible(p_)) {
+    throw InvalidArgument("not an irreducible polynomial of degree >= 2: " +
+                          p_.to_string());
+  }
+  m_ = static_cast<unsigned>(deg);
+  // Precompute x^k mod P for k in [m, 2m-2] by the shift recurrence
+  //   x^(k+1) mod P = x * (x^k mod P)  (reduced once if degree reaches m).
+  reduction_rows_.reserve(m_ - 1);
+  Poly row = p_ + Poly::monomial(m_);  // x^m mod P
+  for (unsigned k = m_; k <= 2 * m_ - 2; ++k) {
+    reduction_rows_.push_back(row);
+    row = row << 1;
+    if (row.coeff(m_)) {
+      row.flip_coeff(m_);
+      row += reduction_rows_.front();
+    }
+  }
+}
+
+bool Field::contains(const Poly& x) const {
+  return x.degree() < static_cast<int>(m_);
+}
+
+Poly Field::reduce(const Poly& x) const { return x.mod(p_); }
+
+Poly Field::add(const Poly& a, const Poly& b) const {
+  GFRE_ASSERT(contains(a) && contains(b), "operand outside " << to_string());
+  return a + b;
+}
+
+Poly Field::mul(const Poly& a, const Poly& b) const {
+  GFRE_ASSERT(contains(a) && contains(b), "operand outside " << to_string());
+  return (a * b).mod(p_);
+}
+
+Poly Field::square(const Poly& a) const {
+  GFRE_ASSERT(contains(a), "operand outside " << to_string());
+  return a.square().mod(p_);
+}
+
+Poly Field::inverse(const Poly& a) const {
+  GFRE_ASSERT(contains(a), "operand outside " << to_string());
+  if (a.is_zero()) throw InvalidArgument("zero has no inverse in " + to_string());
+  // Extended Euclid over GF(2)[x]: maintain g1*a == r1 (mod p).
+  Poly r0 = p_, r1 = a;
+  Poly g0, g1 = Poly::one();
+  while (!r1.is_zero()) {
+    const auto dm = r0.divmod(r1);
+    Poly r2 = dm.remainder;
+    Poly g2 = g0 + dm.quotient * g1;
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    g0 = std::move(g1);
+    g1 = std::move(g2);
+  }
+  GFRE_ASSERT(r0.is_one(), "gcd(a, P) != 1 — modulus is not irreducible?");
+  return g0.mod(p_);
+}
+
+Poly Field::pow(const Poly& a, const std::vector<bool>& exponent) const {
+  GFRE_ASSERT(contains(a), "operand outside " << to_string());
+  Poly result = Poly::one();
+  Poly base = a;
+  for (bool bit : exponent) {
+    if (bit) result = mul(result, base);
+    base = square(base);
+  }
+  return result;
+}
+
+Poly Field::pow2k(const Poly& a, unsigned k) const {
+  Poly x = a;
+  for (unsigned i = 0; i < k; ++i) x = square(x);
+  return x;
+}
+
+Poly Field::random_element(Prng& rng) const {
+  Poly e;
+  for (unsigned i = 0; i < m_; ++i) {
+    if (rng.next_bool()) e.set_coeff(i, true);
+  }
+  return e;
+}
+
+unsigned Field::reduction_xor_count() const {
+  unsigned total = 0;
+  for (const auto& row : reduction_rows_) total += row.weight();
+  return total;
+}
+
+std::string Field::to_string() const {
+  return "GF(2^" + std::to_string(m_) + ") / " + p_.to_string();
+}
+
+}  // namespace gfre::gf2m

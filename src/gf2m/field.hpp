@@ -1,0 +1,78 @@
+// Word-level GF(2^m) binary extension field.
+//
+// This is the functional golden model: elements are polynomials of degree
+// < m over GF(2) (polynomial basis), multiplication is mod an irreducible
+// P(x).  The gate-level generators and the reverse-engineering flow are both
+// validated against it, and its reduction matrix (x^k mod P for k >= m) is
+// the object Algorithm 2 recovers from netlists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gf2poly/gf2_poly.hpp"
+#include "util/prng.hpp"
+
+namespace gfre::gf2m {
+
+/// A binary extension field GF(2^m) in polynomial basis.
+///
+/// Field elements are gf2::Poly values of degree < m.  The class is
+/// immutable after construction and safe to share across threads.
+class Field {
+ public:
+  /// Constructs the field from an irreducible polynomial of degree >= 2.
+  /// Throws InvalidArgument when p is not irreducible (this is exactly the
+  /// mistake the paper's verification flow is designed to catch, so we are
+  /// strict about it here).
+  explicit Field(gf2::Poly p);
+
+  unsigned m() const { return m_; }
+  const gf2::Poly& modulus() const { return p_; }
+
+  /// True when x has degree < m (a canonical field element).
+  bool contains(const gf2::Poly& x) const;
+
+  /// Reduces an arbitrary polynomial into the field.
+  gf2::Poly reduce(const gf2::Poly& x) const;
+
+  // -- Field operations (operands must satisfy contains()) ---------------
+  gf2::Poly add(const gf2::Poly& a, const gf2::Poly& b) const;
+  gf2::Poly mul(const gf2::Poly& a, const gf2::Poly& b) const;
+  gf2::Poly square(const gf2::Poly& a) const;
+
+  /// a^(-1); throws InvalidArgument for a == 0.
+  gf2::Poly inverse(const gf2::Poly& a) const;
+
+  /// a^e with e given as a bit vector (bit 0 = LSB).  Handles e = 0.
+  gf2::Poly pow(const gf2::Poly& a, const std::vector<bool>& exponent) const;
+
+  /// a^(2^k) by repeated squaring (Frobenius iterates).
+  gf2::Poly pow2k(const gf2::Poly& a, unsigned k) const;
+
+  /// Uniformly random field element.
+  gf2::Poly random_element(Prng& rng) const;
+
+  /// Reduction rows: row k-m is x^k mod P(x), for k in [m, 2m-1).
+  /// Row 0 (x^m mod P) equals P(x) - x^m, i.e. exactly the terms Theorem 3
+  /// recovers.
+  const std::vector<gf2::Poly>& reduction_rows() const {
+    return reduction_rows_;
+  }
+
+  /// XOR cost of the reduction step in a product-then-reduce multiplier:
+  /// the sum of reduction-row weights.  Reproduces the Figure 1 counting
+  /// (x^4+x^3+1 -> 9, x^4+x+1 -> 6).
+  unsigned reduction_xor_count() const;
+
+  /// Human-readable name, e.g. "GF(2^233) / x^233+x^74+1".
+  std::string to_string() const;
+
+ private:
+  gf2::Poly p_;
+  unsigned m_;
+  std::vector<gf2::Poly> reduction_rows_;
+};
+
+}  // namespace gfre::gf2m

@@ -1,0 +1,41 @@
+#include "gf2m/montgomery.hpp"
+
+#include "util/error.hpp"
+
+namespace gfre::gf2m {
+
+using gf2::Poly;
+
+Montgomery::Montgomery(const Field& field) : field_(&field) {
+  const unsigned m = field.m();
+  r2_ = Poly::monomial(2 * m).mod(field.modulus());
+  r_inv_ = field.inverse(Poly::monomial(m).mod(field.modulus()));
+}
+
+Poly Montgomery::mont_pro(const Poly& a, const Poly& b) const {
+  const Field& f = *field_;
+  GFRE_ASSERT(f.contains(a) && f.contains(b),
+              "MontPro operand outside " << f.to_string());
+  // Bit-serial: z accumulates sum(a_i * b * x^(i-m)); each round adds a_i*b,
+  // clears the constant term with a conditional +P, then divides by x.
+  Poly z;
+  for (unsigned i = 0; i < f.m(); ++i) {
+    if (a.coeff(i)) z += b;
+    if (z.coeff(0)) z += f.modulus();
+    z = z >> 1;
+  }
+  GFRE_ASSERT(f.contains(z), "MontPro result escaped the field");
+  return z;
+}
+
+Poly Montgomery::to_mont(const Poly& a) const { return mont_pro(a, r2_); }
+
+Poly Montgomery::from_mont(const Poly& a) const {
+  return mont_pro(a, Poly::one());
+}
+
+Poly Montgomery::mul(const Poly& a, const Poly& b) const {
+  return mont_pro(mont_pro(a, b), r2_);
+}
+
+}  // namespace gfre::gf2m

@@ -1,0 +1,50 @@
+// Word-level Montgomery arithmetic over GF(2^m).
+//
+// Montgomery multiplication computes MontPro(a, b) = a*b*x^(-m) mod P(x)
+// without a full-width reduction; an ordinary product a*b mod P is obtained
+// by a second MontPro against the precomputed constant R^2 = x^(2m) mod P.
+// This reference model is the functional spec for the gate-level Montgomery
+// generator (the Table II / Table III circuits) and the basis for the raw
+// a*b*x^(-m) recovery extension in core.
+#pragma once
+
+#include "gf2m/field.hpp"
+#include "gf2poly/gf2_poly.hpp"
+
+namespace gfre::gf2m {
+
+/// Montgomery context bound to a field (radix R = x^m).
+class Montgomery {
+ public:
+  explicit Montgomery(const Field& field);
+
+  const Field& field() const { return *field_; }
+
+  /// R^2 = x^(2m) mod P — the domain-conversion constant.
+  const gf2::Poly& r_squared() const { return r2_; }
+
+  /// x^(-m) mod P.
+  const gf2::Poly& r_inverse() const { return r_inv_; }
+
+  /// MontPro(a, b) = a * b * x^(-m) mod P, computed with the bit-serial
+  /// algorithm (interleaved conditional adds of P and divisions by x) —
+  /// the same dataflow the gate-level generator unrolls.
+  gf2::Poly mont_pro(const gf2::Poly& a, const gf2::Poly& b) const;
+
+  /// a -> a * x^m mod P (into the Montgomery domain).
+  gf2::Poly to_mont(const gf2::Poly& a) const;
+
+  /// a -> a * x^(-m) mod P (out of the Montgomery domain).
+  gf2::Poly from_mont(const gf2::Poly& a) const;
+
+  /// Ordinary product a*b mod P via two MontPro steps — the function the
+  /// paper's flattened Montgomery multipliers implement end to end.
+  gf2::Poly mul(const gf2::Poly& a, const gf2::Poly& b) const;
+
+ private:
+  const Field* field_;
+  gf2::Poly r2_;
+  gf2::Poly r_inv_;
+};
+
+}  // namespace gfre::gf2m

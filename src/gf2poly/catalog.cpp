@@ -1,0 +1,86 @@
+#include "gf2poly/catalog.hpp"
+
+#include <algorithm>
+
+#include "gf2poly/irreducible.hpp"
+#include "util/error.hpp"
+
+namespace gfre::gf2 {
+
+const std::vector<CatalogEntry>& paper_table_polynomials() {
+  static const std::vector<CatalogEntry> entries = {
+      {"GF(2^64)", 64, Poly{64, 21, 19, 4, 0}},
+      {"GF(2^96)", 96, Poly{96, 44, 7, 2, 0}},
+      {"GF(2^163)", 163, Poly{163, 80, 47, 9, 0}},
+      {"NIST K-233", 233, Poly{233, 74, 0}},
+      {"NIST B-283", 283, Poly{283, 12, 7, 5, 0}},
+      {"NIST K-409", 409, Poly{409, 87, 0}},
+      {"NIST B-571", 571, Poly{571, 10, 5, 2, 0}},
+  };
+  return entries;
+}
+
+const CatalogEntry& paper_polynomial(unsigned m) {
+  for (const auto& e : paper_table_polynomials()) {
+    if (e.m == m) return e;
+  }
+  throw InvalidArgument("no paper catalog polynomial for m=" +
+                        std::to_string(m));
+}
+
+bool has_paper_polynomial(unsigned m) {
+  const auto& entries = paper_table_polynomials();
+  return std::any_of(entries.begin(), entries.end(),
+                     [m](const CatalogEntry& e) { return e.m == m; });
+}
+
+const std::vector<CatalogEntry>& architecture_polynomials_233() {
+  static const std::vector<CatalogEntry> entries = {
+      {"Intel-Pentium", 233, Poly{233, 201, 105, 9, 0}},
+      {"ARM", 233, Poly{233, 159, 0}},
+      {"MSP430", 233, Poly{233, 185, 121, 105, 0}},
+      {"NIST-recommended", 233, Poly{233, 74, 0}},
+  };
+  return entries;
+}
+
+std::vector<CatalogEntry> contrasting_polynomials(unsigned m) {
+  std::vector<CatalogEntry> out;
+  const auto tris = irreducible_trinomials(m);
+  if (!tris.empty()) {
+    out.push_back({"low-trinomial", m, Poly{m, tris.front(), 0}});
+    if (tris.back() != tris.front()) {
+      out.push_back({"high-trinomial", m, Poly{m, tris.back(), 0}});
+    }
+  }
+  // Low pentanomial: lexicographically smallest.
+  if (auto p = first_irreducible_pentanomial(m)) {
+    out.push_back({"low-pentanomial", m, *p});
+  }
+  // Spread pentanomial: terms pushed toward the top, which maximizes
+  // overlap between reduction rows (the "Pentium-like" expensive shape).
+  for (unsigned a = m - 1; a >= 3 && out.size() < 4; --a) {
+    bool found = false;
+    for (unsigned b = a - 1; b >= 2 && !found; --b) {
+      for (unsigned c = b - 1; c >= 1 && !found; --c) {
+        Poly p{m, a, b, c, 0};
+        if (is_irreducible(p)) {
+          const bool duplicate =
+              std::any_of(out.begin(), out.end(),
+                          [&](const CatalogEntry& e) { return e.p == p; });
+          if (!duplicate) {
+            out.push_back({"high-pentanomial", m, p});
+            found = true;
+          }
+        }
+        if (c == 1) break;
+      }
+      if (b == 2) break;
+    }
+    if (found) break;
+    if (a == 3) break;
+  }
+  return out;
+}
+
+}  // namespace gfre::gf2

@@ -1,0 +1,46 @@
+// Catalog of the irreducible polynomials used in the paper's evaluation.
+//
+// Tables I-III use one polynomial per bit-width (the paper labels them
+// "NIST-recommended"; some are the NIST curve polynomials, others come from
+// the Lv/Kalla benchmark suite).  Table IV uses the architecture-optimal
+// GF(2^233) polynomials from Scott'07 (Intel-Pentium / ARM / MSP430) plus
+// the NIST trinomial.  Every entry is validated with Rabin's test in the
+// unit suite and at bench startup.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gf2poly/gf2_poly.hpp"
+
+namespace gfre::gf2 {
+
+/// One catalog entry: a named irreducible polynomial.
+struct CatalogEntry {
+  std::string name;  ///< e.g. "NIST-233" or "Intel-Pentium".
+  unsigned m;        ///< field degree.
+  Poly p;            ///< the irreducible polynomial.
+};
+
+/// The per-bit-width polynomials of Tables I-III
+/// (m = 64, 96, 163, 233, 283, 409, 571).
+const std::vector<CatalogEntry>& paper_table_polynomials();
+
+/// The paper's polynomial for a given bit-width; throws InvalidArgument if
+/// the width is not in the catalog.
+const CatalogEntry& paper_polynomial(unsigned m);
+
+/// True if the paper's tables list a polynomial for this bit-width.
+bool has_paper_polynomial(unsigned m);
+
+/// Table IV: architecture-optimal GF(2^233) polynomials
+/// (Intel-Pentium, ARM, MSP430, NIST-recommended).
+const std::vector<CatalogEntry>& architecture_polynomials_233();
+
+/// Scaled-down analog of Table IV for quick runs: four contrasting
+/// irreducible polynomials of the given degree (one low trinomial, one high
+/// trinomial/reciprocal, one low pentanomial, one spread pentanomial).
+/// Falls back to fewer entries when the degree admits fewer shapes.
+std::vector<CatalogEntry> contrasting_polynomials(unsigned m);
+
+}  // namespace gfre::gf2

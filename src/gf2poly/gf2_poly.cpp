@@ -1,0 +1,356 @@
+#include "gf2poly/gf2_poly.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace gfre::gf2 {
+
+namespace {
+constexpr unsigned kWordBits = 64;
+
+inline std::size_t word_index(unsigned bit) { return bit / kWordBits; }
+inline unsigned bit_index(unsigned bit) { return bit % kWordBits; }
+
+/// Spreads the low 32 bits of x so bit i lands at position 2i (square of a
+/// GF(2) polynomial doubles every exponent).
+inline std::uint64_t spread_bits(std::uint32_t x) {
+  std::uint64_t v = x;
+  v = (v | (v << 16)) & 0x0000ffff0000ffffull;
+  v = (v | (v << 8)) & 0x00ff00ff00ff00ffull;
+  v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0full;
+  v = (v | (v << 2)) & 0x3333333333333333ull;
+  v = (v | (v << 1)) & 0x5555555555555555ull;
+  return v;
+}
+}  // namespace
+
+Poly::Poly(std::initializer_list<unsigned> degrees) {
+  for (unsigned d : degrees) flip_coeff(d);
+}
+
+Poly Poly::monomial(unsigned degree) {
+  Poly p;
+  p.set_coeff(degree, true);
+  return p;
+}
+
+Poly Poly::from_degrees(const std::vector<unsigned>& degrees) {
+  Poly p;
+  for (unsigned d : degrees) p.flip_coeff(d);
+  return p;
+}
+
+int Poly::degree() const {
+  if (words_.empty()) return -1;
+  const std::uint64_t top = words_.back();
+  return static_cast<int>((words_.size() - 1) * kWordBits +
+                          (kWordBits - 1 - std::countl_zero(top)));
+}
+
+bool Poly::coeff(unsigned i) const {
+  const std::size_t w = word_index(i);
+  if (w >= words_.size()) return false;
+  return ((words_[w] >> bit_index(i)) & 1ull) != 0;
+}
+
+void Poly::set_coeff(unsigned i, bool value) {
+  const std::size_t w = word_index(i);
+  if (value) {
+    if (w >= words_.size()) words_.resize(w + 1, 0);
+    words_[w] |= (1ull << bit_index(i));
+  } else if (w < words_.size()) {
+    words_[w] &= ~(1ull << bit_index(i));
+    normalize();
+  }
+}
+
+void Poly::flip_coeff(unsigned i) {
+  const std::size_t w = word_index(i);
+  if (w >= words_.size()) words_.resize(w + 1, 0);
+  words_[w] ^= (1ull << bit_index(i));
+  normalize();
+}
+
+unsigned Poly::weight() const {
+  unsigned total = 0;
+  for (std::uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+std::vector<unsigned> Poly::support() const {
+  std::vector<unsigned> degrees;
+  degrees.reserve(weight());
+  for (std::size_t w = words_.size(); w-- > 0;) {
+    std::uint64_t word = words_[w];
+    while (word != 0) {
+      const unsigned bit = kWordBits - 1 - std::countl_zero(word);
+      degrees.push_back(static_cast<unsigned>(w * kWordBits + bit));
+      word &= ~(1ull << bit);
+    }
+  }
+  return degrees;
+}
+
+Poly Poly::operator+(const Poly& rhs) const {
+  Poly out = *this;
+  out += rhs;
+  return out;
+}
+
+Poly& Poly::operator+=(const Poly& rhs) {
+  if (rhs.words_.size() > words_.size()) words_.resize(rhs.words_.size(), 0);
+  for (std::size_t i = 0; i < rhs.words_.size(); ++i) {
+    words_[i] ^= rhs.words_[i];
+  }
+  normalize();
+  return *this;
+}
+
+Poly Poly::operator*(const Poly& rhs) const {
+  if (is_zero() || rhs.is_zero()) return {};
+  Poly out;
+  out.words_.assign(words_.size() + rhs.words_.size(), 0);
+  // Schoolbook shift-and-xor over set bits of the smaller operand.
+  const Poly& a = (weight() <= rhs.weight()) ? *this : rhs;
+  const Poly& b = (weight() <= rhs.weight()) ? rhs : *this;
+  for (std::size_t w = 0; w < a.words_.size(); ++w) {
+    std::uint64_t word = a.words_[w];
+    while (word != 0) {
+      const unsigned bit = std::countr_zero(word);
+      word &= word - 1;
+      const unsigned shift = static_cast<unsigned>(w * kWordBits + bit);
+      const unsigned word_shift = shift / kWordBits;
+      const unsigned bit_shift = shift % kWordBits;
+      for (std::size_t i = 0; i < b.words_.size(); ++i) {
+        out.words_[i + word_shift] ^= b.words_[i] << bit_shift;
+        if (bit_shift != 0) {
+          out.words_[i + word_shift + 1] ^=
+              b.words_[i] >> (kWordBits - bit_shift);
+        }
+      }
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+Poly Poly::operator<<(unsigned k) const {
+  if (is_zero() || k == 0) {
+    Poly out = *this;
+    return out;
+  }
+  Poly out;
+  const unsigned word_shift = k / kWordBits;
+  const unsigned bit_shift = k % kWordBits;
+  out.words_.assign(words_.size() + word_shift + 1, 0);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i + word_shift] ^= words_[i] << bit_shift;
+    if (bit_shift != 0) {
+      out.words_[i + word_shift + 1] ^= words_[i] >> (kWordBits - bit_shift);
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+Poly Poly::operator>>(unsigned k) const {
+  if (k == 0) return *this;
+  const int deg = degree();
+  if (deg < 0 || static_cast<unsigned>(deg) < k) return {};
+  Poly out;
+  const unsigned word_shift = k / kWordBits;
+  const unsigned bit_shift = k % kWordBits;
+  out.words_.assign(words_.size() - word_shift, 0);
+  for (std::size_t i = word_shift; i < words_.size(); ++i) {
+    out.words_[i - word_shift] |= words_[i] >> bit_shift;
+    if (bit_shift != 0 && i + 1 < words_.size()) {
+      out.words_[i - word_shift] |= words_[i + 1] << (kWordBits - bit_shift);
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+bool Poly::operator<(const Poly& rhs) const {
+  if (words_.size() != rhs.words_.size()) {
+    return words_.size() < rhs.words_.size();
+  }
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    if (words_[i] != rhs.words_[i]) return words_[i] < rhs.words_[i];
+  }
+  return false;
+}
+
+Poly Poly::square() const {
+  Poly out;
+  out.words_.assign(words_.size() * 2, 0);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    out.words_[2 * i] = spread_bits(static_cast<std::uint32_t>(words_[i]));
+    out.words_[2 * i + 1] =
+        spread_bits(static_cast<std::uint32_t>(words_[i] >> 32));
+  }
+  out.normalize();
+  return out;
+}
+
+DivMod Poly::divmod(const Poly& divisor) const {
+  GFRE_ASSERT(!divisor.is_zero(), "division by zero polynomial");
+  DivMod result;
+  result.remainder = *this;
+  const int d_deg = divisor.degree();
+  int r_deg = result.remainder.degree();
+  while (r_deg >= d_deg) {
+    const unsigned shift = static_cast<unsigned>(r_deg - d_deg);
+    result.quotient.flip_coeff(shift);
+    result.remainder += divisor << shift;
+    r_deg = result.remainder.degree();
+  }
+  return result;
+}
+
+Poly Poly::mod(const Poly& divisor) const {
+  GFRE_ASSERT(!divisor.is_zero(), "division by zero polynomial");
+  Poly r = *this;
+  const int d_deg = divisor.degree();
+  int r_deg = r.degree();
+  while (r_deg >= d_deg) {
+    r += divisor << static_cast<unsigned>(r_deg - d_deg);
+    r_deg = r.degree();
+  }
+  return r;
+}
+
+Poly Poly::gcd(Poly a, Poly b) {
+  while (!b.is_zero()) {
+    Poly r = a.mod(b);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+Poly Poly::mulmod(const Poly& a, const Poly& b, const Poly& p) {
+  return (a * b).mod(p);
+}
+
+Poly Poly::pow2k_mod(const Poly& a, unsigned k, const Poly& p) {
+  Poly x = a.mod(p);
+  for (unsigned i = 0; i < k; ++i) {
+    x = x.square().mod(p);
+  }
+  return x;
+}
+
+Poly Poly::reciprocal() const {
+  const int deg = degree();
+  if (deg <= 0) return *this;
+  Poly out;
+  for (unsigned d : support()) {
+    out.flip_coeff(static_cast<unsigned>(deg) - d);
+  }
+  return out;
+}
+
+bool Poly::eval(bool x) const {
+  if (!x) return coeff(0);
+  return (weight() & 1u) != 0;
+}
+
+std::string Poly::to_string() const {
+  if (is_zero()) return "0";
+  std::ostringstream oss;
+  bool first = true;
+  for (unsigned d : support()) {
+    if (!first) oss << "+";
+    first = false;
+    if (d == 0) {
+      oss << "1";
+    } else if (d == 1) {
+      oss << "x";
+    } else {
+      oss << "x^" << d;
+    }
+  }
+  return oss.str();
+}
+
+std::string Poly::to_paper_string() const {
+  if (is_zero()) return "0";
+  std::ostringstream oss;
+  bool first = true;
+  for (unsigned d : support()) {
+    if (!first) oss << "+";
+    first = false;
+    if (d == 0) {
+      oss << "1";
+    } else {
+      oss << "x" << d;
+    }
+  }
+  return oss.str();
+}
+
+Poly Poly::parse(const std::string& text) {
+  Poly out;
+  std::size_t i = 0;
+  const auto fail = [&](const std::string& why) -> void {
+    throw InvalidArgument("cannot parse polynomial '" + text + "': " + why);
+  };
+  auto skip_space = [&] {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  };
+  skip_space();
+  if (i >= text.size()) fail("empty input");
+  bool saw_term = false;
+  while (i < text.size()) {
+    skip_space();
+    if (saw_term) {
+      if (i >= text.size()) break;
+      if (text[i] != '+') fail("expected '+'");
+      ++i;
+      skip_space();
+    }
+    if (i >= text.size()) fail("trailing '+'");
+    if (text[i] == 'x' || text[i] == 'X') {
+      ++i;
+      if (i < text.size() && text[i] == '^') ++i;
+      if (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+        unsigned deg = 0;
+        while (i < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[i]))) {
+          deg = deg * 10 + static_cast<unsigned>(text[i] - '0');
+          ++i;
+        }
+        out.flip_coeff(deg);
+      } else {
+        out.flip_coeff(1);  // bare "x"
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(text[i]))) {
+      unsigned val = 0;
+      while (i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i]))) {
+        val = val * 10 + static_cast<unsigned>(text[i] - '0');
+        ++i;
+      }
+      if (val == 1) {
+        out.flip_coeff(0);
+      } else if (val != 0) {
+        fail("constants must be 0 or 1 over GF(2)");
+      }
+    } else {
+      fail(std::string("unexpected character '") + text[i] + "'");
+    }
+    saw_term = true;
+  }
+  return out;
+}
+
+void Poly::normalize() {
+  while (!words_.empty() && words_.back() == 0) words_.pop_back();
+}
+
+}  // namespace gfre::gf2

@@ -1,0 +1,134 @@
+// Dense univariate polynomials over GF(2).
+//
+// This is the scalar algebra underneath everything in the library: field
+// construction (irreducible P(x)), reduction matrices x^k mod P(x), the
+// word-level GF(2^m) reference multiplier, and the polynomial catalog used
+// by the paper's experiments.
+//
+// Representation: bit i of the word array is the coefficient of x^i
+// (little-endian).  The value is kept normalized (no trailing zero words),
+// so degree() is O(1) after any operation.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace gfre::gf2 {
+
+class Poly;
+
+/// Quotient and remainder of a polynomial division.
+struct DivMod;
+
+/// Polynomial over GF(2) with dense bit-packed coefficients.
+class Poly {
+ public:
+  /// The zero polynomial.
+  Poly() = default;
+
+  /// Polynomial with exactly the given term degrees, e.g. {4,1,0} is
+  /// x^4 + x + 1.  Duplicate degrees cancel (mod-2 semantics).
+  Poly(std::initializer_list<unsigned> degrees);
+
+  /// x^degree.
+  static Poly monomial(unsigned degree);
+
+  /// The constant 1.
+  static Poly one() { return monomial(0); }
+
+  /// Builds a polynomial from a list of term degrees (duplicates cancel).
+  static Poly from_degrees(const std::vector<unsigned>& degrees);
+
+  /// Parses "x^233+x^74+1", "x233+x74+1", "x^4 + x + 1", "0", or "1".
+  /// Throws InvalidArgument on malformed input.
+  static Poly parse(const std::string& text);
+
+  /// Degree of the polynomial; -1 for the zero polynomial.
+  int degree() const;
+
+  bool is_zero() const { return words_.empty(); }
+  bool is_one() const { return words_.size() == 1 && words_[0] == 1; }
+
+  /// Coefficient of x^i.
+  bool coeff(unsigned i) const;
+
+  /// Sets the coefficient of x^i.
+  void set_coeff(unsigned i, bool value);
+
+  /// Toggles the coefficient of x^i (add x^i).
+  void flip_coeff(unsigned i);
+
+  /// Number of nonzero terms.
+  unsigned weight() const;
+
+  /// Degrees of all nonzero terms, descending (e.g. {233, 74, 0}).
+  std::vector<unsigned> support() const;
+
+  /// True if the polynomial is x^m + x^a + 1 (weight 3).
+  bool is_trinomial() const { return weight() == 3 && coeff(0); }
+
+  /// True if the polynomial is a pentanomial with constant term (weight 5).
+  bool is_pentanomial() const { return weight() == 5 && coeff(0); }
+
+  // -- Ring operations (characteristic 2: addition == subtraction) --------
+  Poly operator+(const Poly& rhs) const;
+  Poly& operator+=(const Poly& rhs);
+  Poly operator*(const Poly& rhs) const;
+  Poly operator<<(unsigned k) const;  ///< multiply by x^k
+  Poly operator>>(unsigned k) const;  ///< divide by x^k, dropping low terms
+
+  bool operator==(const Poly& rhs) const { return words_ == rhs.words_; }
+  bool operator!=(const Poly& rhs) const { return !(*this == rhs); }
+  /// Lexicographic on coefficient bits from the top; gives a total order
+  /// suitable for std::map / sorting catalogs.
+  bool operator<(const Poly& rhs) const;
+
+  /// Squaring (linear over GF(2): just bit spreading), faster than (*this)*(*this).
+  Poly square() const;
+
+  /// Quotient and remainder of *this by divisor (divisor != 0).
+  DivMod divmod(const Poly& divisor) const;
+
+  /// Remainder of *this modulo divisor.
+  Poly mod(const Poly& divisor) const;
+
+  /// Greatest common divisor (monic by construction over GF(2)).
+  static Poly gcd(Poly a, Poly b);
+
+  /// (a * b) mod p.
+  static Poly mulmod(const Poly& a, const Poly& b, const Poly& p);
+
+  /// a^(2^k) mod p via repeated squaring.
+  static Poly pow2k_mod(const Poly& a, unsigned k, const Poly& p);
+
+  /// Reciprocal polynomial x^deg * P(1/x).  The reciprocal of an
+  /// irreducible polynomial is irreducible (used to cross-check the
+  /// catalog: ARM x^233+x^159+1 is the reciprocal of NIST x^233+x^74+1).
+  Poly reciprocal() const;
+
+  /// Evaluates at a point of GF(2) (0 or 1): parity of coefficients.
+  bool eval(bool x) const;
+
+  /// Renders as "x^233+x^74+1" (or "0"/"1").
+  std::string to_string() const;
+
+  /// Renders without carets, as printed in the paper: "x233+x74+1".
+  std::string to_paper_string() const;
+
+  /// Internal word storage (read-only view, little-endian 64-bit words).
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  void normalize();
+
+  std::vector<std::uint64_t> words_;
+};
+
+struct DivMod {
+  Poly quotient;
+  Poly remainder;
+};
+
+}  // namespace gfre::gf2

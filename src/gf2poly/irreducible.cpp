@@ -1,0 +1,93 @@
+#include "gf2poly/irreducible.hpp"
+
+#include "util/error.hpp"
+
+namespace gfre::gf2 {
+
+bool is_irreducible(const Poly& p) {
+  const int deg = p.degree();
+  if (deg <= 0) return false;
+  if (deg == 1) return true;  // x and x+1
+  // A polynomial without constant term is divisible by x.
+  if (!p.coeff(0)) return false;
+  const unsigned m = static_cast<unsigned>(deg);
+
+  const Poly x = Poly::monomial(1);
+  // x^(2^m) mod p must equal x.
+  if (Poly::pow2k_mod(x, m, p) != x) return false;
+  // For each prime divisor q of m: gcd(x^(2^(m/q)) - x, p) == 1.
+  for (std::uint64_t q : distinct_prime_factors(m)) {
+    const unsigned k = m / static_cast<unsigned>(q);
+    Poly t = Poly::pow2k_mod(x, k, p) + x;  // subtraction == addition
+    if (Poly::gcd(p, t).degree() != 0) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> distinct_prime_factors(std::uint64_t n) {
+  GFRE_ASSERT(n >= 1, "factorization of zero requested");
+  std::vector<std::uint64_t> factors;
+  for (std::uint64_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) {
+      factors.push_back(d);
+      while (n % d == 0) n /= d;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  return factors;
+}
+
+std::vector<unsigned> irreducible_trinomials(unsigned m) {
+  std::vector<unsigned> result;
+  if (m < 2) return result;
+  for (unsigned a = 1; a < m; ++a) {
+    if (is_irreducible(Poly{m, a, 0})) result.push_back(a);
+  }
+  return result;
+}
+
+std::optional<Poly> first_irreducible_pentanomial(unsigned m) {
+  if (m < 4) return std::nullopt;
+  for (unsigned a = 3; a < m; ++a) {
+    for (unsigned b = 2; b < a; ++b) {
+      for (unsigned c = 1; c < b; ++c) {
+        Poly p{m, a, b, c, 0};
+        if (is_irreducible(p)) return p;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Poly default_irreducible(unsigned m) {
+  GFRE_ASSERT(m >= 2, "fields need degree >= 2, got " << m);
+  const auto trinomials = irreducible_trinomials(m);
+  if (!trinomials.empty()) {
+    return Poly{m, trinomials.front(), 0};
+  }
+  const auto penta = first_irreducible_pentanomial(m);
+  GFRE_ASSERT(penta.has_value(),
+              "no irreducible tri/pentanomial of degree " << m);
+  return *penta;
+}
+
+std::vector<Poly> all_irreducible(unsigned m) {
+  GFRE_ASSERT(m >= 1 && m <= 24,
+              "exhaustive enumeration is intended for small m, got " << m);
+  std::vector<Poly> result;
+  // Candidates have the x^m term, the constant term (else divisible by x),
+  // and odd weight (else divisible by x+1) — except degree 1.
+  const std::uint64_t interior = (m >= 1) ? (1ull << (m - 1)) : 1;
+  for (std::uint64_t mid = 0; mid < interior; ++mid) {
+    Poly p;
+    p.set_coeff(m, true);
+    p.set_coeff(0, true);
+    for (unsigned b = 1; b < m; ++b) {
+      if ((mid >> (b - 1)) & 1ull) p.set_coeff(b, true);
+    }
+    if (is_irreducible(p)) result.push_back(p);
+  }
+  return result;
+}
+
+}  // namespace gfre::gf2

@@ -1,0 +1,49 @@
+// Irreducibility testing and irreducible-polynomial search over GF(2).
+//
+// The paper's whole premise is that many irreducible polynomials exist per
+// field size (Section II-D): trinomials x^m+x^a+1 when available, otherwise
+// pentanomials.  This module provides:
+//   * Rabin's irreducibility test (exact, works to degree 571+ instantly),
+//   * exhaustive trinomial enumeration,
+//   * lexicographic pentanomial search,
+// used by the generators, the property-test sweeps, and catalog validation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gf2poly/gf2_poly.hpp"
+
+namespace gfre::gf2 {
+
+/// Rabin's irreducibility test.
+///
+/// P of degree m is irreducible over GF(2) iff
+///   x^(2^m) == x (mod P), and
+///   gcd(x^(2^(m/q)) - x, P) == 1 for every prime divisor q of m.
+bool is_irreducible(const Poly& p);
+
+/// Prime factorization of n (n >= 1), ascending, with multiplicity removed.
+std::vector<std::uint64_t> distinct_prime_factors(std::uint64_t n);
+
+/// All a in (0, m) such that x^m + x^a + 1 is irreducible, ascending.
+/// Empty when no irreducible trinomial of degree m exists (e.g. m = 8).
+std::vector<unsigned> irreducible_trinomials(unsigned m);
+
+/// The lexicographically smallest irreducible pentanomial
+/// x^m + x^a + x^b + x^c + 1 with m > a > b > c > 0 (smallest (a,b,c)).
+/// Returns nullopt only if none exists (believed never for m >= 4).
+std::optional<Poly> first_irreducible_pentanomial(unsigned m);
+
+/// The "default" irreducible polynomial for degree m, mirroring the NIST
+/// convention the paper cites: the trinomial with smallest middle term if
+/// one exists, otherwise the smallest pentanomial.  m >= 2.
+Poly default_irreducible(unsigned m);
+
+/// Every irreducible polynomial of degree m with constant term, found by
+/// exhaustive enumeration.  Intended for small m (property-test sweeps);
+/// cost is O(2^m) Rabin tests.
+std::vector<Poly> all_irreducible(unsigned m);
+
+}  // namespace gfre::gf2

@@ -1,0 +1,383 @@
+#include "netlist/io_blif.hpp"
+
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace gfre::nl {
+
+namespace {
+
+// -- Writing ---------------------------------------------------------------
+
+/// Emits the SOP cover of a cell.  Rows are over the gate's inputs in order;
+/// the final column is the output value.
+void write_cover(std::ostream& out, const Gate& gate) {
+  const std::size_t n = gate.inputs.size();
+  switch (gate.type) {
+    case CellType::Const0:
+      // Empty cover = constant 0.
+      return;
+    case CellType::Const1:
+      out << "1\n";
+      return;
+    case CellType::Buf:
+      out << "1 1\n";
+      return;
+    case CellType::Inv:
+      out << "0 1\n";
+      return;
+    case CellType::And:
+      out << std::string(n, '1') << " 1\n";
+      return;
+    case CellType::Nand:
+      out << std::string(n, '1') << " 0\n";
+      return;
+    case CellType::Or:
+      for (std::size_t i = 0; i < n; ++i) {
+        std::string row(n, '-');
+        row[i] = '1';
+        out << row << " 1\n";
+      }
+      return;
+    case CellType::Nor:
+      out << std::string(n, '0') << " 1\n";
+      return;
+    default:
+      break;
+  }
+  // Generic fallback: enumerate the truth table rows evaluating to 1.
+  GFRE_ASSERT(n <= 8, "cover enumeration too wide");
+  std::array<bool, 8> in{};
+  for (std::size_t row = 0; row < (std::size_t{1} << n); ++row) {
+    for (std::size_t i = 0; i < n; ++i) in[i] = (row >> i) & 1;
+    if (eval_cell(gate.type, std::span<const bool>(in.data(), n))) {
+      std::string bits(n, '0');
+      for (std::size_t i = 0; i < n; ++i) {
+        if (in[i]) bits[i] = '1';
+      }
+      out << bits << " 1\n";
+    }
+  }
+}
+
+// -- Reading ---------------------------------------------------------------
+
+struct NamesNode {
+  std::vector<std::string> signals;  // inputs..., output last
+  std::vector<std::string> rows;     // cover rows like "1-0 1"
+  int line;
+};
+
+struct RawBlif {
+  std::string model = "top";
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<NamesNode> nodes;
+};
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream iss(line);
+  std::string token;
+  while (iss >> token) tokens.push_back(token);
+  return tokens;
+}
+
+RawBlif scan(const std::string& text, const std::string& filename) {
+  RawBlif raw;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  std::string pending;  // handles "\" continuations
+  int pending_line = 0;
+  NamesNode* current = nullptr;
+
+  auto process = [&](const std::string& full, int at_line) {
+    if (full.empty()) return;
+    if (full[0] == '#') return;
+    auto tokens = split_ws(full);
+    if (tokens.empty()) return;
+    const std::string& keyword = tokens[0];
+    if (keyword == ".model") {
+      if (tokens.size() >= 2) raw.model = tokens[1];
+      current = nullptr;
+    } else if (keyword == ".inputs") {
+      raw.inputs.insert(raw.inputs.end(), tokens.begin() + 1, tokens.end());
+      current = nullptr;
+    } else if (keyword == ".outputs") {
+      raw.outputs.insert(raw.outputs.end(), tokens.begin() + 1, tokens.end());
+      current = nullptr;
+    } else if (keyword == ".names") {
+      NamesNode node;
+      node.signals.assign(tokens.begin() + 1, tokens.end());
+      node.line = at_line;
+      if (node.signals.empty()) {
+        throw ParseError(filename, at_line, ".names without signals");
+      }
+      raw.nodes.push_back(std::move(node));
+      current = &raw.nodes.back();
+    } else if (keyword == ".end") {
+      current = nullptr;
+    } else if (keyword[0] == '.') {
+      throw ParseError(filename, at_line,
+                       "unsupported BLIF construct '" + keyword + "'");
+    } else {
+      if (current == nullptr) {
+        throw ParseError(filename, at_line, "cover row outside .names");
+      }
+      current->rows.push_back(full);
+    }
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty() && line.back() == '\\') {
+      if (pending.empty()) pending_line = line_no;
+      pending += line.substr(0, line.size() - 1) + " ";
+      continue;
+    }
+    if (!pending.empty()) {
+      process(pending + line, pending_line);
+      pending.clear();
+    } else {
+      process(line, line_no);
+    }
+  }
+  if (!pending.empty()) process(pending, pending_line);
+  return raw;
+}
+
+/// Builds gates for one .names node once all its inputs exist.
+void synthesize_node(Netlist& netlist, const NamesNode& node,
+                     const std::string& filename,
+                     std::unordered_map<Var, Var>& inv_cache) {
+  const std::size_t n = node.signals.size() - 1;
+  const std::string& out_name = node.signals.back();
+
+  std::vector<Var> inputs;
+  inputs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = netlist.find_var(node.signals[i]);
+    GFRE_ASSERT(v.has_value(), "blif node input should exist by now");
+    inputs.push_back(*v);
+  }
+
+  auto inverted = [&](Var v) -> Var {
+    const auto it = inv_cache.find(v);
+    if (it != inv_cache.end()) return it->second;
+    const Var inv = netlist.add_gate(CellType::Inv, {v});
+    inv_cache.emplace(v, inv);
+    return inv;
+  };
+
+  // Parse rows into (mask, polarity) pairs.
+  struct Row {
+    std::string bits;
+    bool value;
+  };
+  std::vector<Row> rows;
+  for (const auto& text : node.rows) {
+    auto tokens = split_ws(text);
+    if (n == 0) {
+      if (tokens.size() != 1 || (tokens[0] != "0" && tokens[0] != "1")) {
+        throw ParseError(filename, node.line, "bad constant cover row");
+      }
+      rows.push_back(Row{"", tokens[0] == "1"});
+      continue;
+    }
+    if (tokens.size() != 2 || tokens[0].size() != n ||
+        (tokens[1] != "0" && tokens[1] != "1")) {
+      throw ParseError(filename, node.line, "bad cover row '" + text + "'");
+    }
+    rows.push_back(Row{tokens[0], tokens[1] == "1"});
+  }
+
+  // All rows must share one output polarity (standard BLIF).
+  bool polarity = true;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i == 0) {
+      polarity = rows[i].value;
+    } else if (rows[i].value != polarity) {
+      throw ParseError(filename, node.line, "mixed cover polarities");
+    }
+  }
+
+  if (rows.empty()) {
+    netlist.add_gate(CellType::Const0, {}, out_name);
+    return;
+  }
+  if (n == 0) {
+    netlist.add_gate(polarity ? CellType::Const1 : CellType::Const0, {},
+                     out_name);
+    return;
+  }
+
+  // Each row -> product term; OR of terms; invert if polarity is 0.
+  std::vector<Var> terms;
+  for (const auto& row : rows) {
+    std::vector<Var> literals;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (row.bits[i] == '1') {
+        literals.push_back(inputs[i]);
+      } else if (row.bits[i] == '0') {
+        literals.push_back(inverted(inputs[i]));
+      } else if (row.bits[i] != '-') {
+        throw ParseError(filename, node.line,
+                         "bad cover literal '" + row.bits + "'");
+      }
+    }
+    if (literals.empty()) {
+      // Row of all don't-cares: tautology.
+      terms.push_back(netlist.add_gate(CellType::Const1, {}));
+    } else if (literals.size() == 1) {
+      terms.push_back(literals[0]);
+    } else {
+      terms.push_back(netlist.add_gate(CellType::And, literals));
+    }
+  }
+
+  // OR chain (bounded arity); final gate carries the node's output name.
+  auto reduce_or = [&](std::vector<Var> operands, const std::string& name,
+                       bool invert) -> Var {
+    while (operands.size() > 4) {
+      std::vector<Var> next;
+      for (std::size_t i = 0; i < operands.size(); i += 4) {
+        const std::size_t chunk = std::min<std::size_t>(4, operands.size() - i);
+        if (chunk == 1) {
+          next.push_back(operands[i]);
+        } else {
+          next.push_back(netlist.add_gate(
+              CellType::Or,
+              std::vector<Var>(operands.begin() + i,
+                               operands.begin() + i + chunk)));
+        }
+      }
+      operands = std::move(next);
+    }
+    if (operands.size() == 1) {
+      return netlist.add_gate(invert ? CellType::Inv : CellType::Buf,
+                              {operands[0]}, name);
+    }
+    return netlist.add_gate(invert ? CellType::Nor : CellType::Or, operands,
+                            name);
+  };
+
+  reduce_or(std::move(terms), out_name, !polarity);
+}
+
+}  // namespace
+
+std::string write_blif(const Netlist& netlist) {
+  std::ostringstream out;
+  out << ".model " << netlist.name() << "\n";
+  out << ".inputs";
+  for (Var v : netlist.inputs()) out << " " << netlist.var_name(v);
+  out << "\n.outputs";
+  for (Var v : netlist.outputs()) out << " " << netlist.var_name(v);
+  out << "\n";
+  for (std::size_t g : netlist.topological_order()) {
+    const Gate& gate = netlist.gate(g);
+    out << ".names";
+    for (Var in : gate.inputs) out << " " << netlist.var_name(in);
+    out << " " << netlist.var_name(gate.output) << "\n";
+    write_cover(out, gate);
+  }
+  out << ".end\n";
+  return out.str();
+}
+
+Netlist read_blif(const std::string& text, const std::string& filename) {
+  const RawBlif raw = scan(text, filename);
+  Netlist netlist(raw.model);
+  for (const auto& name : raw.inputs) netlist.add_input(name);
+
+  // Order nodes topologically by their declared output names.
+  std::unordered_map<std::string, std::size_t> node_by_output;
+  for (std::size_t i = 0; i < raw.nodes.size(); ++i) {
+    const std::string& out_name = raw.nodes[i].signals.back();
+    if (!node_by_output.emplace(out_name, i).second) {
+      throw ParseError(filename, raw.nodes[i].line,
+                       "net '" + out_name + "' defined twice");
+    }
+    // Cover synthesis creates helper gates before the named node output.
+    netlist.reserve_name(out_name);
+  }
+
+  std::unordered_map<Var, Var> inv_cache;
+  enum class State : std::uint8_t { Unvisited, Visiting, Done };
+  std::vector<State> state(raw.nodes.size(), State::Unvisited);
+
+  std::function<void(std::size_t)> emit = [&](std::size_t index) {
+    struct Frame {
+      std::size_t node;
+      std::size_t next = 0;
+    };
+    std::vector<Frame> frames{{index}};
+    state[index] = State::Visiting;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const NamesNode& node = raw.nodes[frame.node];
+      const std::size_t n = node.signals.size() - 1;
+      bool descended = false;
+      while (frame.next < n) {
+        const std::string& arg = node.signals[frame.next++];
+        if (netlist.find_var(arg).has_value()) continue;
+        const auto it = node_by_output.find(arg);
+        if (it == node_by_output.end()) {
+          throw ParseError(filename, node.line, "undefined net '" + arg + "'");
+        }
+        if (state[it->second] == State::Visiting) {
+          throw ParseError(filename, node.line,
+                           "combinational cycle through '" + arg + "'");
+        }
+        if (state[it->second] == State::Unvisited) {
+          state[it->second] = State::Visiting;
+          frames.push_back(Frame{it->second});
+          descended = true;
+          break;
+        }
+      }
+      if (descended) continue;
+      synthesize_node(netlist, node, filename, inv_cache);
+      state[frame.node] = State::Done;
+      frames.pop_back();
+    }
+  };
+
+  for (std::size_t i = 0; i < raw.nodes.size(); ++i) {
+    if (state[i] == State::Unvisited) emit(i);
+  }
+
+  for (const auto& name : raw.outputs) {
+    const auto v = netlist.find_var(name);
+    if (!v.has_value()) {
+      throw ParseError(filename, 0, "undefined output '" + name + "'");
+    }
+    netlist.mark_output(*v);
+  }
+  netlist.validate();
+  return netlist;
+}
+
+void write_blif_file(const Netlist& netlist, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  out << write_blif(netlist);
+}
+
+Netlist read_blif_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read_blif(buffer.str(), path);
+}
+
+}  // namespace gfre::nl

@@ -1,0 +1,26 @@
+// BLIF (Berkeley Logic Interchange Format) subset.
+//
+// The paper's multipliers are synthesized and mapped with ABC, whose native
+// exchange format is BLIF.  We support the combinational subset:
+// .model/.inputs/.outputs/.names with SOP covers (both output polarities)
+// and .end.  On read, each .names node is synthesized into AND/OR/INV
+// primitives; on write, each cell is emitted as a cover.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace gfre::nl {
+
+/// Serializes a netlist as BLIF text.
+std::string write_blif(const Netlist& netlist);
+
+/// Parses BLIF text (combinational subset).
+Netlist read_blif(const std::string& text,
+                  const std::string& filename = "<blif>");
+
+void write_blif_file(const Netlist& netlist, const std::string& path);
+Netlist read_blif_file(const std::string& path);
+
+}  // namespace gfre::nl

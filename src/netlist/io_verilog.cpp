@@ -1,0 +1,518 @@
+#include "netlist/io_verilog.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace gfre::nl {
+
+namespace {
+
+std::string gate_expression(const Netlist& netlist, const Gate& gate) {
+  const auto name = [&](Var v) { return netlist.var_name(v); };
+  const auto join = [&](const char* op) {
+    std::string out;
+    for (std::size_t i = 0; i < gate.inputs.size(); ++i) {
+      if (i != 0) {
+        out += " ";
+        out += op;
+        out += " ";
+      }
+      out += name(gate.inputs[i]);
+    }
+    return out;
+  };
+  const auto& in = gate.inputs;
+  switch (gate.type) {
+    case CellType::Const0: return "1'b0";
+    case CellType::Const1: return "1'b1";
+    case CellType::Buf: return name(in[0]);
+    case CellType::Inv: return "~" + name(in[0]);
+    case CellType::And: return join("&");
+    case CellType::Or: return join("|");
+    case CellType::Xor: return join("^");
+    case CellType::Xnor: return "~(" + join("^") + ")";
+    case CellType::Nand: return "~(" + join("&") + ")";
+    case CellType::Nor: return "~(" + join("|") + ")";
+    case CellType::Mux:
+      return name(in[0]) + " ? " + name(in[2]) + " : " + name(in[1]);
+    case CellType::Aoi21:
+      return "~((" + name(in[0]) + " & " + name(in[1]) + ") | " +
+             name(in[2]) + ")";
+    case CellType::Oai21:
+      return "~((" + name(in[0]) + " | " + name(in[1]) + ") & " +
+             name(in[2]) + ")";
+    case CellType::Aoi22:
+      return "~((" + name(in[0]) + " & " + name(in[1]) + ") | (" +
+             name(in[2]) + " & " + name(in[3]) + "))";
+    case CellType::Oai22:
+      return "~((" + name(in[0]) + " | " + name(in[1]) + ") & (" +
+             name(in[2]) + " | " + name(in[3]) + "))";
+    case CellType::Maj3:
+      return "(" + name(in[0]) + " & " + name(in[1]) + ") | (" + name(in[0]) +
+             " & " + name(in[2]) + ") | (" + name(in[1]) + " & " +
+             name(in[2]) + ")";
+  }
+  throw InvalidArgument("unknown cell type");
+}
+
+}  // namespace
+
+std::string write_verilog(const Netlist& netlist) {
+  std::ostringstream out;
+  out << "// gfre structural netlist — " << netlist.num_equations()
+      << " gates\n";
+  out << "module " << netlist.name() << "(";
+  bool first = true;
+  for (Var v : netlist.inputs()) {
+    if (!first) out << ", ";
+    first = false;
+    out << netlist.var_name(v);
+  }
+  for (Var v : netlist.outputs()) {
+    if (!first) out << ", ";
+    first = false;
+    out << netlist.var_name(v);
+  }
+  out << ");\n";
+  for (Var v : netlist.inputs()) {
+    out << "  input " << netlist.var_name(v) << ";\n";
+  }
+  for (Var v : netlist.outputs()) {
+    out << "  output " << netlist.var_name(v) << ";\n";
+  }
+  // Internal wires: driven nets that are not outputs.
+  std::vector<bool> is_output(netlist.num_vars(), false);
+  for (Var v : netlist.outputs()) is_output[v] = true;
+  for (const Gate& g : netlist.gates()) {
+    if (!is_output[g.output]) {
+      out << "  wire " << netlist.var_name(g.output) << ";\n";
+    }
+  }
+  for (std::size_t g : netlist.topological_order()) {
+    const Gate& gate = netlist.gate(g);
+    out << "  assign " << netlist.var_name(gate.output) << " = "
+        << gate_expression(netlist, gate) << ";\n";
+  }
+  out << "endmodule\n";
+  return out.str();
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reader: tokenizer + recursive-descent expression parser.
+// Grammar (precedence low to high):
+//   ternary := or ('?' or ':' or)?
+//   or      := xor ('|' xor)*
+//   xor     := and ('^' and)*
+//   and     := unary ('&' unary)*
+//   unary   := '~' unary | primary
+//   primary := identifier | '1\'b0' | '1\'b1' | '(' ternary ')'
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { Ident, Op, Const0, Const1, End };
+  Kind kind;
+  std::string text;  // for Ident / Op
+  int line;
+};
+
+class Lexer {
+ public:
+  Lexer(const std::string& text, std::string filename)
+      : text_(text), filename_(std::move(filename)) {}
+
+  Token next() {
+    skip_trivia();
+    if (pos_ >= text_.size()) return {Token::Kind::End, "", line_};
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '\\') {
+      return lex_ident();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) return lex_number();
+    ++pos_;
+    return {Token::Kind::Op, std::string(1, c), line_};
+  }
+
+  [[noreturn]] void fail(int line, const std::string& msg) const {
+    throw ParseError(filename_, line, msg);
+  }
+
+ private:
+  void skip_trivia() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        if (text_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
+          text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
+          text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          if (text_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ = std::min(pos_ + 2, text_.size());
+        continue;
+      }
+      break;
+    }
+  }
+
+  Token lex_ident() {
+    const int line = line_;
+    std::string ident;
+    if (text_[pos_] == '\\') {
+      // Escaped identifier: up to whitespace.
+      ++pos_;
+      while (pos_ < text_.size() &&
+             !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ident.push_back(text_[pos_++]);
+      }
+    } else {
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '$')) {
+        ident.push_back(text_[pos_++]);
+      }
+    }
+    return {Token::Kind::Ident, ident, line};
+  }
+
+  Token lex_number() {
+    const int line = line_;
+    // Only the literals 1'b0 / 1'b1 are meaningful in this subset.
+    std::string lit;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '\'')) {
+      lit.push_back(text_[pos_++]);
+    }
+    if (lit == "1'b0") return {Token::Kind::Const0, lit, line};
+    if (lit == "1'b1") return {Token::Kind::Const1, lit, line};
+    fail(line, "unsupported literal '" + lit + "'");
+  }
+
+  const std::string& text_;
+  std::string filename_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class VerilogParser {
+ public:
+  VerilogParser(const std::string& text, const std::string& filename)
+      : lexer_(text, filename), filename_(filename) {
+    advance();
+  }
+
+  Netlist parse() {
+    expect_ident("module");
+    Netlist netlist(expect_any_ident("module name"));
+    netlist_ = &netlist;
+    // Port list (names only; directions come from declarations).
+    if (is_op("(")) {
+      advance();
+      while (!is_op(")")) {
+        expect_any_ident("port name");
+        if (is_op(",")) advance();
+      }
+      advance();  // ')'
+    }
+    expect_op(";");
+
+    std::vector<std::string> output_names;
+    while (!is_ident("endmodule")) {
+      if (is_ident("input")) {
+        advance();
+        for (const auto& name : name_list()) {
+          netlist.add_input(name);
+        }
+      } else if (is_ident("output")) {
+        advance();
+        for (const auto& name : name_list()) {
+          output_names.push_back(name);
+        }
+      } else if (is_ident("wire")) {
+        advance();
+        name_list();  // declarations are implicit in our netlist model
+      } else if (is_ident("assign")) {
+        advance();
+        parse_assign();
+      } else {
+        lexer_.fail(token_.line,
+                    "unsupported construct '" + token_.text + "'");
+      }
+    }
+
+    resolve_pending();
+    for (const auto& name : output_names) {
+      const auto v = netlist.find_var(name);
+      if (!v.has_value()) {
+        throw ParseError(filename_, 0, "undriven output '" + name + "'");
+      }
+      netlist.mark_output(*v);
+    }
+    netlist.validate();
+    return netlist;
+  }
+
+ private:
+  // Expression AST (assignments may reference nets defined later, so we
+  // parse to an AST first and elaborate after all assigns are known).
+  struct Expr {
+    enum class Kind { Ref, Const0, Const1, Not, And, Or, Xor, Mux };
+    Kind kind;
+    std::string ref;                         // Kind::Ref
+    std::vector<std::unique_ptr<Expr>> ops;  // operands
+    int line = 0;
+  };
+
+  void advance() { token_ = lexer_.next(); }
+
+  bool is_ident(const std::string& s) const {
+    return token_.kind == Token::Kind::Ident && token_.text == s;
+  }
+  bool is_op(const std::string& s) const {
+    return token_.kind == Token::Kind::Op && token_.text == s;
+  }
+  void expect_ident(const std::string& s) {
+    if (!is_ident(s)) {
+      lexer_.fail(token_.line, "expected '" + s + "', got '" + token_.text + "'");
+    }
+    advance();
+  }
+  std::string expect_any_ident(const std::string& what) {
+    if (token_.kind != Token::Kind::Ident) {
+      lexer_.fail(token_.line, "expected " + what);
+    }
+    std::string name = token_.text;
+    advance();
+    return name;
+  }
+  void expect_op(const std::string& s) {
+    if (!is_op(s)) {
+      lexer_.fail(token_.line, "expected '" + s + "', got '" + token_.text + "'");
+    }
+    advance();
+  }
+
+  std::vector<std::string> name_list() {
+    std::vector<std::string> names;
+    names.push_back(expect_any_ident("net name"));
+    while (is_op(",")) {
+      advance();
+      names.push_back(expect_any_ident("net name"));
+    }
+    expect_op(";");
+    return names;
+  }
+
+  void parse_assign() {
+    const std::string lhs = expect_any_ident("assign target");
+    expect_op("=");
+    auto rhs = parse_ternary();
+    expect_op(";");
+    if (!assigns_.emplace(lhs, std::move(rhs)).second) {
+      throw ParseError(filename_, token_.line, "net '" + lhs + "' assigned twice");
+    }
+    assign_order_.push_back(lhs);
+  }
+
+  std::unique_ptr<Expr> make(Expr::Kind kind) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->line = token_.line;
+    return e;
+  }
+
+  std::unique_ptr<Expr> parse_ternary() {
+    auto cond = parse_or();
+    if (!is_op("?")) return cond;
+    advance();
+    auto then_e = parse_or();
+    expect_op(":");
+    auto else_e = parse_or();
+    auto e = make(Expr::Kind::Mux);
+    e->ops.push_back(std::move(cond));
+    e->ops.push_back(std::move(else_e));  // MUX(s, d0, d1): d0 = else
+    e->ops.push_back(std::move(then_e));
+    return e;
+  }
+
+  std::unique_ptr<Expr> parse_or() {
+    auto lhs = parse_xor();
+    while (is_op("|")) {
+      advance();
+      auto e = make(Expr::Kind::Or);
+      e->ops.push_back(std::move(lhs));
+      e->ops.push_back(parse_xor());
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_xor() {
+    auto lhs = parse_and();
+    while (is_op("^")) {
+      advance();
+      auto e = make(Expr::Kind::Xor);
+      e->ops.push_back(std::move(lhs));
+      e->ops.push_back(parse_and());
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_and() {
+    auto lhs = parse_unary();
+    while (is_op("&")) {
+      advance();
+      auto e = make(Expr::Kind::And);
+      e->ops.push_back(std::move(lhs));
+      e->ops.push_back(parse_unary());
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_unary() {
+    if (is_op("~")) {
+      advance();
+      auto e = make(Expr::Kind::Not);
+      e->ops.push_back(parse_unary());
+      return e;
+    }
+    return parse_primary();
+  }
+
+  std::unique_ptr<Expr> parse_primary() {
+    if (is_op("(")) {
+      advance();
+      auto e = parse_ternary();
+      expect_op(")");
+      return e;
+    }
+    if (token_.kind == Token::Kind::Const0) {
+      advance();
+      return make(Expr::Kind::Const0);
+    }
+    if (token_.kind == Token::Kind::Const1) {
+      advance();
+      return make(Expr::Kind::Const1);
+    }
+    auto e = make(Expr::Kind::Ref);
+    e->ref = expect_any_ident("operand");
+    return e;
+  }
+
+  // -- Elaboration ---------------------------------------------------------
+
+  Var elaborate_net(const std::string& name) {
+    if (const auto v = netlist_->find_var(name)) return *v;
+    const auto it = assigns_.find(name);
+    if (it == assigns_.end()) {
+      throw ParseError(filename_, 0, "undefined net '" + name + "'");
+    }
+    if (elaborating_.count(name) != 0) {
+      throw ParseError(filename_, it->second->line,
+                       "combinational cycle through '" + name + "'");
+    }
+    elaborating_.insert(name);
+    const Var v = elaborate_expr(*it->second, name);
+    elaborating_.erase(name);
+    return v;
+  }
+
+  Var elaborate_expr(const Expr& e, const std::string& name) {
+    std::vector<Var> operands;
+    for (const auto& op : e.ops) {
+      if (op->kind == Expr::Kind::Ref) {
+        operands.push_back(elaborate_net(op->ref));
+      } else {
+        operands.push_back(elaborate_expr(*op, ""));
+      }
+    }
+    switch (e.kind) {
+      case Expr::Kind::Ref:
+        // Top-level alias: assign x = y;
+        return netlist_->add_gate(CellType::Buf, {elaborate_net(e.ref)}, name);
+      case Expr::Kind::Const0:
+        return netlist_->add_gate(CellType::Const0, {}, name);
+      case Expr::Kind::Const1:
+        return netlist_->add_gate(CellType::Const1, {}, name);
+      case Expr::Kind::Not:
+        return netlist_->add_gate(CellType::Inv, operands, name);
+      case Expr::Kind::And:
+        return netlist_->add_gate(CellType::And, operands, name);
+      case Expr::Kind::Or:
+        return netlist_->add_gate(CellType::Or, operands, name);
+      case Expr::Kind::Xor:
+        return netlist_->add_gate(CellType::Xor, operands, name);
+      case Expr::Kind::Mux:
+        return netlist_->add_gate(CellType::Mux, operands, name);
+    }
+    throw ParseError(filename_, e.line, "bad expression");
+  }
+
+  void resolve_pending() {
+    for (const auto& name : assign_order_) {
+      netlist_->reserve_name(name);
+    }
+    for (const auto& name : assign_order_) {
+      const auto existing = netlist_->find_var(name);
+      if (existing.has_value() && netlist_->is_input(*existing)) {
+        throw ParseError(filename_, assigns_.at(name)->line,
+                         "net '" + name + "' is an input and cannot be "
+                         "assigned");
+      }
+      elaborate_net(name);
+    }
+  }
+
+  Lexer lexer_;
+  std::string filename_;
+  Token token_;
+  Netlist* netlist_ = nullptr;
+  std::unordered_map<std::string, std::unique_ptr<Expr>> assigns_;
+  std::vector<std::string> assign_order_;
+  std::unordered_set<std::string> elaborating_;
+};
+
+}  // namespace
+
+Netlist read_verilog(const std::string& text, const std::string& filename) {
+  VerilogParser parser(text, filename);
+  return parser.parse();
+}
+
+void write_verilog_file(const Netlist& netlist, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  out << write_verilog(netlist);
+}
+
+Netlist read_verilog_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read_verilog(buffer.str(), path);
+}
+
+}  // namespace gfre::nl

@@ -1,0 +1,28 @@
+// Structural Verilog subset.
+//
+// Writer: emits one `assign` per gate using ~ & | ^ expressions (plus the
+// ternary operator for MUX), which loads into any synthesis tool.
+// Reader: parses the combinational subset — module header, input/output/
+// wire declarations (scalar nets), and `assign` statements with the
+// operators ~ & | ^ ?: and parentheses.  Expressions are decomposed into
+// library cells on the fly.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace gfre::nl {
+
+/// Serializes a netlist as structural Verilog.
+std::string write_verilog(const Netlist& netlist);
+
+/// Parses the structural Verilog subset emitted by write_verilog (and
+/// similar hand-written netlists).
+Netlist read_verilog(const std::string& text,
+                     const std::string& filename = "<verilog>");
+
+void write_verilog_file(const Netlist& netlist, const std::string& path);
+Netlist read_verilog_file(const std::string& path);
+
+}  // namespace gfre::nl

@@ -1,0 +1,212 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace gfre::nl {
+
+Var Netlist::new_var(const std::string& name, bool is_input) {
+  std::string final_name = name;
+  if (final_name.empty()) {
+    // Auto names must not collide with explicit or reserved names (e.g. a
+    // parsed file whose nets were themselves auto-named "n<k>" by a
+    // previous tool, or output names a rebuilding pass will need later).
+    do {
+      final_name = "n" + std::to_string(next_auto_name_++);
+    } while (by_name_.find(final_name) != by_name_.end() ||
+             reserved_names_.find(final_name) != reserved_names_.end());
+  }
+  GFRE_ASSERT(by_name_.find(final_name) == by_name_.end(),
+              "duplicate net name '" << final_name << "'");
+  const Var v = static_cast<Var>(var_names_.size());
+  var_names_.push_back(final_name);
+  var_is_input_.push_back(is_input);
+  driver_.push_back(0);
+  by_name_.emplace(var_names_.back(), v);
+  return v;
+}
+
+Var Netlist::add_input(const std::string& name) {
+  const Var v = new_var(name, /*is_input=*/true);
+  inputs_.push_back(v);
+  return v;
+}
+
+Var Netlist::add_gate(CellType type, std::vector<Var> inputs,
+                      const std::string& name) {
+  GFRE_ASSERT(arity_ok(type, inputs.size()),
+              "gate " << cell_name(type) << " cannot take " << inputs.size()
+                      << " inputs");
+  for (Var in : inputs) {
+    GFRE_ASSERT(in < num_vars(), "gate input net " << in << " undeclared");
+  }
+  const Var out = new_var(name, /*is_input=*/false);
+  gates_.push_back(Gate{type, out, std::move(inputs)});
+  driver_[out] = gates_.size();  // index + 1
+  return out;
+}
+
+void Netlist::mark_output(Var v) {
+  GFRE_ASSERT(v < num_vars(), "output net " << v << " undeclared");
+  outputs_.push_back(v);
+}
+
+void Netlist::reserve_name(const std::string& name) {
+  if (!name.empty()) reserved_names_.insert(name);
+}
+
+const std::string& Netlist::var_name(Var v) const {
+  GFRE_ASSERT(v < num_vars(), "net " << v << " undeclared");
+  return var_names_[v];
+}
+
+bool Netlist::is_input(Var v) const {
+  GFRE_ASSERT(v < num_vars(), "net " << v << " undeclared");
+  return var_is_input_[v];
+}
+
+std::optional<std::size_t> Netlist::driver(Var v) const {
+  GFRE_ASSERT(v < num_vars(), "net " << v << " undeclared");
+  if (driver_[v] == 0) return std::nullopt;
+  return driver_[v] - 1;
+}
+
+std::optional<Var> Netlist::find_var(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::size_t> Netlist::topological_order() const {
+  // Iterative DFS over gates from every output net of every gate.
+  enum class Mark : std::uint8_t { White, Grey, Black };
+  std::vector<Mark> mark(gates_.size(), Mark::White);
+  std::vector<std::size_t> order;
+  order.reserve(gates_.size());
+
+  std::vector<std::pair<std::size_t, std::size_t>> stack;  // (gate, next-in)
+  for (std::size_t root = 0; root < gates_.size(); ++root) {
+    if (mark[root] != Mark::White) continue;
+    stack.emplace_back(root, 0);
+    mark[root] = Mark::Grey;
+    while (!stack.empty()) {
+      auto& [g, next] = stack.back();
+      const Gate& gate = gates_[g];
+      bool descended = false;
+      while (next < gate.inputs.size()) {
+        const Var in = gate.inputs[next++];
+        const auto drv = driver(in);
+        if (!drv.has_value()) continue;
+        if (mark[*drv] == Mark::Grey) {
+          throw Error("combinational cycle through net '" + var_name(in) +
+                      "' in netlist '" + name_ + "'");
+        }
+        if (mark[*drv] == Mark::White) {
+          mark[*drv] = Mark::Grey;
+          stack.emplace_back(*drv, 0);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended && next >= gate.inputs.size()) {
+        mark[g] = Mark::Black;
+        order.push_back(g);
+        stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<std::size_t> Netlist::fanin_cone(Var root) const {
+  GFRE_ASSERT(root < num_vars(), "net " << root << " undeclared");
+  std::vector<bool> in_cone(gates_.size(), false);
+  std::vector<Var> work{root};
+  while (!work.empty()) {
+    const Var v = work.back();
+    work.pop_back();
+    const auto drv = driver(v);
+    if (!drv.has_value() || in_cone[*drv]) continue;
+    in_cone[*drv] = true;
+    for (Var in : gates_[*drv].inputs) work.push_back(in);
+  }
+  // Gates are not necessarily stored topologically (parsers), so order the
+  // cone using the global topological order.
+  std::vector<std::size_t> cone;
+  for (std::size_t g : topological_order()) {
+    if (in_cone[g]) cone.push_back(g);
+  }
+  return cone;
+}
+
+std::vector<Var> Netlist::cone_inputs(Var root) const {
+  std::vector<bool> seen(num_vars(), false);
+  std::vector<Var> result;
+  std::vector<Var> work{root};
+  while (!work.empty()) {
+    const Var v = work.back();
+    work.pop_back();
+    if (seen[v]) continue;
+    seen[v] = true;
+    const auto drv = driver(v);
+    if (!drv.has_value()) {
+      if (var_is_input_[v]) result.push_back(v);
+      continue;
+    }
+    for (Var in : gates_[*drv].inputs) work.push_back(in);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+unsigned Netlist::depth() const {
+  std::vector<unsigned> level(num_vars(), 0);
+  unsigned max_level = 0;
+  for (std::size_t g : topological_order()) {
+    const Gate& gate = gates_[g];
+    unsigned lvl = 0;
+    for (Var in : gate.inputs) lvl = std::max(lvl, level[in]);
+    level[gate.output] = lvl + 1;
+    max_level = std::max(max_level, lvl + 1);
+  }
+  return max_level;
+}
+
+std::unordered_map<CellType, std::size_t> Netlist::cell_histogram() const {
+  std::unordered_map<CellType, std::size_t> histogram;
+  for (const Gate& g : gates_) ++histogram[g.type];
+  return histogram;
+}
+
+std::size_t Netlist::xor2_equivalent_count() const {
+  std::size_t count = 0;
+  for (const Gate& g : gates_) {
+    if (g.type == CellType::Xor || g.type == CellType::Xnor) {
+      count += g.inputs.size() - 1;
+    }
+  }
+  return count;
+}
+
+void Netlist::validate() const {
+  for (const Gate& g : gates_) {
+    GFRE_ASSERT(arity_ok(g.type, g.inputs.size()),
+                "gate on net '" << var_name(g.output) << "' has bad arity");
+    GFRE_ASSERT(!var_is_input_[g.output],
+                "net '" << var_name(g.output) << "' is both input and driven");
+  }
+  for (Var out : outputs_) {
+    GFRE_ASSERT(out < num_vars(), "undeclared output net " << out);
+  }
+  // Every non-input net must have a driver; cycle check via topo sort.
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (!var_is_input_[v] && driver_[v] == 0) {
+      throw Error("net '" + var_names_[v] + "' has no driver in netlist '" +
+                  name_ + "'");
+    }
+  }
+  (void)topological_order();
+}
+
+}  // namespace gfre::nl

@@ -1,0 +1,62 @@
+// Word-level port discovery.
+//
+// Multiplier netlists expose bit-vector operands as individually named nets
+// (a0..a{m-1}, b0.., z0..).  The reverse-engineering flow needs to know
+// which nets form the A word, the B word and the Z word — this module
+// groups nets by "<base><index>" naming, the convention used by both our
+// generators and the paper's benchmark netlists.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace gfre::nl {
+
+/// A named bit-vector: bits[i] is the net for <base><i>.
+struct WordPort {
+  std::string base;
+  std::vector<Var> bits;
+
+  unsigned width() const { return static_cast<unsigned>(bits.size()); }
+};
+
+/// Collects nets named base0, base1, ..., base{k-1}; requires the index
+/// range to be dense starting at 0.  Returns nullopt if base0 is absent.
+std::optional<WordPort> find_word_port(const Netlist& netlist,
+                                       const std::string& base);
+
+/// Groups *all* primary inputs (or outputs) into word ports by splitting
+/// trailing digits.  Bases whose indices are not dense from 0 are dropped.
+std::vector<WordPort> input_word_ports(const Netlist& netlist);
+std::vector<WordPort> output_word_ports(const Netlist& netlist);
+
+/// The standard multiplier interface: A and B input words and the Z output
+/// word, all of width m.
+struct MultiplierPorts {
+  WordPort a;
+  WordPort b;
+  WordPort z;
+
+  unsigned m() const { return z.width(); }
+};
+
+/// Locates a multiplier interface with the given base names; throws
+/// InvalidArgument with a diagnostic when widths disagree or ports are
+/// missing.
+MultiplierPorts multiplier_ports(const Netlist& netlist,
+                                 const std::string& a_base = "a",
+                                 const std::string& b_base = "b",
+                                 const std::string& z_base = "z");
+
+/// Infers the multiplier interface without knowing the base names: the
+/// inputs must group into exactly two same-width word ports covering every
+/// primary input, and the outputs into one word port of that width covering
+/// every primary output.  Returns nullopt when the netlist does not have
+/// that shape (the operand roles a-vs-b are symmetric for multiplication,
+/// so the lexicographically smaller base is assigned to a).
+std::optional<MultiplierPorts> infer_multiplier_ports(const Netlist& netlist);
+
+}  // namespace gfre::nl

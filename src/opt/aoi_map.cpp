@@ -1,0 +1,140 @@
+// AOI/OAI complex-cell fusion.
+#include <algorithm>
+#include <optional>
+
+#include "opt/passes.hpp"
+#include "opt/rebuild.hpp"
+#include "util/error.hpp"
+
+namespace gfre::opt {
+
+using nl::CellType;
+using nl::Var;
+
+namespace {
+
+struct AndOrLeaf {
+  // Either a plain net or a 2-input AND/OR whose operands are a, b.
+  bool is_pair = false;
+  Var net = 0;  // when !is_pair
+  Var a = 0, b = 0;
+};
+
+}  // namespace
+
+nl::Netlist map_aoi(const nl::Netlist& netlist) {
+  // Fanout counting (gate uses + POs): an inner AND/OR may be fused only if
+  // this consumer is its sole use.
+  std::vector<unsigned> fanout(netlist.num_vars(), 0);
+  for (const nl::Gate& gate : netlist.gates()) {
+    for (Var in : gate.inputs) ++fanout[in];
+  }
+  for (Var out : netlist.outputs()) ++fanout[out];
+
+  std::vector<bool> fused(netlist.num_gates(), false);
+
+  // Resolve a net to a fusable 2-input inner gate of the wanted type.
+  const auto inner = [&](Var net, CellType want) -> std::optional<nl::Gate> {
+    const auto drv = netlist.driver(net);
+    if (!drv.has_value()) return std::nullopt;
+    const nl::Gate& gate = netlist.gate(*drv);
+    if (gate.type != want || gate.inputs.size() != 2) return std::nullopt;
+    if (fanout[net] != 1) return std::nullopt;
+    return gate;
+  };
+
+  // Decide, per outer gate, the fused replacement (recorded by source gate
+  // index so the rebuild loop can apply it).
+  struct Fusion {
+    CellType cell;
+    std::vector<Var> inputs;  // source nets
+    std::vector<std::size_t> absorbed_gates;
+  };
+  std::vector<std::optional<Fusion>> fusion(netlist.num_gates());
+
+  for (std::size_t g = 0; g < netlist.num_gates(); ++g) {
+    const nl::Gate& gate = netlist.gate(g);
+    // Normalize the outer inverting form: NOR(x,y) ~ INV(OR(x,y)),
+    // NAND(x,y) ~ INV(AND(x,y)).
+    CellType outer = gate.type;
+    std::vector<Var> operands = gate.inputs;
+    std::vector<std::size_t> absorbed;
+    if (outer == CellType::Inv) {
+      const auto drv = netlist.driver(gate.inputs[0]);
+      if (!drv.has_value() || fanout[gate.inputs[0]] != 1) continue;
+      const nl::Gate& inner_gate = netlist.gate(*drv);
+      if (inner_gate.type == CellType::Or && inner_gate.inputs.size() == 2) {
+        outer = CellType::Nor;
+      } else if (inner_gate.type == CellType::And &&
+                 inner_gate.inputs.size() == 2) {
+        outer = CellType::Nand;
+      } else {
+        continue;
+      }
+      operands = inner_gate.inputs;
+      absorbed.push_back(*drv);
+    }
+    if ((outer != CellType::Nor && outer != CellType::Nand) ||
+        operands.size() != 2) {
+      continue;
+    }
+    const CellType inner_type =
+        (outer == CellType::Nor) ? CellType::And : CellType::Or;
+
+    const auto lhs = inner(operands[0], inner_type);
+    const auto rhs = inner(operands[1], inner_type);
+    Fusion f;
+    if (lhs && rhs) {
+      f.cell = (outer == CellType::Nor) ? CellType::Aoi22 : CellType::Oai22;
+      f.inputs = {lhs->inputs[0], lhs->inputs[1], rhs->inputs[0],
+                  rhs->inputs[1]};
+      f.absorbed_gates = absorbed;
+      f.absorbed_gates.push_back(*netlist.driver(operands[0]));
+      f.absorbed_gates.push_back(*netlist.driver(operands[1]));
+    } else if (lhs || rhs) {
+      const auto& pair = lhs ? *lhs : *rhs;
+      const Var other = lhs ? operands[1] : operands[0];
+      f.cell = (outer == CellType::Nor) ? CellType::Aoi21 : CellType::Oai21;
+      f.inputs = {pair.inputs[0], pair.inputs[1], other};
+      f.absorbed_gates = absorbed;
+      f.absorbed_gates.push_back(*netlist.driver(lhs ? operands[0]
+                                                     : operands[1]));
+    } else {
+      continue;
+    }
+    fusion[g] = std::move(f);
+  }
+
+  // Mark gates absorbed by an accepted fusion.  A gate may appear in only
+  // one fusion because of the fanout == 1 requirement.
+  for (const auto& f : fusion) {
+    if (!f) continue;
+    for (std::size_t a : f->absorbed_gates) fused[a] = true;
+  }
+
+  Rebuild rebuild(netlist);
+  for (std::size_t g : netlist.topological_order()) {
+    const nl::Gate& gate = netlist.gate(g);
+    if (fused[g]) {
+      // Its consumer re-expresses it; nothing to emit.  (The consumer reads
+      // the *original* operand nets, never this output.)
+      continue;
+    }
+    if (fusion[g]) {
+      const Fusion& f = *fusion[g];
+      std::vector<Sig> inputs;
+      inputs.reserve(f.inputs.size());
+      for (Var in : f.inputs) inputs.push_back(rebuild.at(in));
+      rebuild.set(gate.output,
+                  emit_gate(rebuild.out(), f.cell, inputs,
+                            carry_name(netlist, gate.output)));
+      continue;
+    }
+    rebuild.set(gate.output,
+                emit_gate(rebuild.out(), gate.type, rebuild.map_inputs(gate),
+                          carry_name(netlist, gate.output)));
+  }
+  return rebuild.finish();
+}
+
+}  // namespace gfre::opt

@@ -1,0 +1,164 @@
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+
+#include "opt/passes.hpp"
+#include "opt/rebuild.hpp"
+#include "util/error.hpp"
+
+namespace gfre::opt {
+
+using nl::CellType;
+using nl::Var;
+
+namespace {
+
+/// Auto-generated names ("n123") must not be carried into the rebuilt
+/// netlist — they would collide with the new netlist's own counters.
+bool is_auto_name(const std::string& name) {
+  if (name.size() < 2 || name[0] != 'n') return false;
+  for (std::size_t i = 1; i < name.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string carry_name(const nl::Netlist& source, Var old_net) {
+  const std::string& name = source.var_name(old_net);
+  return is_auto_name(name) ? std::string() : name;
+}
+
+nl::Netlist sweep_dead(const nl::Netlist& netlist) {
+  // Mark gates in the union of output cones.
+  std::vector<bool> live(netlist.num_gates(), false);
+  std::vector<Var> work(netlist.outputs().begin(), netlist.outputs().end());
+  while (!work.empty()) {
+    const Var v = work.back();
+    work.pop_back();
+    const auto drv = netlist.driver(v);
+    if (!drv.has_value() || live[*drv]) continue;
+    live[*drv] = true;
+    for (Var in : netlist.gate(*drv).inputs) work.push_back(in);
+  }
+  Rebuild rebuild(netlist);
+  for (std::size_t g : netlist.topological_order()) {
+    if (!live[g]) continue;
+    const nl::Gate& gate = netlist.gate(g);
+    rebuild.set(gate.output,
+                emit_gate(rebuild.out(), gate.type, rebuild.map_inputs(gate),
+                          carry_name(netlist, gate.output)));
+  }
+  return rebuild.finish();
+}
+
+nl::Netlist constant_propagate_once(const nl::Netlist& netlist) {
+  Rebuild rebuild(netlist);
+  // inv_of[new_net] = source net it inverts, for INV-pair collapsing.
+  std::unordered_map<Var, Var> inv_of;
+
+  for (std::size_t g : netlist.topological_order()) {
+    const nl::Gate& gate = netlist.gate(g);
+    const std::vector<Sig> inputs = rebuild.map_inputs(gate);
+
+    if (gate.type == CellType::Buf) {
+      rebuild.set(gate.output, inputs[0]);
+      continue;
+    }
+    if (gate.type == CellType::Inv && inputs[0].is_net()) {
+      const auto it = inv_of.find(inputs[0].net);
+      if (it != inv_of.end()) {
+        // Either INV(INV(x)) = x, or a second inverter of the same net.
+        rebuild.set(gate.output, Sig::wire(it->second));
+        continue;
+      }
+      const Sig out = emit_gate(rebuild.out(), CellType::Inv, inputs,
+                                carry_name(netlist, gate.output));
+      if (out.is_net()) {
+        inv_of.emplace(out.net, inputs[0].net);
+        inv_of.emplace(inputs[0].net, out.net);
+      }
+      rebuild.set(gate.output, out);
+      continue;
+    }
+    rebuild.set(gate.output,
+                emit_gate(rebuild.out(), gate.type, inputs,
+                          carry_name(netlist, gate.output)));
+  }
+  return rebuild.finish();
+}
+
+nl::Netlist constant_propagate(const nl::Netlist& netlist) {
+  return sweep_dead(constant_propagate_once(netlist));
+}
+
+nl::Netlist structural_hash(const nl::Netlist& netlist) {
+  Rebuild rebuild(netlist);
+  std::unordered_map<std::string, Var> seen;
+
+  const auto canonical_key = [](CellType type, std::vector<Var> ins) {
+    switch (type) {
+      case CellType::And:
+      case CellType::Or:
+      case CellType::Xor:
+      case CellType::Xnor:
+      case CellType::Nand:
+      case CellType::Nor:
+      case CellType::Maj3:
+        std::sort(ins.begin(), ins.end());
+        break;
+      case CellType::Aoi21:
+      case CellType::Oai21:
+        // (a, b) commute; c is positional.
+        if (ins[0] > ins[1]) std::swap(ins[0], ins[1]);
+        break;
+      case CellType::Aoi22:
+      case CellType::Oai22:
+        if (ins[0] > ins[1]) std::swap(ins[0], ins[1]);
+        if (ins[2] > ins[3]) std::swap(ins[2], ins[3]);
+        if (ins[0] > ins[2] || (ins[0] == ins[2] && ins[1] > ins[3])) {
+          std::swap(ins[0], ins[2]);
+          std::swap(ins[1], ins[3]);
+        }
+        break;
+      default:
+        break;
+    }
+    std::string key = cell_name(type);
+    for (Var v : ins) {
+      key += ':';
+      key += std::to_string(v);
+    }
+    return key;
+  };
+
+  for (std::size_t g : netlist.topological_order()) {
+    const nl::Gate& gate = netlist.gate(g);
+    const std::vector<Sig> inputs = rebuild.map_inputs(gate);
+    const bool all_nets =
+        std::all_of(inputs.begin(), inputs.end(),
+                    [](const Sig& s) { return s.is_net(); });
+    if (!all_nets || gate.type == CellType::Buf) {
+      rebuild.set(gate.output,
+                  emit_gate(rebuild.out(), gate.type, inputs,
+                            carry_name(netlist, gate.output)));
+      continue;
+    }
+    std::vector<Var> ins;
+    for (const Sig& s : inputs) ins.push_back(s.net);
+    const std::string key = canonical_key(gate.type, ins);
+    const auto it = seen.find(key);
+    if (it != seen.end()) {
+      rebuild.set(gate.output, Sig::wire(it->second));
+      continue;
+    }
+    const Sig out = emit_gate(rebuild.out(), gate.type, inputs,
+                              carry_name(netlist, gate.output));
+    if (out.is_net()) seen.emplace(key, out.net);
+    rebuild.set(gate.output, out);
+  }
+  return rebuild.finish();
+}
+
+}  // namespace gfre::opt

@@ -1,0 +1,214 @@
+#include "opt/rebuild.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace gfre::opt {
+
+using gen::materialize;
+using gen::sig_and;
+using gen::sig_not;
+using gen::sig_or;
+using gen::sig_xor;
+using nl::CellType;
+using nl::Var;
+
+Rebuild::Rebuild(const nl::Netlist& source)
+    : source_(&source),
+      out_(source.name()),
+      map_(source.num_vars()),
+      known_(source.num_vars(), false) {
+  // Output names must survive the rebuild: keep auto names away from them.
+  for (Var v : source.outputs()) {
+    out_.reserve_name(source.var_name(v));
+  }
+  for (Var v : source.inputs()) {
+    map_[v] = Sig::wire(out_.add_input(source.var_name(v)));
+    known_[v] = true;
+  }
+}
+
+const Sig& Rebuild::at(Var old_net) const {
+  GFRE_ASSERT(old_net < map_.size() && known_[old_net],
+              "pass read net '" << source_->var_name(old_net)
+                                << "' before defining it");
+  return map_[old_net];
+}
+
+void Rebuild::set(Var old_net, Sig replacement) {
+  GFRE_ASSERT(old_net < map_.size(), "bad net id");
+  map_[old_net] = replacement;
+  known_[old_net] = true;
+}
+
+std::vector<Sig> Rebuild::map_inputs(const nl::Gate& gate) const {
+  std::vector<Sig> result;
+  result.reserve(gate.inputs.size());
+  for (Var in : gate.inputs) result.push_back(at(in));
+  return result;
+}
+
+nl::Netlist Rebuild::finish() {
+  for (Var out : source_->outputs()) {
+    const Sig& sig = at(out);
+    const std::string& want = source_->var_name(out);
+    if (sig.is_net() && out_.var_name(sig.net) == want) {
+      out_.mark_output(sig.net);
+    } else {
+      out_.mark_output(materialize(out_, sig, want));
+    }
+  }
+  out_.validate();
+  return std::move(out_);
+}
+
+namespace {
+
+/// Keeps operands whose per-net multiplicity is odd (XOR idempotence) and
+/// counts constant ones.
+void xor_normalize(std::vector<Sig>& nets, bool& invert) {
+  std::vector<Var> vars;
+  for (const Sig& s : nets) {
+    if (s.is_one()) invert = !invert;
+    if (s.is_net()) vars.push_back(s.net);
+  }
+  std::sort(vars.begin(), vars.end());
+  std::vector<Sig> kept;
+  for (std::size_t i = 0; i < vars.size();) {
+    std::size_t j = i;
+    while (j < vars.size() && vars[j] == vars[i]) ++j;
+    if ((j - i) % 2 == 1) kept.push_back(Sig::wire(vars[i]));
+    i = j;
+  }
+  nets = std::move(kept);
+}
+
+}  // namespace
+
+Sig emit_gate(nl::Netlist& netlist, CellType type,
+              const std::vector<Sig>& inputs, const std::string& name) {
+  // Constant cells fold to constant signals outright.
+  if (type == CellType::Const0) return Sig::zero();
+  if (type == CellType::Const1) return Sig::one();
+
+  const bool all_nets =
+      std::all_of(inputs.begin(), inputs.end(),
+                  [](const Sig& s) { return s.is_net(); });
+
+  // Variadic gates get duplicate-operand normalization even when all inputs
+  // are nets; everything else re-emits verbatim in the all-net case.
+  if (all_nets) {
+    switch (type) {
+      case CellType::And:
+      case CellType::Nand:
+      case CellType::Or:
+      case CellType::Nor: {
+        std::vector<Var> vars;
+        for (const Sig& s : inputs) vars.push_back(s.net);
+        std::sort(vars.begin(), vars.end());
+        vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+        if (vars.size() >= 2) {
+          return Sig::wire(netlist.add_gate(type, vars, name));
+        }
+        // Single distinct operand: AND/OR degenerate to BUF, NAND/NOR to INV.
+        const bool inverting =
+            (type == CellType::Nand || type == CellType::Nor);
+        return Sig::wire(netlist.add_gate(
+            inverting ? CellType::Inv : CellType::Buf, {vars[0]}, name));
+      }
+      case CellType::Xor:
+      case CellType::Xnor: {
+        bool invert = (type == CellType::Xnor);
+        std::vector<Sig> nets = inputs;
+        xor_normalize(nets, invert);
+        if (nets.size() >= 2 && !invert) {
+          std::vector<Var> vars;
+          for (const Sig& s : nets) vars.push_back(s.net);
+          return Sig::wire(netlist.add_gate(CellType::Xor, vars, name));
+        }
+        if (nets.size() >= 2 && invert) {
+          std::vector<Var> vars;
+          for (const Sig& s : nets) vars.push_back(s.net);
+          return Sig::wire(netlist.add_gate(CellType::Xnor, vars, name));
+        }
+        if (nets.size() == 1) {
+          return Sig::wire(netlist.add_gate(
+              invert ? CellType::Inv : CellType::Buf, {nets[0].net}, name));
+        }
+        return Sig::constant(invert);
+      }
+      default: {
+        std::vector<Var> vars;
+        for (const Sig& s : inputs) vars.push_back(s.net);
+        return Sig::wire(netlist.add_gate(type, vars, name));
+      }
+    }
+  }
+
+  // Some input is constant: fold through the cell function using the
+  // signal algebra (names are dropped — downstream logic shrinks anyway).
+  auto s_and_all = [&](bool invert) {
+    Sig acc = Sig::one();
+    for (const Sig& s : inputs) acc = sig_and(netlist, acc, s);
+    return invert ? sig_not(netlist, acc) : acc;
+  };
+  auto s_or_all = [&](bool invert) {
+    Sig acc = Sig::zero();
+    for (const Sig& s : inputs) acc = sig_or(netlist, acc, s);
+    return invert ? sig_not(netlist, acc) : acc;
+  };
+  auto s_xor_all = [&](bool invert) {
+    Sig acc = Sig::zero();
+    for (const Sig& s : inputs) acc = sig_xor(netlist, acc, s);
+    return invert ? sig_not(netlist, acc) : acc;
+  };
+
+  switch (type) {
+    case CellType::Const0: return Sig::zero();
+    case CellType::Const1: return Sig::one();
+    case CellType::Buf: return inputs[0];
+    case CellType::Inv: return sig_not(netlist, inputs[0]);
+    case CellType::And: return s_and_all(false);
+    case CellType::Nand: return s_and_all(true);
+    case CellType::Or: return s_or_all(false);
+    case CellType::Nor: return s_or_all(true);
+    case CellType::Xor: return s_xor_all(false);
+    case CellType::Xnor: return s_xor_all(true);
+    case CellType::Mux: {
+      const Sig& s = inputs[0];
+      const Sig& d0 = inputs[1];
+      const Sig& d1 = inputs[2];
+      const Sig ns = sig_not(netlist, s);
+      return sig_or(netlist, sig_and(netlist, ns, d0),
+                    sig_and(netlist, s, d1));
+    }
+    case CellType::Aoi21:
+      return sig_not(netlist,
+                     sig_or(netlist, sig_and(netlist, inputs[0], inputs[1]),
+                            inputs[2]));
+    case CellType::Oai21:
+      return sig_not(netlist,
+                     sig_and(netlist, sig_or(netlist, inputs[0], inputs[1]),
+                             inputs[2]));
+    case CellType::Aoi22:
+      return sig_not(
+          netlist,
+          sig_or(netlist, sig_and(netlist, inputs[0], inputs[1]),
+                 sig_and(netlist, inputs[2], inputs[3])));
+    case CellType::Oai22:
+      return sig_not(
+          netlist,
+          sig_and(netlist, sig_or(netlist, inputs[0], inputs[1]),
+                  sig_or(netlist, inputs[2], inputs[3])));
+    case CellType::Maj3: {
+      const Sig ab = sig_and(netlist, inputs[0], inputs[1]);
+      const Sig ac = sig_and(netlist, inputs[0], inputs[2]);
+      const Sig bc = sig_and(netlist, inputs[1], inputs[2]);
+      return sig_or(netlist, sig_or(netlist, ab, ac), bc);
+    }
+  }
+  throw InvalidArgument("unknown cell type");
+}
+
+}  // namespace gfre::opt

@@ -1,0 +1,55 @@
+// Shared machinery for netlist-to-netlist optimization passes.
+//
+// Netlists are append-only, so every pass rebuilds: it walks the source in
+// topological order, decides a replacement signal for each gate output, and
+// a Rebuild object tracks the old-net -> new-signal mapping (constants
+// included) and re-marks primary outputs under their original names.
+#pragma once
+
+#include "gen/signal.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gfre::opt {
+
+using gen::Sig;
+
+/// Old-netlist -> new-netlist mapping helper.
+class Rebuild {
+ public:
+  /// Copies the primary inputs of `source` into a fresh netlist.
+  explicit Rebuild(const nl::Netlist& source);
+
+  nl::Netlist& out() { return out_; }
+
+  /// Replacement signal for an old net (inputs are pre-seeded; gate outputs
+  /// must have been set by the pass before being read).
+  const Sig& at(nl::Var old_net) const;
+
+  /// Records the replacement for an old gate output.
+  void set(nl::Var old_net, Sig replacement);
+
+  /// Maps the old gate's input list.
+  std::vector<Sig> map_inputs(const nl::Gate& gate) const;
+
+  /// Re-marks primary outputs (preserving names) and returns the rebuilt
+  /// netlist.  The Rebuild object is left empty.
+  nl::Netlist finish();
+
+ private:
+  const nl::Netlist* source_;
+  nl::Netlist out_;
+  std::vector<Sig> map_;
+  std::vector<bool> known_;
+};
+
+/// Re-emits a gate verbatim (no optimization) given mapped input signals;
+/// constant inputs are folded through the cell function where possible.
+/// `name` suggests the output net name ("" = auto).
+Sig emit_gate(nl::Netlist& netlist, nl::CellType type,
+              const std::vector<Sig>& inputs, const std::string& name);
+
+/// The source gate's name if it is safe to carry into a rebuilt netlist
+/// ("" for auto-generated "n<id>" names, which would collide).
+std::string carry_name(const nl::Netlist& source, nl::Var old_net);
+
+}  // namespace gfre::opt

@@ -1,0 +1,182 @@
+// Technology mapping onto a {NAND2, NOR2, INV (+XOR2)} standard-cell set.
+#include <unordered_map>
+
+#include "opt/passes.hpp"
+#include "opt/rebuild.hpp"
+#include "util/error.hpp"
+
+namespace gfre::opt {
+
+using nl::CellType;
+using nl::Var;
+
+namespace {
+
+/// Local cell builder with INV-pair elimination and constant folding.
+class CellKit {
+ public:
+  explicit CellKit(nl::Netlist& netlist) : netlist_(&netlist) {}
+
+  Sig inv(const Sig& x) {
+    if (x.is_zero()) return Sig::one();
+    if (x.is_one()) return Sig::zero();
+    const auto it = inv_of_.find(x.net);
+    if (it != inv_of_.end()) return Sig::wire(it->second);
+    const Var out = netlist_->add_gate(CellType::Inv, {x.net});
+    inv_of_.emplace(x.net, out);
+    inv_of_.emplace(out, x.net);
+    return Sig::wire(out);
+  }
+
+  Sig nand2(const Sig& x, const Sig& y) {
+    if (x.is_zero() || y.is_zero()) return Sig::one();
+    if (x.is_one()) return inv(y);
+    if (y.is_one()) return inv(x);
+    if (x.same_net_as(y)) return inv(x);
+    return Sig::wire(netlist_->add_gate(CellType::Nand, {x.net, y.net}));
+  }
+
+  Sig nor2(const Sig& x, const Sig& y) {
+    if (x.is_one() || y.is_one()) return Sig::zero();
+    if (x.is_zero()) return inv(y);
+    if (y.is_zero()) return inv(x);
+    if (x.same_net_as(y)) return inv(x);
+    return Sig::wire(netlist_->add_gate(CellType::Nor, {x.net, y.net}));
+  }
+
+  Sig and2(const Sig& x, const Sig& y) { return inv(nand2(x, y)); }
+  Sig or2(const Sig& x, const Sig& y) { return inv(nor2(x, y)); }
+
+  Sig xor2(const Sig& x, const Sig& y, bool keep_xor) {
+    if (x.same_net_as(y)) return Sig::zero();
+    if (x.is_zero()) return y;
+    if (y.is_zero()) return x;
+    if (x.is_one()) return inv(y);
+    if (y.is_one()) return inv(x);
+    if (keep_xor) {
+      return Sig::wire(netlist_->add_gate(CellType::Xor, {x.net, y.net}));
+    }
+    // 4-NAND decomposition: n = NAND(a,b); XOR = NAND(NAND(a,n), NAND(b,n)).
+    const Sig n = nand2(x, y);
+    return nand2(nand2(x, n), nand2(y, n));
+  }
+
+ private:
+  nl::Netlist* netlist_;
+  std::unordered_map<Var, Var> inv_of_;
+};
+
+}  // namespace
+
+nl::Netlist tech_map(const nl::Netlist& netlist,
+                     const TechMapOptions& options) {
+  Rebuild rebuild(netlist);
+  CellKit kit(rebuild.out());
+
+  const auto reduce = [&](const std::vector<Sig>& inputs, auto&& binary,
+                          Sig unit) {
+    Sig acc = unit;
+    bool first = true;
+    for (const Sig& s : inputs) {
+      if (first) {
+        acc = s;
+        first = false;
+      } else {
+        acc = binary(acc, s);
+      }
+    }
+    return acc;
+  };
+
+  for (std::size_t g : netlist.topological_order()) {
+    const nl::Gate& gate = netlist.gate(g);
+    const std::vector<Sig> in = rebuild.map_inputs(gate);
+    Sig out;
+    switch (gate.type) {
+      case CellType::Const0: out = Sig::zero(); break;
+      case CellType::Const1: out = Sig::one(); break;
+      case CellType::Buf: out = in[0]; break;
+      case CellType::Inv: out = kit.inv(in[0]); break;
+      case CellType::And:
+        out = reduce(in, [&](Sig a, Sig b) { return kit.and2(a, b); },
+                     Sig::one());
+        break;
+      case CellType::Nand:
+        out = kit.inv(reduce(
+            in, [&](Sig a, Sig b) { return kit.and2(a, b); }, Sig::one()));
+        break;
+      case CellType::Or:
+        out = reduce(in, [&](Sig a, Sig b) { return kit.or2(a, b); },
+                     Sig::zero());
+        break;
+      case CellType::Nor:
+        out = kit.inv(reduce(
+            in, [&](Sig a, Sig b) { return kit.or2(a, b); }, Sig::zero()));
+        break;
+      case CellType::Xor:
+        out = reduce(in,
+                     [&](Sig a, Sig b) {
+                       return kit.xor2(a, b, options.keep_xor);
+                     },
+                     Sig::zero());
+        break;
+      case CellType::Xnor:
+        out = kit.inv(reduce(in,
+                             [&](Sig a, Sig b) {
+                               return kit.xor2(a, b, options.keep_xor);
+                             },
+                             Sig::zero()));
+        break;
+      case CellType::Mux: {
+        // s?d1:d0 = NAND(NAND(s, d1), NAND(~s, d0))
+        const Sig ns = kit.inv(in[0]);
+        out = kit.nand2(kit.nand2(in[0], in[2]), kit.nand2(ns, in[1]));
+        break;
+      }
+      case CellType::Aoi21:
+        out = kit.nor2(kit.and2(in[0], in[1]), in[2]);
+        break;
+      case CellType::Oai21:
+        out = kit.nand2(kit.or2(in[0], in[1]), in[2]);
+        break;
+      case CellType::Aoi22:
+        out = kit.nor2(kit.and2(in[0], in[1]), kit.and2(in[2], in[3]));
+        break;
+      case CellType::Oai22:
+        out = kit.nand2(kit.or2(in[0], in[1]), kit.or2(in[2], in[3]));
+        break;
+      case CellType::Maj3: {
+        // maj(a,b,c) = ab | ac | bc = !(!(ab) & !(ac) & !(bc))
+        const Sig nab = kit.nand2(in[0], in[1]);
+        const Sig nac = kit.nand2(in[0], in[2]);
+        const Sig nbc = kit.nand2(in[1], in[2]);
+        out = kit.inv(kit.and2(kit.and2(nab, nac), nbc));
+        break;
+      }
+    }
+    rebuild.set(gate.output, out);
+  }
+  return rebuild.finish();
+}
+
+nl::Netlist synthesize(const nl::Netlist& netlist,
+                       const SynthesisOptions& options) {
+  nl::Netlist current = constant_propagate(netlist);
+  current = structural_hash(current);
+  current = rebalance_xor(current);
+  if (options.run_share) {
+    current = share_xor_pairs(current);
+  }
+  current = structural_hash(current);
+  if (options.run_map_aoi) {
+    current = map_aoi(current);
+  }
+  if (options.run_tech_map) {
+    current = tech_map(current, options.tech_map);
+  }
+  current = constant_propagate(current);
+  current = structural_hash(current);
+  return current;
+}
+
+}  // namespace gfre::opt

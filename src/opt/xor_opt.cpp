@@ -1,0 +1,273 @@
+// XOR-network optimizations: rebalancing and common-pair sharing.
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "opt/passes.hpp"
+#include "opt/rebuild.hpp"
+#include "util/error.hpp"
+
+namespace gfre::opt {
+
+using gen::sig_xor_tree;
+using gen::XorShape;
+using nl::CellType;
+using nl::Var;
+
+namespace {
+
+bool is_xorish(CellType type) {
+  return type == CellType::Xor || type == CellType::Xnor;
+}
+
+/// Fanout of every net: gate-input uses plus primary-output uses.
+std::vector<unsigned> fanout_counts(const nl::Netlist& netlist) {
+  std::vector<unsigned> fanout(netlist.num_vars(), 0);
+  for (const nl::Gate& gate : netlist.gates()) {
+    for (Var in : gate.inputs) ++fanout[in];
+  }
+  for (Var out : netlist.outputs()) ++fanout[out];
+  return fanout;
+}
+
+/// An XOR cluster rooted at an XOR-ish gate: the parity-reduced set of
+/// non-absorbable leaf nets plus an inversion flag.
+struct Cluster {
+  std::size_t root_gate;
+  std::vector<Var> leaves;  // source nets, parity-reduced (odd occurrences)
+  bool invert = false;
+};
+
+/// Identifies clusters: a root is an XOR-ish gate whose output is a PO or
+/// feeds a non-XOR gate or has fanout > 1.  Fanout-1 XOR-ish gates feeding
+/// a root are absorbed into its leaf multiset.
+std::vector<Cluster> find_clusters(const nl::Netlist& netlist,
+                                   const std::vector<unsigned>& fanout,
+                                   std::vector<bool>& absorbed) {
+  absorbed.assign(netlist.num_gates(), false);
+  std::vector<bool> is_po(netlist.num_vars(), false);
+  for (Var out : netlist.outputs()) is_po[out] = true;
+
+  // A gate can be absorbed iff it is XOR-ish, fanout exactly 1, not a PO,
+  // and its single consumer is XOR-ish.
+  std::vector<unsigned> consumer_xorish(netlist.num_vars(), 0);
+  for (const nl::Gate& gate : netlist.gates()) {
+    if (!is_xorish(gate.type)) continue;
+    for (Var in : gate.inputs) ++consumer_xorish[in];
+  }
+
+  const auto absorbable = [&](Var net) {
+    const auto drv = netlist.driver(net);
+    if (!drv.has_value()) return false;
+    if (!is_xorish(netlist.gate(*drv).type)) return false;
+    return fanout[net] == 1 && !is_po[net] && consumer_xorish[net] == 1;
+  };
+
+  std::vector<Cluster> clusters;
+  for (std::size_t g = 0; g < netlist.num_gates(); ++g) {
+    const nl::Gate& gate = netlist.gate(g);
+    if (!is_xorish(gate.type)) continue;
+    if (absorbable(gate.output)) continue;  // interior node of some cluster
+
+    Cluster cluster;
+    cluster.root_gate = g;
+    std::map<Var, unsigned> multiplicity;
+    bool invert = false;
+    std::vector<std::size_t> work{g};
+    while (!work.empty()) {
+      const std::size_t current = work.back();
+      work.pop_back();
+      const nl::Gate& node = netlist.gate(current);
+      if (node.type == CellType::Xnor) invert = !invert;
+      for (Var in : node.inputs) {
+        if (absorbable(in)) {
+          const auto drv = netlist.driver(in);
+          absorbed[*drv] = true;
+          work.push_back(*drv);
+        } else {
+          ++multiplicity[in];
+        }
+      }
+    }
+    for (const auto& [net, count] : multiplicity) {
+      if (count % 2 == 1) cluster.leaves.push_back(net);
+    }
+    cluster.invert = invert;
+    clusters.push_back(std::move(cluster));
+  }
+  return clusters;
+}
+
+}  // namespace
+
+nl::Netlist rebalance_xor(const nl::Netlist& netlist) {
+  const auto fanout = fanout_counts(netlist);
+  std::vector<bool> absorbed;
+  const auto clusters = find_clusters(netlist, fanout, absorbed);
+
+  std::unordered_map<std::size_t, const Cluster*> cluster_by_root;
+  for (const auto& cluster : clusters) {
+    cluster_by_root.emplace(cluster.root_gate, &cluster);
+  }
+
+  Rebuild rebuild(netlist);
+  for (std::size_t g : netlist.topological_order()) {
+    if (absorbed[g]) continue;  // folded into a root's leaf set
+    const nl::Gate& gate = netlist.gate(g);
+    const auto it = cluster_by_root.find(g);
+    if (it == cluster_by_root.end()) {
+      rebuild.set(gate.output,
+                  emit_gate(rebuild.out(), gate.type, rebuild.map_inputs(gate),
+                            carry_name(netlist, gate.output)));
+      continue;
+    }
+    const Cluster& cluster = *it->second;
+    std::vector<Sig> leaves;
+    leaves.reserve(cluster.leaves.size() + 1);
+    for (Var leaf : cluster.leaves) leaves.push_back(rebuild.at(leaf));
+    if (cluster.invert) leaves.push_back(Sig::one());
+    // Rebuilt roots get fresh auto names; Rebuild::finish() re-buffers any
+    // primary output whose driving net lost its name.
+    rebuild.set(gate.output, sig_xor_tree(rebuild.out(), std::move(leaves),
+                                          XorShape::Balanced));
+  }
+  return rebuild.finish();
+}
+
+nl::Netlist share_xor_pairs(const nl::Netlist& netlist, unsigned max_rounds) {
+  const auto fanout = fanout_counts(netlist);
+  std::vector<bool> absorbed;
+  auto clusters = find_clusters(netlist, fanout, absorbed);
+
+  // Abstract sharing domain: node ids are source nets; virtual nodes (the
+  // extracted shared XOR pairs) get fresh ids above num_vars().
+  using Node = std::uint64_t;
+  Node next_virtual = netlist.num_vars();
+  struct Virtual {
+    Node lhs;
+    Node rhs;
+  };
+  std::unordered_map<Node, Virtual> virtuals;
+
+  std::vector<std::vector<Node>> sets;
+  sets.reserve(clusters.size());
+  for (const auto& cluster : clusters) {
+    sets.emplace_back(cluster.leaves.begin(), cluster.leaves.end());
+  }
+
+  const auto pair_key = [](Node a, Node b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<unsigned __int128>(a) << 64) | b;
+  };
+  struct KeyHash {
+    std::size_t operator()(unsigned __int128 k) const {
+      // libstdc++'s hash<uint64_t> is the identity; mix properly or the
+      // pair-count map degenerates to collision chains on large netlists.
+      auto mix = [](std::uint64_t z) {
+        z += 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+      };
+      return mix(static_cast<std::uint64_t>(k)) ^
+             (mix(static_cast<std::uint64_t>(k >> 64)) << 1);
+    }
+  };
+
+  // Batched greedy: each round counts all co-occurring pairs once, then
+  // extracts every profitable pair (count >= 2), most frequent first.
+  // Rounds repeat until no pair is shared — O(log) rounds in practice
+  // instead of one recount per extracted pair, which matters for the
+  // Table III problem sizes (hundreds of thousands of leaves).
+  for (unsigned round = 0; round < max_rounds; ++round) {
+    std::unordered_map<unsigned __int128, unsigned, KeyHash> pair_count;
+    for (const auto& set : sets) {
+      for (std::size_t i = 0; i < set.size(); ++i) {
+        for (std::size_t j = i + 1; j < set.size(); ++j) {
+          ++pair_count[pair_key(set[i], set[j])];
+        }
+      }
+    }
+    std::vector<std::pair<unsigned __int128, unsigned>> candidates;
+    for (const auto& [key, count] : pair_count) {
+      if (count >= 2) candidates.emplace_back(key, count);
+    }
+    if (candidates.empty()) break;
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& lhs, const auto& rhs) {
+                if (lhs.second != rhs.second) return lhs.second > rhs.second;
+                return lhs.first < rhs.first;  // deterministic tie-break
+              });
+
+    bool extracted_any = false;
+    for (const auto& [key, count] : candidates) {
+      const Node a = static_cast<std::uint64_t>(key >> 64);
+      const Node b = static_cast<std::uint64_t>(key);
+      // Collect the sets that still contain both operands (earlier
+      // extractions this round may have consumed them).
+      std::vector<std::size_t> holders;
+      for (std::size_t s = 0; s < sets.size(); ++s) {
+        const auto& set = sets[s];
+        if (std::find(set.begin(), set.end(), a) != set.end() &&
+            std::find(set.begin(), set.end(), b) != set.end()) {
+          holders.push_back(s);
+        }
+      }
+      if (holders.size() < 2) continue;  // no longer profitable
+      const Node v = next_virtual++;
+      virtuals.emplace(v, Virtual{a, b});
+      for (std::size_t s : holders) {
+        auto& set = sets[s];
+        set.erase(std::find(set.begin(), set.end(), a));
+        set.erase(std::find(set.begin(), set.end(), b));
+        set.push_back(v);
+      }
+      extracted_any = true;
+    }
+    if (!extracted_any) break;
+  }
+
+  // Rebuild: materialize virtual nodes on demand, then cluster roots.
+  Rebuild rebuild(netlist);
+  std::unordered_map<Node, Sig> virtual_sig;
+  std::function<Sig(Node)> node_sig = [&](Node node) -> Sig {
+    if (node < netlist.num_vars()) {
+      return rebuild.at(static_cast<Var>(node));
+    }
+    const auto cached = virtual_sig.find(node);
+    if (cached != virtual_sig.end()) return cached->second;
+    const Virtual& v = virtuals.at(node);
+    const Sig out = gen::sig_xor(rebuild.out(), node_sig(v.lhs),
+                                 node_sig(v.rhs));
+    virtual_sig.emplace(node, out);
+    return out;
+  };
+
+  std::unordered_map<std::size_t, std::size_t> cluster_by_root;
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    cluster_by_root.emplace(clusters[c].root_gate, c);
+  }
+
+  for (std::size_t g : netlist.topological_order()) {
+    if (absorbed[g]) continue;
+    const nl::Gate& gate = netlist.gate(g);
+    const auto it = cluster_by_root.find(g);
+    if (it == cluster_by_root.end()) {
+      rebuild.set(gate.output,
+                  emit_gate(rebuild.out(), gate.type, rebuild.map_inputs(gate),
+                            carry_name(netlist, gate.output)));
+      continue;
+    }
+    std::vector<Sig> leaves;
+    for (Node node : sets[it->second]) leaves.push_back(node_sig(node));
+    if (clusters[it->second].invert) leaves.push_back(Sig::one());
+    rebuild.set(gate.output, sig_xor_tree(rebuild.out(), std::move(leaves),
+                                          XorShape::Balanced));
+  }
+  return rebuild.finish();
+}
+
+}  // namespace gfre::opt

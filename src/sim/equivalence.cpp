@@ -1,0 +1,214 @@
+#include "sim/equivalence.hpp"
+
+#include <sstream>
+
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace gfre::sim {
+
+namespace {
+
+/// Packs 64 operand pairs into per-input-bit slices; slice bit j is vector
+/// j's value of that operand bit.
+struct Batch {
+  std::vector<gf2::Poly> a;  // 64 operand values
+  std::vector<gf2::Poly> b;
+};
+
+std::optional<Counterexample> run_batch(const Simulator& simulator,
+                                        const nl::Netlist& netlist,
+                                        const nl::MultiplierPorts& ports,
+                                        const MulSpec& spec,
+                                        const Batch& batch) {
+  const unsigned m = ports.m();
+  const std::size_t lanes = batch.a.size();
+  GFRE_ASSERT(lanes >= 1 && lanes <= 64, "bad batch size");
+
+  // Build input slices indexed by the netlist's input order.
+  std::vector<std::uint64_t> slices(netlist.inputs().size(), 0);
+  std::vector<std::size_t> input_pos(netlist.num_vars(), SIZE_MAX);
+  for (std::size_t i = 0; i < netlist.inputs().size(); ++i) {
+    input_pos[netlist.inputs()[i]] = i;
+  }
+  for (unsigned bit = 0; bit < m; ++bit) {
+    const std::size_t pa = input_pos[ports.a.bits[bit]];
+    const std::size_t pb = input_pos[ports.b.bits[bit]];
+    GFRE_ASSERT(pa != SIZE_MAX && pb != SIZE_MAX,
+                "multiplier operand bit is not a primary input");
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      if (batch.a[lane].coeff(bit)) slices[pa] |= (1ull << lane);
+      if (batch.b[lane].coeff(bit)) slices[pb] |= (1ull << lane);
+    }
+  }
+
+  const auto out = simulator.run(slices);
+  std::vector<std::size_t> output_pos(netlist.num_vars(), SIZE_MAX);
+  for (std::size_t i = 0; i < netlist.outputs().size(); ++i) {
+    if (output_pos[netlist.outputs()[i]] == SIZE_MAX) {
+      output_pos[netlist.outputs()[i]] = i;
+    }
+  }
+
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    gf2::Poly z;
+    for (unsigned bit = 0; bit < m; ++bit) {
+      const std::size_t pos = output_pos[ports.z.bits[bit]];
+      GFRE_ASSERT(pos != SIZE_MAX, "multiplier output bit is not an output");
+      if ((out[pos] >> lane) & 1ull) z.set_coeff(bit, true);
+    }
+    const gf2::Poly expected = spec(batch.a[lane], batch.b[lane]);
+    if (z != expected) {
+      return Counterexample{batch.a[lane], batch.b[lane], z, expected};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string Counterexample::to_string() const {
+  std::ostringstream oss;
+  oss << "A=" << a.to_string() << " B=" << b.to_string()
+      << " netlist=" << netlist_z.to_string()
+      << " expected=" << expected_z.to_string();
+  return oss.str();
+}
+
+std::optional<Counterexample> check_multiplier(
+    const nl::Netlist& netlist, const nl::MultiplierPorts& ports,
+    const MulSpec& spec, Prng& rng, unsigned random_batches,
+    unsigned exhaustive_limit_bits) {
+  const unsigned m = ports.m();
+  const Simulator simulator(netlist);
+
+  if (2 * m <= exhaustive_limit_bits) {
+    // Exhaustive: all 2^m x 2^m operand pairs, in batches of 64.
+    Batch batch;
+    const std::uint64_t total = 1ull << (2 * m);
+    for (std::uint64_t base = 0; base < total; base += 64) {
+      batch.a.clear();
+      batch.b.clear();
+      const std::uint64_t lanes = std::min<std::uint64_t>(64, total - base);
+      for (std::uint64_t lane = 0; lane < lanes; ++lane) {
+        const std::uint64_t pair = base + lane;
+        gf2::Poly a, b;
+        for (unsigned bit = 0; bit < m; ++bit) {
+          if ((pair >> bit) & 1ull) a.set_coeff(bit, true);
+          if ((pair >> (m + bit)) & 1ull) b.set_coeff(bit, true);
+        }
+        batch.a.push_back(std::move(a));
+        batch.b.push_back(std::move(b));
+      }
+      if (auto cex = run_batch(simulator, netlist, ports, spec, batch)) {
+        return cex;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Random batches; always include the all-zeros / all-ones corner pair in
+  // the first batch.
+  for (unsigned iteration = 0; iteration < random_batches; ++iteration) {
+    Batch batch;
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      gf2::Poly a, b;
+      if (iteration == 0 && lane == 0) {
+        // zeros
+      } else if (iteration == 0 && lane == 1) {
+        for (unsigned bit = 0; bit < m; ++bit) {
+          a.set_coeff(bit, true);
+          b.set_coeff(bit, true);
+        }
+      } else {
+        for (unsigned bit = 0; bit < m; ++bit) {
+          if (rng.next_bool()) a.set_coeff(bit, true);
+          if (rng.next_bool()) b.set_coeff(bit, true);
+        }
+      }
+      batch.a.push_back(std::move(a));
+      batch.b.push_back(std::move(b));
+    }
+    if (auto cex = run_batch(simulator, netlist, ports, spec, batch)) {
+      return cex;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Counterexample> check_field_multiplier(
+    const nl::Netlist& netlist, const nl::MultiplierPorts& ports,
+    const gf2m::Field& field, Prng& rng, unsigned random_batches) {
+  GFRE_ASSERT(ports.m() == field.m(),
+              "port width " << ports.m() << " != field degree " << field.m());
+  return check_multiplier(
+      netlist, ports,
+      [&field](const gf2::Poly& a, const gf2::Poly& b) {
+        return field.mul(a, b);
+      },
+      rng, random_batches);
+}
+
+std::optional<std::string> check_netlists_equal(const nl::Netlist& lhs,
+                                                const nl::Netlist& rhs,
+                                                Prng& rng,
+                                                unsigned random_batches) {
+  if (lhs.inputs().size() != rhs.inputs().size() ||
+      lhs.outputs().size() != rhs.outputs().size()) {
+    return "port counts differ";
+  }
+  // Map rhs inputs by name so declaration order does not matter.
+  std::vector<std::size_t> rhs_input_for_lhs(lhs.inputs().size());
+  for (std::size_t i = 0; i < lhs.inputs().size(); ++i) {
+    const auto v = rhs.find_var(lhs.var_name(lhs.inputs()[i]));
+    if (!v.has_value()) {
+      return "input '" + lhs.var_name(lhs.inputs()[i]) + "' missing in rhs";
+    }
+    bool found = false;
+    for (std::size_t j = 0; j < rhs.inputs().size(); ++j) {
+      if (rhs.inputs()[j] == *v) {
+        rhs_input_for_lhs[i] = j;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return "net '" + lhs.var_name(lhs.inputs()[i]) +
+             "' is not an input of rhs";
+    }
+  }
+
+  const Simulator sim_lhs(lhs);
+  const Simulator sim_rhs(rhs);
+  for (unsigned iteration = 0; iteration < random_batches; ++iteration) {
+    std::vector<std::uint64_t> in_lhs(lhs.inputs().size());
+    std::vector<std::uint64_t> in_rhs(rhs.inputs().size());
+    for (std::size_t i = 0; i < in_lhs.size(); ++i) {
+      in_lhs[i] = rng.next_u64();
+      in_rhs[rhs_input_for_lhs[i]] = in_lhs[i];
+    }
+    const auto out_lhs = sim_lhs.run(in_lhs);
+    const auto out_rhs = sim_rhs.run(in_rhs);
+    for (std::size_t o = 0; o < out_lhs.size(); ++o) {
+      // Outputs are matched by name as well.
+      const std::string out_name = lhs.var_name(lhs.outputs()[o]);
+      std::size_t rhs_pos = SIZE_MAX;
+      for (std::size_t j = 0; j < rhs.outputs().size(); ++j) {
+        if (rhs.var_name(rhs.outputs()[j]) == out_name) {
+          rhs_pos = j;
+          break;
+        }
+      }
+      if (rhs_pos == SIZE_MAX) {
+        return "output '" + out_name + "' missing in rhs";
+      }
+      if (out_lhs[o] != out_rhs[rhs_pos]) {
+        return "output '" + out_name + "' differs on random batch " +
+               std::to_string(iteration);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace gfre::sim

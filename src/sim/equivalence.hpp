@@ -1,0 +1,58 @@
+// Equivalence checking between multiplier netlists and the word-level
+// GF(2^m) reference model, and between two netlists.
+//
+// Exhaustive up to 2m <= ~22 input bits; random 64-way batches beyond.
+// This is the "golden implementation" comparison leg of the paper's flow,
+// done by simulation rather than algebra (the algebraic leg lives in core).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "gf2m/field.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/ports.hpp"
+#include "util/prng.hpp"
+
+namespace gfre::sim {
+
+/// A mismatch witness: operand values and the differing output words.
+struct Counterexample {
+  gf2::Poly a;
+  gf2::Poly b;
+  gf2::Poly netlist_z;
+  gf2::Poly expected_z;
+
+  std::string to_string() const;
+};
+
+/// Word-level multiplier specification: maps operands (A, B) to the
+/// expected product word.
+using MulSpec =
+    std::function<gf2::Poly(const gf2::Poly&, const gf2::Poly&)>;
+
+/// Checks a multiplier netlist against a word-level spec.
+/// Runs exhaustively when 2m <= exhaustive_limit_bits, otherwise
+/// `random_batches` batches of 64 random vector pairs.
+/// Returns nullopt on success or the first counterexample found.
+std::optional<Counterexample> check_multiplier(
+    const nl::Netlist& netlist, const nl::MultiplierPorts& ports,
+    const MulSpec& spec, Prng& rng, unsigned random_batches = 64,
+    unsigned exhaustive_limit_bits = 16);
+
+/// Convenience: spec = multiplication in the given field.
+std::optional<Counterexample> check_field_multiplier(
+    const nl::Netlist& netlist, const nl::MultiplierPorts& ports,
+    const gf2m::Field& field, Prng& rng, unsigned random_batches = 64);
+
+/// Random-simulation equivalence of two netlists with identical port
+/// structure (same input and output names).  Returns a human-readable
+/// diagnostic on mismatch, nullopt when all batches agree.
+std::optional<std::string> check_netlists_equal(const nl::Netlist& lhs,
+                                                const nl::Netlist& rhs,
+                                                Prng& rng,
+                                                unsigned random_batches = 64);
+
+}  // namespace gfre::sim

@@ -1,0 +1,45 @@
+#include "sim/simulator.hpp"
+
+#include "util/error.hpp"
+
+namespace gfre::sim {
+
+Simulator::Simulator(const nl::Netlist& netlist)
+    : netlist_(&netlist), order_(netlist.topological_order()) {}
+
+std::vector<std::uint64_t> Simulator::run(
+    const std::vector<std::uint64_t>& input_values) const {
+  const nl::Netlist& netlist = *netlist_;
+  GFRE_ASSERT(input_values.size() == netlist.inputs().size(),
+              "expected " << netlist.inputs().size() << " input slices, got "
+                          << input_values.size());
+  std::vector<std::uint64_t> value(netlist.num_vars(), 0);
+  for (std::size_t i = 0; i < input_values.size(); ++i) {
+    value[netlist.inputs()[i]] = input_values[i];
+  }
+  std::vector<std::uint64_t> gate_in;
+  for (std::size_t g : order_) {
+    const nl::Gate& gate = netlist.gate(g);
+    gate_in.clear();
+    for (nl::Var in : gate.inputs) gate_in.push_back(value[in]);
+    value[gate.output] = nl::eval_cell_words(gate.type, gate_in);
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(netlist.outputs().size());
+  for (nl::Var v : netlist.outputs()) out.push_back(value[v]);
+  return out;
+}
+
+std::vector<bool> Simulator::run_single(
+    const std::vector<bool>& input_values) const {
+  std::vector<std::uint64_t> slices;
+  slices.reserve(input_values.size());
+  for (bool b : input_values) slices.push_back(b ? 1ull : 0ull);
+  const auto out = run(slices);
+  std::vector<bool> result;
+  result.reserve(out.size());
+  for (std::uint64_t w : out) result.push_back((w & 1ull) != 0);
+  return result;
+}
+
+}  // namespace gfre::sim

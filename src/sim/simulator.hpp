@@ -1,0 +1,39 @@
+// 64-way bit-parallel netlist simulation.
+//
+// Used to validate generators against the word-level field model, to check
+// that optimization passes preserve semantics, and as an independent
+// cross-check of extracted ANFs (Theorem 1 says the extracted expression
+// is the circuit's function; the simulator verifies that claim on random
+// vectors).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace gfre::sim {
+
+/// Simulates a netlist on 64 input vectors at a time (one bit-slice per
+/// vector).  The evaluation order is cached, so repeated runs on the same
+/// netlist are cheap.
+class Simulator {
+ public:
+  explicit Simulator(const nl::Netlist& netlist);
+
+  /// values[i] is the 64-vector slice for netlist.inputs()[i].
+  /// Returns one slice per declared output, in output order.
+  std::vector<std::uint64_t> run(
+      const std::vector<std::uint64_t>& input_values) const;
+
+  /// Single-vector convenience wrapper (bit 0 of each slice).
+  std::vector<bool> run_single(const std::vector<bool>& input_values) const;
+
+  const nl::Netlist& netlist() const { return *netlist_; }
+
+ private:
+  const nl::Netlist* netlist_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace gfre::sim

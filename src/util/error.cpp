@@ -1,0 +1,18 @@
+#include "util/error.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace gfre::detail {
+
+[[noreturn]] void assert_fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream oss;
+  oss << "GFRE_ASSERT failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  // Throwing (rather than aborting) lets tests exercise failure paths and
+  // lets the CLI report a clean diagnostic for corrupt inputs.
+  throw Error(oss.str());
+}
+
+}  // namespace gfre::detail

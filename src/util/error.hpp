@@ -1,0 +1,59 @@
+// Error handling primitives for the gfre library.
+//
+// The library reports unrecoverable usage/input errors with exceptions
+// derived from gfre::Error, and guards internal invariants with
+// GFRE_ASSERT (enabled in all build types: the algebra engine is the
+// product, so invariant checking is never compiled out).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gfre {
+
+/// Base class of every exception thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input file / unparseable netlist.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& file, int line, const std::string& msg)
+      : Error(file + ":" + std::to_string(line) + ": " + msg),
+        file_(file),
+        line_(line) {}
+
+  const std::string& file() const { return file_; }
+  int line() const { return line_; }
+
+ private:
+  std::string file_;
+  int line_;
+};
+
+/// A request that is structurally invalid (bad degree, unknown cell, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* cond, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace gfre
+
+/// Invariant check; active in every build type.
+#define GFRE_ASSERT(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream gfre_assert_oss_;                              \
+      gfre_assert_oss_ << msg; /* NOLINT */                             \
+      ::gfre::detail::assert_fail(#cond, __FILE__, __LINE__,            \
+                                  gfre_assert_oss_.str());              \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,34 @@
+#include "util/options.hpp"
+
+#include <cstdlib>
+
+#include "util/thread_pool.hpp"
+
+namespace gfre {
+
+bool full_scale_requested() {
+  const char* v = std::getenv("GFRE_FULL");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+std::size_t configured_threads() {
+  const long n = env_long("GFRE_THREADS", 0);
+  if (n > 0) return static_cast<std::size_t>(n);
+  return ThreadPool::default_threads();
+}
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::string(v);
+}
+
+}  // namespace gfre

@@ -1,0 +1,28 @@
+// Benchmark/example configuration shared across harness binaries.
+//
+// The paper's experiments ran 16 threads on a 12-core Xeon with 32 GB; this
+// container is much smaller, so benches default to scaled bit-widths and
+// hardware-concurrency threads, and GFRE_FULL=1 selects the paper's full
+// problem sizes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gfre {
+
+/// True when the environment requests the paper's full problem sizes
+/// (GFRE_FULL=1).
+bool full_scale_requested();
+
+/// Thread count for parallel extraction: GFRE_THREADS if set, else hardware
+/// concurrency.
+std::size_t configured_threads();
+
+/// Integer environment variable with default.
+long env_long(const char* name, long fallback);
+
+/// String environment variable with default.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace gfre

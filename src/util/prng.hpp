@@ -1,0 +1,64 @@
+// Deterministic PRNG for simulation vectors and property tests.
+//
+// splitmix64 seeding + xoshiro256** generation: fast, reproducible across
+// platforms, and independent of libstdc++'s unspecified distributions.
+#pragma once
+
+#include <cstdint>
+
+namespace gfre {
+
+/// xoshiro256** seeded via splitmix64.  Deterministic for a given seed.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      // splitmix64 step
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n).  n must be nonzero.
+  std::uint64_t next_below(std::uint64_t n) {
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = n * ((~0ull) / n);
+    std::uint64_t x;
+    do {
+      x = next_u64();
+    } while (x >= limit);
+    return x % n;
+  }
+
+  bool next_bool() { return (next_u64() & 1ull) != 0; }
+
+  /// Uniform double in [0,1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace gfre

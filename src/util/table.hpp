@@ -1,0 +1,36 @@
+// Plain-text table rendering used by the benchmark harnesses to print the
+// paper's tables (Tables I-IV) in the same row/column layout.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gfre {
+
+/// Column-aligned ASCII table with a header row and optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; the row must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column alignment, a separator under the header, and an
+  /// optional title line.
+  std::string render(const std::string& title = "") const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+std::string fmt_double(double v, int decimals);
+std::string fmt_int(long long v);
+/// 1628170 -> "1,628,170" (the paper prints thousand separators in #eqns).
+std::string fmt_thousands(unsigned long long v);
+
+}  // namespace gfre

@@ -1,0 +1,34 @@
+// Lightweight wall-clock timing used by the extraction engine and the
+// benchmark harnesses (per-output-bit runtimes of Figure 4, total runtimes
+// of Tables I-IV).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace gfre {
+
+/// Monotonic stopwatch. Started on construction; restart with reset().
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed time in seconds.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  double micros() const { return seconds() * 1e6; }
+
+  /// Elapsed time in milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace gfre

@@ -1,0 +1,95 @@
+// Shared test utilities: random netlist generation and semantic-equality
+// checks used across the I/O, optimization and extraction suites.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/cell.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+#include "util/prng.hpp"
+
+namespace gfre::test {
+
+/// Builds a random combinational DAG over `num_inputs` inputs with
+/// `num_gates` gates drawn from the full cell library, with every declared
+/// output being the last few gates (so nothing is trivially dead).
+inline nl::Netlist random_netlist(Prng& rng, unsigned num_inputs,
+                                  unsigned num_gates, unsigned num_outputs) {
+  nl::Netlist netlist("random");
+  std::vector<nl::Var> pool;
+  for (unsigned i = 0; i < num_inputs; ++i) {
+    pool.push_back(netlist.add_input("i" + std::to_string(i)));
+  }
+  const std::vector<nl::CellType> kinds = {
+      nl::CellType::And,   nl::CellType::Or,    nl::CellType::Xor,
+      nl::CellType::Xnor,  nl::CellType::Nand,  nl::CellType::Nor,
+      nl::CellType::Inv,   nl::CellType::Buf,   nl::CellType::Mux,
+      nl::CellType::Aoi21, nl::CellType::Oai21, nl::CellType::Aoi22,
+      nl::CellType::Oai22, nl::CellType::Maj3,
+  };
+  for (unsigned g = 0; g < num_gates; ++g) {
+    const nl::CellType type = kinds[rng.next_below(kinds.size())];
+    std::size_t arity = 0;
+    for (std::size_t n = 0; n <= 4; ++n) {
+      if (nl::arity_ok(type, n)) {
+        arity = n;
+        if (rng.next_bool()) break;  // sometimes take a bigger arity
+      }
+    }
+    std::vector<nl::Var> inputs;
+    for (std::size_t i = 0; i < arity; ++i) {
+      inputs.push_back(pool[rng.next_below(pool.size())]);
+    }
+    pool.push_back(netlist.add_gate(type, std::move(inputs)));
+  }
+  for (unsigned o = 0; o < num_outputs; ++o) {
+    const nl::Var v = pool[pool.size() - 1 - o];
+    netlist.mark_output(v);
+  }
+  return netlist;
+}
+
+/// Semantic equality of two netlists with identical input/output *order*
+/// (names may differ), by exhaustive simulation up to 2^inputs <= 4096,
+/// else 64-vector random batches.
+inline bool same_function(const nl::Netlist& lhs, const nl::Netlist& rhs,
+                          Prng& rng, unsigned random_batches = 32) {
+  if (lhs.inputs().size() != rhs.inputs().size()) return false;
+  if (lhs.outputs().size() != rhs.outputs().size()) return false;
+  const sim::Simulator sim_lhs(lhs);
+  const sim::Simulator sim_rhs(rhs);
+  const std::size_t n = lhs.inputs().size();
+  if (n <= 12) {
+    const std::size_t total = std::size_t{1} << n;
+    for (std::size_t base = 0; base < total; base += 64) {
+      std::vector<std::uint64_t> slices(n, 0);
+      const std::size_t lanes = std::min<std::size_t>(64, total - base);
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        const std::size_t assignment = base + lane;
+        for (std::size_t i = 0; i < n; ++i) {
+          if ((assignment >> i) & 1u) slices[i] |= (1ull << lane);
+        }
+      }
+      const std::uint64_t mask =
+          lanes == 64 ? ~0ull : ((1ull << lanes) - 1);
+      const auto out_l = sim_lhs.run(slices);
+      const auto out_r = sim_rhs.run(slices);
+      for (std::size_t o = 0; o < out_l.size(); ++o) {
+        if ((out_l[o] & mask) != (out_r[o] & mask)) return false;
+      }
+    }
+    return true;
+  }
+  for (unsigned batch = 0; batch < random_batches; ++batch) {
+    std::vector<std::uint64_t> slices(n);
+    for (auto& s : slices) s = rng.next_u64();
+    const auto out_l = sim_lhs.run(slices);
+    const auto out_r = sim_rhs.run(slices);
+    if (out_l != out_r) return false;
+  }
+  return true;
+}
+
+}  // namespace gfre::test

@@ -1,0 +1,267 @@
+// Tests for the ANF algebra engine (monomials + polynomials).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "anf/anf.hpp"
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace gfre::anf {
+namespace {
+
+TEST(Monomial, DefaultIsConstantOne) {
+  Monomial one;
+  EXPECT_TRUE(one.is_one());
+  EXPECT_EQ(one.degree(), 0u);
+  EXPECT_EQ(one.to_string([](Var) { return "?"; }), "1");
+}
+
+TEST(Monomial, FromVarsSortsAndDeduplicates) {
+  const Monomial m = Monomial::from_vars({5, 2, 9, 2, 5});
+  EXPECT_EQ(m.vars(), (std::vector<Var>{2, 5, 9}));
+  EXPECT_EQ(m.degree(), 3u);
+}
+
+TEST(Monomial, ContainsUsesBinarySearch) {
+  const Monomial m = Monomial::from_vars({1, 4, 7, 100});
+  EXPECT_TRUE(m.contains(1));
+  EXPECT_TRUE(m.contains(100));
+  EXPECT_FALSE(m.contains(5));
+  EXPECT_FALSE(Monomial().contains(0));
+}
+
+TEST(Monomial, TimesIsIdempotentUnion) {
+  const Monomial ab = Monomial::from_vars({1, 2});
+  const Monomial bc = Monomial::from_vars({2, 3});
+  EXPECT_EQ(ab.times(bc).vars(), (std::vector<Var>{1, 2, 3}));
+  EXPECT_EQ(ab.times(ab), ab) << "x*x = x";
+  EXPECT_EQ(ab.times(Monomial()), ab);
+  EXPECT_EQ(Monomial().times(ab), ab);
+  EXPECT_EQ(ab.times(Var{2}), ab);
+  EXPECT_EQ(ab.times(Var{0}).vars(), (std::vector<Var>{0, 1, 2}));
+}
+
+TEST(Monomial, WithoutRemovesVariable) {
+  const Monomial abc = Monomial::from_vars({1, 2, 3});
+  EXPECT_EQ(abc.without(2).vars(), (std::vector<Var>{1, 3}));
+  EXPECT_EQ(abc.without(9), abc);
+  EXPECT_TRUE(Monomial(Var{4}).without(4).is_one());
+}
+
+TEST(Monomial, EqualityAndHashConsistency) {
+  const Monomial a = Monomial::from_vars({3, 1});
+  const Monomial b = Monomial::from_vars({1, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  const Monomial c = Monomial::from_vars({1, 4});
+  EXPECT_NE(a, c);
+}
+
+TEST(Monomial, GradedLexOrder) {
+  // degree first, then lexicographic.
+  EXPECT_LT(Monomial(), Monomial(Var{0}));
+  EXPECT_LT(Monomial(Var{9}), Monomial::from_vars({0, 1}));
+  EXPECT_LT(Monomial::from_vars({0, 2}), Monomial::from_vars({1, 2}));
+}
+
+TEST(Monomial, HashHasFewCollisionsOnPairs) {
+  // Degree-2 monomials over 64 variables: all distinct hashes expected for
+  // this small universe (quality check, not a guarantee).
+  std::unordered_set<std::size_t> hashes;
+  unsigned total = 0;
+  for (Var i = 0; i < 64; ++i) {
+    for (Var j = i + 1; j < 64; ++j) {
+      hashes.insert(Monomial::from_vars({i, j}).hash());
+      ++total;
+    }
+  }
+  EXPECT_GE(hashes.size(), total - 2) << "too many hash collisions";
+}
+
+TEST(Anf, ZeroAndOne) {
+  EXPECT_TRUE(Anf::zero().is_zero());
+  EXPECT_TRUE(Anf::one().is_one());
+  EXPECT_FALSE(Anf::one().is_zero());
+  EXPECT_EQ(Anf::zero().size(), 0u);
+  EXPECT_EQ(Anf::one().size(), 1u);
+}
+
+TEST(Anf, ToggleCancelsMod2) {
+  Anf f;
+  const Monomial ab = Monomial::from_vars({0, 1});
+  EXPECT_TRUE(f.toggle(ab));
+  EXPECT_TRUE(f.contains(ab));
+  EXPECT_FALSE(f.toggle(ab));
+  EXPECT_TRUE(f.is_zero());
+}
+
+TEST(Anf, AdditionIsSymmetricDifference) {
+  const Anf f = Anf::var(0) + Anf::var(1);
+  const Anf g = Anf::var(1) + Anf::var(2);
+  const Anf sum = f + g;
+  EXPECT_EQ(sum, Anf::var(0) + Anf::var(2));
+  EXPECT_TRUE((f + f).is_zero());
+}
+
+TEST(Anf, MultiplicationExpandsWithIdempotence) {
+  // (a+b)(a+c) = a + ab + ac + bc over GF(2) with a^2=a
+  const Anf lhs = (Anf::var(0) + Anf::var(1)) * (Anf::var(0) + Anf::var(2));
+  Anf expected = Anf::var(0);
+  expected.toggle(Monomial::from_vars({0, 1}));
+  expected.toggle(Monomial::from_vars({0, 2}));
+  expected.toggle(Monomial::from_vars({1, 2}));
+  EXPECT_EQ(lhs, expected);
+}
+
+TEST(Anf, MultiplicationByZeroAndOne) {
+  const Anf f = Anf::var(3) + Anf::one();
+  EXPECT_TRUE((f * Anf::zero()).is_zero());
+  EXPECT_EQ(f * Anf::one(), f);
+}
+
+TEST(Anf, MulCancellation) {
+  // (a+1)(a+1) = a^2 + a + a + 1 = a + 1 (idempotent + mod 2)... a^2=a so
+  // = a + 1.  Check.
+  const Anf a1 = Anf::var(0) + Anf::one();
+  EXPECT_EQ(a1 * a1, a1);
+}
+
+TEST(Anf, SubstituteMatchesComposition) {
+  // f = ab + c;   b := c + d   =>  f = a(c+d) + c = ac + ad + c
+  Anf f;
+  f.toggle(Monomial::from_vars({0, 1}));
+  f.toggle(Monomial(Var{2}));
+  f.substitute(1, Anf::var(2) + Anf::var(3));
+  Anf expected;
+  expected.toggle(Monomial::from_vars({0, 2}));
+  expected.toggle(Monomial::from_vars({0, 3}));
+  expected.toggle(Monomial(Var{2}));
+  EXPECT_EQ(f, expected);
+}
+
+TEST(Anf, SubstituteByZeroDropsMonomials) {
+  Anf f;
+  f.toggle(Monomial::from_vars({0, 1}));
+  f.toggle(Monomial(Var{2}));
+  f.substitute(0, Anf::zero());
+  EXPECT_EQ(f, Anf::var(2));
+}
+
+TEST(Anf, SubstituteSelfReferenceRejected) {
+  Anf f = Anf::var(0);
+  EXPECT_THROW(f.substitute(0, Anf::var(0) + Anf::one()), Error);
+}
+
+TEST(Anf, SubstituteRandomAgreesWithEvaluation) {
+  // Property: for random f and substitution v := e, evaluating the
+  // substituted polynomial equals evaluating f with that variable bound to
+  // e's value.
+  Prng rng(1234);
+  for (int round = 0; round < 30; ++round) {
+    Anf f;
+    for (int t = 0; t < 12; ++t) {
+      std::vector<Var> vars;
+      for (Var v = 0; v < 6; ++v) {
+        if (rng.next_bool()) vars.push_back(v);
+      }
+      f.toggle(Monomial::from_vars(std::move(vars)));
+    }
+    Anf e;
+    for (int t = 0; t < 4; ++t) {
+      std::vector<Var> vars;
+      for (Var v = 1; v < 6; ++v) {  // e must not mention var 0
+        if (rng.next_bool()) vars.push_back(v);
+      }
+      e.toggle(Monomial::from_vars(std::move(vars)));
+    }
+    Anf g = f;
+    g.substitute(0, e);
+    EXPECT_FALSE(g.mentions(0));
+    for (unsigned assignment = 0; assignment < 64; ++assignment) {
+      const auto bit = [&](Var v) { return ((assignment >> v) & 1u) != 0; };
+      const bool e_val = e.eval(bit);
+      const auto bound = [&](Var v) { return v == 0 ? e_val : bit(v); };
+      EXPECT_EQ(g.eval(bit), f.eval(bound)) << "assignment " << assignment;
+    }
+  }
+}
+
+TEST(Anf, VariablesAndDegree) {
+  Anf f;
+  f.toggle(Monomial::from_vars({4, 7, 9}));
+  f.toggle(Monomial(Var{1}));
+  f.toggle(Monomial());
+  EXPECT_EQ(f.variables(), (std::vector<Var>{1, 4, 7, 9}));
+  EXPECT_EQ(f.degree(), 3u);
+  EXPECT_TRUE(f.mentions(7));
+  EXPECT_FALSE(f.mentions(2));
+}
+
+TEST(Anf, ToStringIsCanonical) {
+  Anf f;
+  f.toggle(Monomial::from_vars({1, 0}));
+  f.toggle(Monomial(Var{2}));
+  f.toggle(Monomial());
+  const auto name = [](Var v) { return std::string(1, char('a' + v)); };
+  EXPECT_EQ(f.to_string(name), "1+c+a*b");
+  EXPECT_EQ(Anf::zero().to_string(name), "0");
+}
+
+TEST(Anf, FromTruthTableKnownFunctions) {
+  const std::vector<Var> in{0, 1};
+  // AND: table 0001 (index = b<<1 | a)
+  EXPECT_EQ(Anf::from_truth_table(in, {false, false, false, true}),
+            Anf::var(0) * Anf::var(1));
+  // XOR
+  EXPECT_EQ(Anf::from_truth_table(in, {false, true, true, false}),
+            Anf::var(0) + Anf::var(1));
+  // OR = a + b + ab
+  EXPECT_EQ(Anf::from_truth_table(in, {false, true, true, true}),
+            Anf::var(0) + Anf::var(1) + Anf::var(0) * Anf::var(1));
+  // NOT a (ignores b)
+  EXPECT_EQ(Anf::from_truth_table(in, {true, false, true, false}),
+            Anf::one() + Anf::var(0));
+  // constants
+  EXPECT_TRUE(Anf::from_truth_table(in, {false, false, false, false})
+                  .is_zero());
+  EXPECT_TRUE(Anf::from_truth_table(in, {true, true, true, true}).is_one());
+}
+
+TEST(Anf, FromTruthTableRoundTripsThreeVars) {
+  // Exhaustive: every 3-input Boolean function's ANF must evaluate back to
+  // its truth table (canonicity of ANF).
+  const std::vector<Var> in{0, 1, 2};
+  for (unsigned fn = 0; fn < 256; ++fn) {
+    std::vector<bool> table(8);
+    for (unsigned row = 0; row < 8; ++row) table[row] = (fn >> row) & 1u;
+    const Anf anf = Anf::from_truth_table(in, table);
+    for (unsigned row = 0; row < 8; ++row) {
+      const bool got =
+          anf.eval([&](Var v) { return ((row >> v) & 1u) != 0; });
+      EXPECT_EQ(got, table[row]) << "fn=" << fn << " row=" << row;
+    }
+  }
+}
+
+TEST(Anf, FromTruthTableSizeValidation) {
+  EXPECT_THROW(Anf::from_truth_table({0, 1}, {true, false}), Error);
+}
+
+TEST(Anf, CanonicityDistinctFunctionsDistinctAnfs) {
+  // ANF is canonical: two different 3-var truth tables give different ANFs.
+  const std::vector<Var> in{0, 1, 2};
+  std::unordered_set<std::string> seen;
+  // Letter names: numeric names would make the constant-1 monomial
+  // ambiguous with a variable called "1".
+  const auto name = [](Var v) { return std::string(1, char('a' + v)); };
+  for (unsigned fn = 0; fn < 256; ++fn) {
+    std::vector<bool> table(8);
+    for (unsigned row = 0; row < 8; ++row) table[row] = (fn >> row) & 1u;
+    seen.insert(Anf::from_truth_table(in, table).to_string(name));
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+}  // namespace
+}  // namespace gfre::anf

@@ -1,0 +1,94 @@
+// Validation of the experiment polynomial catalog (Tables I-IV inputs).
+#include <gtest/gtest.h>
+
+#include "gf2poly/catalog.hpp"
+#include "gf2poly/irreducible.hpp"
+#include "util/error.hpp"
+
+namespace gfre::gf2 {
+namespace {
+
+TEST(Catalog, EveryTablePolynomialIsIrreducible) {
+  for (const auto& entry : paper_table_polynomials()) {
+    EXPECT_EQ(entry.p.degree(), static_cast<int>(entry.m)) << entry.name;
+    EXPECT_TRUE(is_irreducible(entry.p))
+        << entry.name << ": " << entry.p.to_string();
+  }
+}
+
+TEST(Catalog, TableWidthsMatchPaper) {
+  std::vector<unsigned> widths;
+  for (const auto& entry : paper_table_polynomials()) widths.push_back(entry.m);
+  EXPECT_EQ(widths, (std::vector<unsigned>{64, 96, 163, 233, 283, 409, 571}));
+}
+
+TEST(Catalog, PaperPolynomialStringsMatchTableI) {
+  EXPECT_EQ(paper_polynomial(64).p.to_paper_string(), "x64+x21+x19+x4+1");
+  EXPECT_EQ(paper_polynomial(96).p.to_paper_string(), "x96+x44+x7+x2+1");
+  EXPECT_EQ(paper_polynomial(163).p.to_paper_string(), "x163+x80+x47+x9+1");
+  EXPECT_EQ(paper_polynomial(233).p.to_paper_string(), "x233+x74+1");
+  EXPECT_EQ(paper_polynomial(283).p.to_paper_string(), "x283+x12+x7+x5+1");
+  EXPECT_EQ(paper_polynomial(409).p.to_paper_string(), "x409+x87+1");
+  EXPECT_EQ(paper_polynomial(571).p.to_paper_string(), "x571+x10+x5+x2+1");
+}
+
+TEST(Catalog, LookupErrors) {
+  EXPECT_TRUE(has_paper_polynomial(233));
+  EXPECT_FALSE(has_paper_polynomial(128));
+  EXPECT_THROW(paper_polynomial(128), InvalidArgument);
+}
+
+TEST(Catalog, ArchitecturePolynomialsMatchTableIV) {
+  const auto& entries = architecture_polynomials_233();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].name, "Intel-Pentium");
+  EXPECT_EQ(entries[0].p.to_paper_string(), "x233+x201+x105+x9+1");
+  EXPECT_EQ(entries[1].name, "ARM");
+  EXPECT_EQ(entries[1].p.to_paper_string(), "x233+x159+1");
+  EXPECT_EQ(entries[2].name, "MSP430");
+  EXPECT_EQ(entries[2].p.to_paper_string(), "x233+x185+x121+x105+1");
+  EXPECT_EQ(entries[3].name, "NIST-recommended");
+  EXPECT_EQ(entries[3].p.to_paper_string(), "x233+x74+1");
+  for (const auto& entry : entries) {
+    EXPECT_EQ(entry.m, 233u);
+    EXPECT_TRUE(is_irreducible(entry.p)) << entry.name;
+  }
+}
+
+TEST(Catalog, ArmPolynomialIsReciprocalOfNist) {
+  // Scott'07 picks x^233+x^159+1 for ARM; it is the reciprocal of the NIST
+  // trinomial x^233+x^74+1 (159 = 233 - 74), a useful cross-check that the
+  // catalog was transcribed correctly.
+  const auto& entries = architecture_polynomials_233();
+  EXPECT_EQ(entries[1].p, entries[3].p.reciprocal());
+}
+
+TEST(Catalog, ContrastingPolynomialsAreValidAndDistinct) {
+  for (unsigned m : {11u, 17u, 23u, 33u}) {
+    const auto list = contrasting_polynomials(m);
+    EXPECT_GE(list.size(), 2u) << "m=" << m;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      EXPECT_EQ(list[i].m, m);
+      EXPECT_EQ(list[i].p.degree(), static_cast<int>(m));
+      EXPECT_TRUE(is_irreducible(list[i].p)) << list[i].p.to_string();
+      for (std::size_t j = i + 1; j < list.size(); ++j) {
+        EXPECT_NE(list[i].p, list[j].p);
+      }
+    }
+  }
+}
+
+TEST(Catalog, ContrastingPolynomialsCoverTrinomialAndPentanomial) {
+  const auto list = contrasting_polynomials(23);
+  bool has_trinomial = false;
+  bool has_pentanomial = false;
+  for (const auto& entry : list) {
+    has_trinomial |= entry.p.is_trinomial();
+    has_pentanomial |= entry.p.is_pentanomial();
+  }
+  EXPECT_TRUE(has_trinomial);
+  EXPECT_TRUE(has_pentanomial);
+}
+
+}  // namespace
+}  // namespace gfre::gf2

@@ -1,0 +1,143 @@
+// Cell library consistency: for every cell, the three models — Boolean
+// evaluator, 64-way word evaluator, and ANF — must agree on every input
+// combination (this is the "correct by inspection" claim behind Eq. (1)
+// and Theorem 1, checked exhaustively).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "anf/anf.hpp"
+#include "netlist/cell.hpp"
+#include "util/error.hpp"
+
+namespace gfre::nl {
+namespace {
+
+std::vector<std::size_t> legal_arities(CellType type) {
+  std::vector<std::size_t> arities;
+  for (std::size_t n = 0; n <= 6; ++n) {
+    if (arity_ok(type, n)) arities.push_back(n);
+  }
+  return arities;
+}
+
+class CellConsistency : public ::testing::TestWithParam<CellType> {};
+
+TEST_P(CellConsistency, BoolWordAndAnfModelsAgree) {
+  const CellType type = GetParam();
+  for (std::size_t n : legal_arities(type)) {
+    std::vector<anf::Var> vars(n);
+    for (std::size_t i = 0; i < n; ++i) vars[i] = static_cast<anf::Var>(i);
+    const anf::Anf anf = cell_anf(type, vars);
+
+    std::array<bool, 6> in{};
+    std::vector<std::uint64_t> word_in(n);
+    for (std::size_t row = 0; row < (std::size_t{1} << n); ++row) {
+      for (std::size_t i = 0; i < n; ++i) {
+        in[i] = (row >> i) & 1u;
+        word_in[i] = in[i] ? ~0ull : 0ull;
+      }
+      const bool expect =
+          eval_cell(type, std::span<const bool>(in.data(), n));
+      // word evaluation (all 64 lanes identical)
+      const std::uint64_t word = eval_cell_words(type, word_in);
+      EXPECT_EQ(word, expect ? ~0ull : 0ull)
+          << cell_name(type) << " arity " << n << " row " << row;
+      // ANF evaluation
+      const bool via_anf =
+          anf.eval([&](anf::Var v) { return in[v]; });
+      EXPECT_EQ(via_anf, expect)
+          << cell_name(type) << " arity " << n << " row " << row
+          << " anf=" << anf.to_string([](anf::Var v) {
+               return "x" + std::to_string(v);
+             });
+    }
+  }
+}
+
+TEST_P(CellConsistency, AnfMatchesTruthTableTransform) {
+  // cell_anf must equal the Möbius transform of the cell's truth table —
+  // i.e. the analytic formulas have no transcription errors.
+  const CellType type = GetParam();
+  for (std::size_t n : legal_arities(type)) {
+    if (n == 0) continue;  // constants handled separately
+    std::vector<anf::Var> vars(n);
+    for (std::size_t i = 0; i < n; ++i) vars[i] = static_cast<anf::Var>(i);
+    std::vector<bool> table(std::size_t{1} << n);
+    std::array<bool, 6> in{};
+    for (std::size_t row = 0; row < table.size(); ++row) {
+      for (std::size_t i = 0; i < n; ++i) in[i] = (row >> i) & 1u;
+      table[row] = eval_cell(type, std::span<const bool>(in.data(), n));
+    }
+    EXPECT_EQ(cell_anf(type, vars), anf::Anf::from_truth_table(vars, table))
+        << cell_name(type) << " arity " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, CellConsistency,
+                         ::testing::ValuesIn(all_cell_types().begin(),
+                                             all_cell_types().end()),
+                         [](const ::testing::TestParamInfo<CellType>& info) {
+                           return cell_name(info.param);
+                         });
+
+TEST(Cell, NameRoundTrip) {
+  for (CellType type : all_cell_types()) {
+    EXPECT_EQ(cell_from_name(cell_name(type)), type);
+  }
+}
+
+TEST(Cell, NameAliases) {
+  EXPECT_EQ(cell_from_name("not"), CellType::Inv);
+  EXPECT_EQ(cell_from_name("AND2"), CellType::And);
+  EXPECT_EQ(cell_from_name("nand3"), CellType::Nand);
+  EXPECT_EQ(cell_from_name("xor2"), CellType::Xor);
+  EXPECT_THROW(cell_from_name("FLIPFLOP"), InvalidArgument);
+}
+
+TEST(Cell, ArityRules) {
+  EXPECT_TRUE(arity_ok(CellType::Const0, 0));
+  EXPECT_FALSE(arity_ok(CellType::Const0, 1));
+  EXPECT_TRUE(arity_ok(CellType::Inv, 1));
+  EXPECT_FALSE(arity_ok(CellType::Inv, 2));
+  EXPECT_TRUE(arity_ok(CellType::And, 2));
+  EXPECT_TRUE(arity_ok(CellType::And, 5));
+  EXPECT_FALSE(arity_ok(CellType::And, 1));
+  EXPECT_TRUE(arity_ok(CellType::Or, 8));
+  EXPECT_FALSE(arity_ok(CellType::Or, 9)) << "OR ANF expansion is capped";
+  EXPECT_TRUE(arity_ok(CellType::Mux, 3));
+  EXPECT_FALSE(arity_ok(CellType::Mux, 2));
+  EXPECT_TRUE(arity_ok(CellType::Aoi22, 4));
+  EXPECT_FALSE(arity_ok(CellType::Aoi22, 3));
+}
+
+TEST(Cell, KnownAnfFormulas) {
+  using anf::Anf;
+  const std::vector<anf::Var> ab{0, 1};
+  const std::vector<anf::Var> abc{0, 1, 2};
+  const auto v = [](anf::Var x) { return Anf::var(x); };
+
+  EXPECT_EQ(cell_anf(CellType::Xor, ab), v(0) + v(1));
+  EXPECT_EQ(cell_anf(CellType::And, ab), v(0) * v(1));
+  EXPECT_EQ(cell_anf(CellType::Or, ab), v(0) + v(1) + v(0) * v(1));
+  EXPECT_EQ(cell_anf(CellType::Nand, ab), Anf::one() + v(0) * v(1));
+  const std::vector<anf::Var> a_only{0};
+  EXPECT_EQ(cell_anf(CellType::Inv, a_only), Anf::one() + v(0));
+  // AOI21: 1 + ab + c + abc
+  EXPECT_EQ(cell_anf(CellType::Aoi21, abc),
+            Anf::one() + v(0) * v(1) + v(2) + v(0) * v(1) * v(2));
+  // MAJ3 = ab + ac + bc
+  EXPECT_EQ(cell_anf(CellType::Maj3, abc),
+            v(0) * v(1) + v(0) * v(2) + v(1) * v(2));
+}
+
+TEST(Cell, WordEvalMixedLanes) {
+  // Lanes carry independent vectors: AND of 0b0101 and 0b0011 = 0b0001.
+  const std::vector<std::uint64_t> in{0x5ull, 0x3ull};
+  EXPECT_EQ(eval_cell_words(CellType::And, in), 0x1ull);
+  EXPECT_EQ(eval_cell_words(CellType::Xor, in), 0x6ull);
+  EXPECT_EQ(eval_cell_words(CellType::Or, in), 0x7ull);
+}
+
+}  // namespace
+}  // namespace gfre::nl

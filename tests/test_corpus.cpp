@@ -1,0 +1,94 @@
+// Regression corpus: static netlist files under data/ must parse in every
+// format and reverse-engineer to the expected result.  Unlike the generator
+// tests, these fixtures are frozen — a parser or flow regression cannot
+// hide behind a matching generator change.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/flow.hpp"
+#include "netlist/io_blif.hpp"
+#include "netlist/io_eqn.hpp"
+#include "netlist/io_verilog.hpp"
+#include "util/error.hpp"
+
+#ifndef GFRE_SOURCE_DIR
+#define GFRE_SOURCE_DIR "."
+#endif
+
+namespace gfre {
+namespace {
+
+using gf2::Poly;
+
+std::string data_path(const std::string& file) {
+  return std::string(GFRE_SOURCE_DIR) + "/data/" + file;
+}
+
+struct CorpusCase {
+  std::string stem;       // file name without extension
+  unsigned m;
+  Poly expected_p;
+};
+
+class CorpusSweep : public ::testing::TestWithParam<CorpusCase> {};
+
+TEST_P(CorpusSweep, EveryFormatRecoversExpectedPolynomial) {
+  const auto& c = GetParam();
+  core::FlowOptions options;
+  options.threads = 2;
+  for (const char* ext : {".eqn", ".blif", ".v"}) {
+    nl::Netlist netlist("x");
+    const std::string path = data_path(c.stem + ext);
+    if (std::string(ext) == ".eqn") {
+      netlist = nl::read_eqn_file(path);
+    } else if (std::string(ext) == ".blif") {
+      netlist = nl::read_blif_file(path);
+    } else {
+      netlist = nl::read_verilog_file(path);
+    }
+    const auto report = core::reverse_engineer(netlist, options);
+    EXPECT_TRUE(report.success) << path << "\n" << report.summary();
+    EXPECT_EQ(report.recovery.p, c.expected_p) << path;
+    EXPECT_EQ(report.m, c.m) << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fixtures, CorpusSweep,
+    ::testing::Values(
+        CorpusCase{"mastrovito_m8", 8, Poly{8, 4, 3, 1, 0}},
+        CorpusCase{"mastrovito_matrix_m8", 8, Poly{8, 4, 3, 1, 0}},
+        CorpusCase{"montgomery_m8", 8, Poly{8, 4, 3, 1, 0}},
+        CorpusCase{"karatsuba_m8", 8, Poly{8, 4, 3, 1, 0}},
+        CorpusCase{"shiftadd_m8", 8, Poly{8, 4, 3, 1, 0}},
+        CorpusCase{"mastrovito_syn_m8", 8, Poly{8, 4, 3, 1, 0}},
+        CorpusCase{"mastrovito_mapped_m8", 8, Poly{8, 4, 3, 1, 0}}),
+    [](const ::testing::TestParamInfo<CorpusCase>& info) {
+      return info.param.stem;
+    });
+
+TEST(Corpus, HandWrittenAoiNandMultiplier) {
+  // All-inverting-cell implementation (no AND/XOR at all): extraction must
+  // see through the NAND/INV structure.
+  const auto netlist = nl::read_eqn_file(data_path("handwritten_gf4_aoi.eqn"));
+  for (const auto& gate : netlist.gates()) {
+    EXPECT_TRUE(gate.type == nl::CellType::Nand ||
+                gate.type == nl::CellType::Inv)
+        << cell_name(gate.type);
+  }
+  const auto report = core::reverse_engineer(netlist);
+  EXPECT_TRUE(report.success) << report.summary();
+  EXPECT_EQ(report.recovery.p, (Poly{2, 1, 0}));
+}
+
+TEST(Corpus, CorruptFixtureIsRejected) {
+  const auto netlist = nl::read_eqn_file(data_path("corrupt_gf4.eqn"));
+  const auto report = core::reverse_engineer(netlist);
+  EXPECT_FALSE(report.success);
+  EXPECT_EQ(report.recovery.circuit_class, core::CircuitClass::NotAMultiplier);
+  EXPECT_FALSE(report.recovery.diagnosis.empty());
+}
+
+}  // namespace
+}  // namespace gfre

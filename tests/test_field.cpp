@@ -1,0 +1,145 @@
+// Tests for the GF(2^m) word-level field reference model.
+#include <gtest/gtest.h>
+
+#include "gf2m/field.hpp"
+#include "gf2poly/catalog.hpp"
+#include "gf2poly/irreducible.hpp"
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace gfre::gf2m {
+namespace {
+
+using gf2::Poly;
+
+TEST(Field, RejectsReducibleModulus) {
+  EXPECT_THROW(Field(Poly{4, 2, 0}), InvalidArgument);  // (x^2+x+1)^2
+  EXPECT_THROW(Field(Poly{2, 1}), InvalidArgument);     // x(x+1)
+  EXPECT_THROW(Field(Poly{1, 0}), InvalidArgument);     // degree 1
+  EXPECT_THROW(Field(Poly{}), InvalidArgument);
+}
+
+TEST(Field, BasicProperties) {
+  const Field f(Poly{8, 4, 3, 1, 0});
+  EXPECT_EQ(f.m(), 8u);
+  EXPECT_EQ(f.modulus(), (Poly{8, 4, 3, 1, 0}));
+  EXPECT_TRUE(f.contains(Poly{7, 0}));
+  EXPECT_FALSE(f.contains(Poly{8}));
+  EXPECT_EQ(f.to_string(), "GF(2^8) / x^8+x^4+x^3+x+1");
+}
+
+TEST(Field, ReduceBringsIntoField) {
+  const Field f(Poly{4, 1, 0});
+  EXPECT_EQ(f.reduce(Poly{4}), (Poly{1, 0}));      // x^4 = x+1
+  EXPECT_EQ(f.reduce(Poly{5}), (Poly{2, 1}));      // x^5 = x^2+x
+  EXPECT_EQ(f.reduce(Poly{6}), (Poly{3, 2}));      // x^6 = x^3+x^2
+  EXPECT_EQ(f.reduce(Poly{3}), Poly{3});           // already reduced
+}
+
+TEST(Field, ReductionRowsMatchDirectComputation) {
+  for (const auto& p : {Poly{4, 1, 0}, Poly{4, 3, 0}, Poly{8, 4, 3, 1, 0},
+                        Poly{11, 2, 0}, Poly{17, 3, 0}}) {
+    const Field f(p);
+    const unsigned m = f.m();
+    ASSERT_EQ(f.reduction_rows().size(), m - 1);
+    for (unsigned k = m; k <= 2 * m - 2; ++k) {
+      EXPECT_EQ(f.reduction_rows()[k - m], Poly::monomial(k).mod(p))
+          << "row " << k << " of " << p.to_string();
+    }
+  }
+}
+
+TEST(Field, Figure1XorCounts) {
+  // The paper's Figure 1 example: reduction cost 9 XORs for x^4+x^3+1 and
+  // 6 XORs for x^4+x+1.
+  EXPECT_EQ(Field(Poly{4, 3, 0}).reduction_xor_count(), 9u);
+  EXPECT_EQ(Field(Poly{4, 1, 0}).reduction_xor_count(), 6u);
+}
+
+class FieldAxioms : public ::testing::TestWithParam<Poly> {};
+
+TEST_P(FieldAxioms, RingAxiomsOnRandomElements) {
+  const Field f(GetParam());
+  Prng rng(f.m() * 1000003u);
+  for (int i = 0; i < 30; ++i) {
+    const Poly a = f.random_element(rng);
+    const Poly b = f.random_element(rng);
+    const Poly c = f.random_element(rng);
+    EXPECT_EQ(f.add(a, b), f.add(b, a));
+    EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+    EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+    EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+    EXPECT_EQ(f.add(a, a), Poly{});
+    EXPECT_EQ(f.mul(a, Poly::one()), a);
+    EXPECT_EQ(f.mul(a, Poly{}), Poly{});
+    EXPECT_EQ(f.square(a), f.mul(a, a));
+  }
+}
+
+TEST_P(FieldAxioms, InverseAndFermat) {
+  const Field f(GetParam());
+  Prng rng(f.m() * 77003u);
+  for (int i = 0; i < 20; ++i) {
+    Poly a = f.random_element(rng);
+    if (a.is_zero()) a = Poly::one();
+    EXPECT_EQ(f.mul(a, f.inverse(a)), Poly::one())
+        << "a=" << a.to_string() << " in " << f.to_string();
+    // Fermat: a^(2^m) == a.
+    EXPECT_EQ(f.pow2k(a, f.m()), a);
+  }
+  EXPECT_THROW(f.inverse(Poly{}), InvalidArgument);
+}
+
+TEST_P(FieldAxioms, PowMatchesRepeatedMultiplication) {
+  const Field f(GetParam());
+  Prng rng(f.m() * 13007u);
+  const Poly a = f.random_element(rng);
+  // exponent 0 -> 1
+  EXPECT_EQ(f.pow(a, {}), Poly::one());
+  // exponent 5 = 101b
+  const Poly a5 = f.pow(a, {true, false, true});
+  Poly expected = Poly::one();
+  for (int i = 0; i < 5; ++i) expected = f.mul(expected, a);
+  EXPECT_EQ(a5, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fields, FieldAxioms,
+    ::testing::Values(Poly{2, 1, 0}, Poly{3, 1, 0}, Poly{4, 1, 0},
+                      Poly{4, 3, 0}, Poly{8, 4, 3, 1, 0}, Poly{16, 5, 3, 1, 0},
+                      Poly{23, 5, 0}, Poly{64, 21, 19, 4, 0}),
+    [](const ::testing::TestParamInfo<Poly>& info) {
+      return "deg" + std::to_string(info.param.degree()) + "_idx" +
+             std::to_string(info.index);
+    });
+
+TEST(Field, MultiplicativeGroupOrderSmall) {
+  // In GF(2^4), the multiplicative group has order 15: a^15 == 1 for all
+  // nonzero a.
+  const Field f(Poly{4, 1, 0});
+  for (unsigned bits = 1; bits < 16; ++bits) {
+    Poly a;
+    for (unsigned b = 0; b < 4; ++b) {
+      if ((bits >> b) & 1u) a.set_coeff(b, true);
+    }
+    Poly acc = Poly::one();
+    for (int i = 0; i < 15; ++i) acc = f.mul(acc, a);
+    EXPECT_EQ(acc, Poly::one()) << "a=" << a.to_string();
+  }
+}
+
+TEST(Field, PaperFieldsConstructAndReduce) {
+  for (const auto& entry : gf2::paper_table_polynomials()) {
+    const Field f(entry.p);
+    Prng rng(entry.m);
+    const Poly a = f.random_element(rng);
+    const Poly b = f.random_element(rng);
+    const Poly ab = f.mul(a, b);
+    EXPECT_TRUE(f.contains(ab));
+    // Spot-check against direct schoolbook mod.
+    EXPECT_EQ(ab, (a * b).mod(entry.p));
+  }
+}
+
+}  // namespace
+}  // namespace gfre::gf2m

@@ -1,0 +1,242 @@
+// Tests for the gate-level multiplier generators: every structural family
+// must implement exactly the word-level field function.
+#include <gtest/gtest.h>
+
+#include "gen/mastrovito.hpp"
+#include "gen/montgomery_gate.hpp"
+#include "gen/shift_add.hpp"
+#include "gf2m/field.hpp"
+#include "gf2m/montgomery.hpp"
+#include "gf2poly/irreducible.hpp"
+#include "sim/equivalence.hpp"
+#include "util/prng.hpp"
+
+namespace gfre::gen {
+namespace {
+
+using gf2::Poly;
+
+// Every generator is checked against the field model over a sweep of
+// moduli (exhaustive vectors for 2m <= 16 inputs, random above).
+class GeneratorSweep : public ::testing::TestWithParam<Poly> {
+ protected:
+  void expect_is_field_multiplier(const nl::Netlist& netlist,
+                                  const gf2m::Field& field,
+                                  std::uint64_t seed) {
+    netlist.validate();
+    const auto ports = nl::multiplier_ports(netlist);
+    ASSERT_EQ(ports.m(), field.m());
+    Prng rng(seed);
+    const auto cex =
+        sim::check_field_multiplier(netlist, ports, field, rng, 24);
+    EXPECT_FALSE(cex.has_value())
+        << netlist.name() << " over " << field.to_string() << ": "
+        << cex->to_string();
+  }
+};
+
+TEST_P(GeneratorSweep, MastrovitoProductThenReduce) {
+  const gf2m::Field field(GetParam());
+  expect_is_field_multiplier(generate_mastrovito(field), field, 11);
+}
+
+TEST_P(GeneratorSweep, MastrovitoProductThenReduceChainShape) {
+  const gf2m::Field field(GetParam());
+  MastrovitoOptions options;
+  options.xor_shape = XorShape::Chain;
+  expect_is_field_multiplier(generate_mastrovito(field, options), field, 12);
+}
+
+TEST_P(GeneratorSweep, MastrovitoMatrixForm) {
+  const gf2m::Field field(GetParam());
+  MastrovitoOptions options;
+  options.style = MastrovitoOptions::Style::Matrix;
+  expect_is_field_multiplier(generate_mastrovito(field, options), field, 13);
+}
+
+TEST_P(GeneratorSweep, MontgomeryComposed) {
+  const gf2m::Field field(GetParam());
+  expect_is_field_multiplier(generate_montgomery(field), field, 14);
+}
+
+TEST_P(GeneratorSweep, MontgomeryRawMatchesMontPro) {
+  const gf2m::Field field(GetParam());
+  const gf2m::Montgomery mont(field);
+  MontgomeryOptions options;
+  options.raw = true;
+  const auto netlist = generate_montgomery(field, options);
+  netlist.validate();
+  const auto ports = nl::multiplier_ports(netlist);
+  Prng rng(15);
+  const auto cex = sim::check_multiplier(
+      netlist, ports,
+      [&](const Poly& a, const Poly& b) { return mont.mont_pro(a, b); },
+      rng, 24);
+  EXPECT_FALSE(cex.has_value()) << cex->to_string();
+}
+
+TEST_P(GeneratorSweep, ShiftAdd) {
+  const gf2m::Field field(GetParam());
+  expect_is_field_multiplier(generate_shift_add(field), field, 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Moduli, GeneratorSweep,
+    ::testing::Values(Poly{2, 1, 0}, Poly{3, 1, 0}, Poly{4, 1, 0},
+                      Poly{4, 3, 0}, Poly{5, 2, 0}, Poly{7, 1, 0},
+                      Poly{8, 4, 3, 1, 0}, Poly{8, 5, 3, 1, 0},
+                      Poly{11, 2, 0}, Poly{16, 5, 3, 1, 0}),
+    [](const ::testing::TestParamInfo<Poly>& info) {
+      return "deg" + std::to_string(info.param.degree()) + "_idx" +
+             std::to_string(info.index);
+    });
+
+// Exhaustive sweep over *every* irreducible polynomial of small degree —
+// the core robustness claim is "any P(x)", so test all of them.
+TEST(GeneratorAllPoly, EveryIrreducibleDegree2To6) {
+  for (unsigned m = 2; m <= 6; ++m) {
+    for (const Poly& p : gf2::all_irreducible(m)) {
+      const gf2m::Field field(p);
+      for (const auto& netlist :
+           {generate_mastrovito(field), generate_montgomery(field),
+            generate_shift_add(field)}) {
+        const auto ports = nl::multiplier_ports(netlist);
+        Prng rng(m);
+        const auto cex =
+            sim::check_field_multiplier(netlist, ports, field, rng, 8);
+        EXPECT_FALSE(cex.has_value())
+            << netlist.name() << " / " << p.to_string();
+      }
+    }
+  }
+}
+
+TEST(GeneratorStructure, ProductThenReduceHasFigure1Signals) {
+  const gf2m::Field field(Poly{4, 1, 0});
+  const auto netlist = generate_mastrovito(field);
+  // Partial products named like the paper's s_i columns exist.
+  EXPECT_TRUE(netlist.find_var("pp_0_0").has_value());
+  EXPECT_TRUE(netlist.find_var("pp_3_3").has_value());
+  EXPECT_TRUE(netlist.find_var("z0").has_value());
+  // m^2 AND gates for partial products.
+  EXPECT_EQ(netlist.cell_histogram().at(nl::CellType::And), 16u);
+}
+
+TEST(GeneratorStructure, XorCountTracksReductionCost) {
+  // Figure 1: reduction for x^4+x^3+1 needs 9 XORs, x^4+x+1 needs 6.
+  // The generated netlists inherit exactly that difference (partial-product
+  // summation cost is identical for a fixed m).
+  const gf2m::Field costly(Poly{4, 3, 0});
+  const gf2m::Field cheap(Poly{4, 1, 0});
+  const auto netlist_costly = generate_mastrovito(costly);
+  const auto netlist_cheap = generate_mastrovito(cheap);
+  EXPECT_EQ(netlist_costly.xor2_equivalent_count() -
+                netlist_cheap.xor2_equivalent_count(),
+            9u - 6u);
+}
+
+TEST(GeneratorStructure, MontgomeryIsFlattened) {
+  // "we use the flattened version Montgomery multipliers": no hierarchy,
+  // only basic cells.
+  const gf2m::Field field(Poly{8, 4, 3, 1, 0});
+  const auto netlist = generate_montgomery(field);
+  for (const auto& gate : netlist.gates()) {
+    EXPECT_TRUE(gate.type == nl::CellType::And ||
+                gate.type == nl::CellType::Xor ||
+                gate.type == nl::CellType::Inv ||
+                gate.type == nl::CellType::Buf ||
+                gate.type == nl::CellType::Const0 ||
+                gate.type == nl::CellType::Const1)
+        << cell_name(gate.type);
+  }
+}
+
+TEST(GeneratorStructure, CustomPortBases) {
+  const gf2m::Field field(Poly{3, 1, 0});
+  MastrovitoOptions options;
+  options.a_base = "x";
+  options.b_base = "y";
+  options.z_base = "p";
+  const auto netlist = generate_mastrovito(field, options);
+  EXPECT_TRUE(netlist.find_var("x0").has_value());
+  EXPECT_TRUE(netlist.find_var("y2").has_value());
+  EXPECT_TRUE(netlist.find_var("p1").has_value());
+  EXPECT_NO_THROW(nl::multiplier_ports(netlist, "x", "y", "p"));
+}
+
+TEST(GeneratorStructure, EquationCountsGrowQuadratically) {
+  // #eqns ~ Theta(m^2) for all families (flattened multipliers).
+  std::vector<std::size_t> mastrovito_eqns;
+  for (unsigned m : {4u, 8u, 16u}) {
+    const gf2m::Field field(gf2::default_irreducible(m));
+    mastrovito_eqns.push_back(generate_mastrovito(field).num_equations());
+  }
+  // Doubling m should roughly quadruple the count (allow 3x..5x).
+  for (std::size_t i = 1; i < mastrovito_eqns.size(); ++i) {
+    const double ratio = static_cast<double>(mastrovito_eqns[i]) /
+                         static_cast<double>(mastrovito_eqns[i - 1]);
+    EXPECT_GT(ratio, 3.0);
+    EXPECT_LT(ratio, 5.0);
+  }
+}
+
+TEST(GeneratorStructure, BalancedTreesAreShallowerThanChains) {
+  const gf2m::Field field(gf2::default_irreducible(16));
+  MastrovitoOptions balanced;
+  MastrovitoOptions chain;
+  chain.xor_shape = XorShape::Chain;
+  EXPECT_LT(generate_mastrovito(field, balanced).depth(),
+            generate_mastrovito(field, chain).depth());
+}
+
+TEST(Signal, FoldingRules) {
+  nl::Netlist n;
+  const Sig a = Sig::wire(n.add_input("a"));
+  const Sig b = Sig::wire(n.add_input("b"));
+  EXPECT_TRUE(sig_and(n, Sig::zero(), a).is_zero());
+  EXPECT_TRUE(sig_and(n, a, Sig::one()).same_net_as(a));
+  EXPECT_TRUE(sig_and(n, a, a).same_net_as(a));
+  EXPECT_TRUE(sig_xor(n, a, a).is_zero());
+  EXPECT_TRUE(sig_xor(n, Sig::zero(), b).same_net_as(b));
+  EXPECT_TRUE(sig_xor(n, Sig::one(), Sig::one()).is_zero());
+  EXPECT_TRUE(sig_or(n, Sig::one(), a).is_one());
+  EXPECT_TRUE(sig_or(n, Sig::zero(), a).same_net_as(a));
+  EXPECT_TRUE(sig_not(n, Sig::zero()).is_one());
+  EXPECT_EQ(n.num_gates(), 0u) << "all of the above must fold gate-free";
+
+  // xor with constant 1 materializes an inverter.
+  const Sig inv = sig_xor(n, a, Sig::one());
+  EXPECT_TRUE(inv.is_net());
+  EXPECT_EQ(n.num_gates(), 1u);
+}
+
+TEST(Signal, XorTreeConstantsAndParity) {
+  nl::Netlist n;
+  const Sig a = Sig::wire(n.add_input("a"));
+  // 1 ^ 1 ^ a = a; no gates.
+  EXPECT_TRUE(
+      sig_xor_tree(n, {Sig::one(), Sig::one(), a}, XorShape::Balanced)
+          .same_net_as(a));
+  // 1 ^ 0 ^ a = ~a; one INV.
+  const Sig inv =
+      sig_xor_tree(n, {Sig::one(), Sig::zero(), a}, XorShape::Balanced);
+  EXPECT_TRUE(inv.is_net());
+  EXPECT_EQ(n.num_gates(), 1u);
+  // empty tree = 0
+  EXPECT_TRUE(sig_xor_tree(n, {}, XorShape::Chain).is_zero());
+}
+
+TEST(Signal, MaterializeNames) {
+  nl::Netlist n;
+  const Sig a = Sig::wire(n.add_input("a"));
+  const nl::Var z0 = materialize(n, a, "z0");
+  EXPECT_EQ(n.var_name(z0), "z0");
+  EXPECT_EQ(n.gate(*n.driver(z0)).type, nl::CellType::Buf);
+  const nl::Var z1 = materialize(n, Sig::zero(), "z1");
+  EXPECT_EQ(n.gate(*n.driver(z1)).type, nl::CellType::Const0);
+  const nl::Var z2 = materialize(n, Sig::one(), "z2");
+  EXPECT_EQ(n.gate(*n.driver(z2)).type, nl::CellType::Const1);
+}
+
+}  // namespace
+}  // namespace gfre::gen

@@ -1,0 +1,321 @@
+// Unit and property tests for the GF(2)[x] polynomial substrate.
+#include <gtest/gtest.h>
+
+#include "gf2poly/gf2_poly.hpp"
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace gfre::gf2 {
+namespace {
+
+Poly random_poly(Prng& rng, unsigned max_degree) {
+  Poly p;
+  for (unsigned i = 0; i <= max_degree; ++i) {
+    if (rng.next_bool()) p.set_coeff(i, true);
+  }
+  return p;
+}
+
+TEST(Gf2Poly, DefaultIsZero) {
+  Poly p;
+  EXPECT_TRUE(p.is_zero());
+  EXPECT_EQ(p.degree(), -1);
+  EXPECT_EQ(p.weight(), 0u);
+  EXPECT_EQ(p.to_string(), "0");
+}
+
+TEST(Gf2Poly, InitializerListBuildsTerms) {
+  Poly p{4, 1, 0};
+  EXPECT_EQ(p.degree(), 4);
+  EXPECT_EQ(p.weight(), 3u);
+  EXPECT_TRUE(p.coeff(4));
+  EXPECT_TRUE(p.coeff(1));
+  EXPECT_TRUE(p.coeff(0));
+  EXPECT_FALSE(p.coeff(2));
+  EXPECT_FALSE(p.coeff(3));
+}
+
+TEST(Gf2Poly, InitializerListDuplicatesCancel) {
+  Poly p{3, 3, 1};
+  EXPECT_EQ(p, Poly{1});
+}
+
+TEST(Gf2Poly, MonomialAndOne) {
+  EXPECT_EQ(Poly::monomial(0), Poly::one());
+  EXPECT_EQ(Poly::monomial(7).degree(), 7);
+  EXPECT_EQ(Poly::monomial(7).weight(), 1u);
+  EXPECT_TRUE(Poly::one().is_one());
+  EXPECT_FALSE(Poly::monomial(1).is_one());
+}
+
+TEST(Gf2Poly, SetAndFlipCoeff) {
+  Poly p;
+  p.set_coeff(100, true);
+  EXPECT_EQ(p.degree(), 100);
+  p.set_coeff(100, false);
+  EXPECT_TRUE(p.is_zero());
+  p.flip_coeff(64);
+  p.flip_coeff(64);
+  EXPECT_TRUE(p.is_zero());
+  EXPECT_TRUE(p.words().empty()) << "normalization must trim zero words";
+}
+
+TEST(Gf2Poly, SupportIsDescending) {
+  Poly p{233, 74, 0};
+  const std::vector<unsigned> expected{233, 74, 0};
+  EXPECT_EQ(p.support(), expected);
+}
+
+TEST(Gf2Poly, AdditionIsXor) {
+  Poly a{5, 3, 1};
+  Poly b{5, 2, 1};
+  EXPECT_EQ(a + b, (Poly{3, 2}));
+  EXPECT_EQ(a + a, Poly{});
+}
+
+TEST(Gf2Poly, AdditionIdentityAndSelfInverse) {
+  Prng rng(42);
+  for (int i = 0; i < 50; ++i) {
+    const Poly a = random_poly(rng, 200);
+    EXPECT_EQ(a + Poly{}, a);
+    EXPECT_TRUE((a + a).is_zero());
+  }
+}
+
+TEST(Gf2Poly, MultiplicationSmallKnown) {
+  // (x+1)(x+1) = x^2+1 over GF(2)
+  EXPECT_EQ((Poly{1, 0} * Poly{1, 0}), (Poly{2, 0}));
+  // (x^2+x+1)(x+1) = x^3+1
+  EXPECT_EQ((Poly{2, 1, 0} * Poly{1, 0}), (Poly{3, 0}));
+  EXPECT_EQ((Poly{} * Poly{5, 1}), Poly{});
+  EXPECT_EQ((Poly::one() * Poly{5, 1}), (Poly{5, 1}));
+}
+
+TEST(Gf2Poly, MultiplicationCommutativeAssociativeDistributive) {
+  Prng rng(7);
+  for (int i = 0; i < 25; ++i) {
+    const Poly a = random_poly(rng, 90);
+    const Poly b = random_poly(rng, 70);
+    const Poly c = random_poly(rng, 50);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST(Gf2Poly, MultiplicationDegreeAdds) {
+  Prng rng(11);
+  for (int i = 0; i < 25; ++i) {
+    Poly a = random_poly(rng, 60);
+    Poly b = random_poly(rng, 60);
+    if (a.is_zero() || b.is_zero()) continue;
+    EXPECT_EQ((a * b).degree(), a.degree() + b.degree());
+  }
+}
+
+TEST(Gf2Poly, ShiftsMatchMonomialMultiplication) {
+  Prng rng(13);
+  for (int i = 0; i < 25; ++i) {
+    const Poly a = random_poly(rng, 80);
+    for (unsigned k : {0u, 1u, 63u, 64u, 65u, 130u}) {
+      EXPECT_EQ(a << k, a * Poly::monomial(k));
+    }
+  }
+}
+
+TEST(Gf2Poly, RightShiftDropsLowTerms) {
+  Poly p{10, 5, 0};
+  EXPECT_EQ(p >> 3, (Poly{7, 2}));
+  EXPECT_EQ(p >> 11, Poly{});
+  EXPECT_EQ(p >> 0, p);
+}
+
+TEST(Gf2Poly, ShiftRoundTrip) {
+  Prng rng(17);
+  for (int i = 0; i < 25; ++i) {
+    const Poly a = random_poly(rng, 100);
+    for (unsigned k : {1u, 31u, 64u, 100u}) {
+      EXPECT_EQ((a << k) >> k, a);
+    }
+  }
+}
+
+TEST(Gf2Poly, SquareMatchesSelfMultiplication) {
+  Prng rng(19);
+  for (int i = 0; i < 50; ++i) {
+    const Poly a = random_poly(rng, 300);
+    EXPECT_EQ(a.square(), a * a);
+  }
+}
+
+TEST(Gf2Poly, SquareDoublesExponents) {
+  Poly p{33, 2, 0};
+  EXPECT_EQ(p.square(), (Poly{66, 4, 0}));
+}
+
+TEST(Gf2Poly, DivModInvariant) {
+  Prng rng(23);
+  for (int i = 0; i < 60; ++i) {
+    const Poly a = random_poly(rng, 120);
+    Poly b = random_poly(rng, 60);
+    if (b.is_zero()) b = Poly{3, 1, 0};
+    const auto dm = a.divmod(b);
+    EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+    EXPECT_LT(dm.remainder.degree(), b.degree());
+    EXPECT_EQ(a.mod(b), dm.remainder);
+  }
+}
+
+TEST(Gf2Poly, DivisionByZeroThrows) {
+  EXPECT_THROW((Poly{3, 1}).divmod(Poly{}), Error);
+  EXPECT_THROW((Poly{3, 1}).mod(Poly{}), Error);
+}
+
+TEST(Gf2Poly, GcdProperties) {
+  Prng rng(29);
+  for (int i = 0; i < 40; ++i) {
+    const Poly a = random_poly(rng, 60);
+    const Poly b = random_poly(rng, 60);
+    const Poly g = Poly::gcd(a, b);
+    if (a.is_zero() && b.is_zero()) {
+      EXPECT_TRUE(g.is_zero());
+      continue;
+    }
+    if (!a.is_zero()) EXPECT_TRUE(a.mod(g).is_zero());
+    if (!b.is_zero()) EXPECT_TRUE(b.mod(g).is_zero());
+    EXPECT_EQ(Poly::gcd(a, b), Poly::gcd(b, a));
+  }
+}
+
+TEST(Gf2Poly, GcdOfMultiples) {
+  const Poly g{4, 1, 0};
+  const Poly a = g * Poly{3, 0};
+  const Poly b = g * Poly{2, 1};  // note: gcd(x^3+1, x^2+x) = x+1 extra
+  const Poly got = Poly::gcd(a, b);
+  EXPECT_TRUE(a.mod(got).is_zero());
+  EXPECT_TRUE(b.mod(got).is_zero());
+  EXPECT_TRUE(got.mod(g).is_zero()) << "gcd must contain the common factor";
+}
+
+TEST(Gf2Poly, MulmodAndPow2k) {
+  const Poly p{8, 4, 3, 1, 0};  // AES polynomial
+  Prng rng(31);
+  for (int i = 0; i < 25; ++i) {
+    const Poly a = random_poly(rng, 7);
+    const Poly b = random_poly(rng, 7);
+    EXPECT_EQ(Poly::mulmod(a, b, p), (a * b).mod(p));
+    // a^(2^1) mod p == a*a mod p
+    EXPECT_EQ(Poly::pow2k_mod(a, 1, p), Poly::mulmod(a, a, p));
+    // Squaring chain: pow2k(a, 3) == sqr(sqr(sqr a))
+    Poly x = a.mod(p);
+    for (int s = 0; s < 3; ++s) x = x.square().mod(p);
+    EXPECT_EQ(Poly::pow2k_mod(a, 3, p), x);
+  }
+}
+
+TEST(Gf2Poly, ReciprocalKnownValues) {
+  EXPECT_EQ((Poly{233, 74, 0}).reciprocal(), (Poly{233, 159, 0}));
+  EXPECT_EQ((Poly{4, 1, 0}).reciprocal(), (Poly{4, 3, 0}));
+  EXPECT_EQ(Poly::one().reciprocal(), Poly::one());
+}
+
+TEST(Gf2Poly, ReciprocalIsInvolutiveForConstantTermPolys) {
+  Prng rng(37);
+  for (int i = 0; i < 30; ++i) {
+    Poly a = random_poly(rng, 50);
+    a.set_coeff(0, true);  // constant term required for involution
+    a.set_coeff(50, true);
+    EXPECT_EQ(a.reciprocal().reciprocal(), a);
+  }
+}
+
+TEST(Gf2Poly, EvalAtZeroAndOne) {
+  const Poly p{4, 1, 0};  // three terms
+  EXPECT_TRUE(p.eval(false));   // constant term present
+  EXPECT_TRUE(p.eval(true));    // odd weight
+  const Poly q{4, 1};
+  EXPECT_FALSE(q.eval(false));
+  EXPECT_FALSE(q.eval(true));  // even weight
+}
+
+TEST(Gf2Poly, ToStringFormats) {
+  EXPECT_EQ((Poly{4, 1, 0}).to_string(), "x^4+x+1");
+  EXPECT_EQ((Poly{1}).to_string(), "x");
+  EXPECT_EQ(Poly::one().to_string(), "1");
+  EXPECT_EQ((Poly{233, 74, 0}).to_paper_string(), "x233+x74+1");
+}
+
+TEST(Gf2Poly, ParseAcceptsBothConventions) {
+  EXPECT_EQ(Poly::parse("x^4+x+1"), (Poly{4, 1, 0}));
+  EXPECT_EQ(Poly::parse("x4+x1+1"), (Poly{4, 1, 0}));
+  EXPECT_EQ(Poly::parse("x233+x74+1"), (Poly{233, 74, 0}));
+  EXPECT_EQ(Poly::parse(" x^2 + x + 1 "), (Poly{2, 1, 0}));
+  EXPECT_EQ(Poly::parse("1"), Poly::one());
+  EXPECT_EQ(Poly::parse("0"), Poly{});
+  EXPECT_EQ(Poly::parse("X^3+X"), (Poly{3, 1}));
+}
+
+TEST(Gf2Poly, ParseRoundTripsToString) {
+  Prng rng(41);
+  for (int i = 0; i < 40; ++i) {
+    const Poly a = random_poly(rng, 120);
+    EXPECT_EQ(Poly::parse(a.to_string()), a);
+    EXPECT_EQ(Poly::parse(a.to_paper_string()), a);
+  }
+}
+
+TEST(Gf2Poly, ParseRejectsGarbage) {
+  EXPECT_THROW(Poly::parse(""), InvalidArgument);
+  EXPECT_THROW(Poly::parse("x^4+"), InvalidArgument);
+  EXPECT_THROW(Poly::parse("y^4"), InvalidArgument);
+  EXPECT_THROW(Poly::parse("x^4 x^2"), InvalidArgument);
+  EXPECT_THROW(Poly::parse("3"), InvalidArgument);
+}
+
+TEST(Gf2Poly, OrderingIsTotalAndConsistent) {
+  Prng rng(43);
+  for (int i = 0; i < 30; ++i) {
+    const Poly a = random_poly(rng, 90);
+    const Poly b = random_poly(rng, 90);
+    // Exactly one of <, ==, > holds.
+    const int relations = (a < b) + (b < a) + (a == b);
+    EXPECT_EQ(relations, 1);
+    EXPECT_FALSE(a < a);
+  }
+  // Higher degree sorts later.
+  EXPECT_LT(Poly{3}, Poly{64});
+  EXPECT_LT(Poly{64}, (Poly{64, 3}));
+}
+
+TEST(Gf2Poly, TrinomialPentanomialPredicates) {
+  EXPECT_TRUE((Poly{233, 74, 0}).is_trinomial());
+  EXPECT_FALSE((Poly{233, 74, 0}).is_pentanomial());
+  EXPECT_TRUE((Poly{8, 4, 3, 1, 0}).is_pentanomial());
+  EXPECT_FALSE((Poly{8, 4, 3, 1}).is_pentanomial()) << "no constant term";
+  EXPECT_FALSE(Poly::one().is_trinomial());
+}
+
+// Large-degree stress: the word-boundary logic (64/128/192 bits) must be
+// exact for the 571-bit experiments.
+class WordBoundaryTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WordBoundaryTest, ArithmeticAcrossBoundary) {
+  const unsigned m = GetParam();
+  Prng rng(m);
+  const Poly a = random_poly(rng, m);
+  const Poly b = random_poly(rng, m);
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ(a.square(), a * a);
+  if (!b.is_zero()) {
+    const auto dm = a.divmod(b);
+    EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+  }
+  EXPECT_EQ((a << m) >> m, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, WordBoundaryTest,
+                         ::testing::Values(63, 64, 65, 127, 128, 129, 191,
+                                           192, 233, 283, 409, 571));
+
+}  // namespace
+}  // namespace gfre::gf2

@@ -1,0 +1,212 @@
+// Tests for irreducibility testing and irreducible-polynomial search.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gf2poly/gf2_poly.hpp"
+#include "gf2poly/irreducible.hpp"
+#include "util/error.hpp"
+
+namespace gfre::gf2 {
+namespace {
+
+/// Reference irreducibility by exhaustive trial division (deg <= 14).
+bool irreducible_by_trial_division(const Poly& p) {
+  const int deg = p.degree();
+  if (deg <= 0) return false;
+  if (deg == 1) return true;
+  for (unsigned d_bits = 2; d_bits < (1u << ((deg / 2) + 1)); ++d_bits) {
+    Poly d;
+    for (unsigned b = 0; b < 16; ++b) {
+      if ((d_bits >> b) & 1u) d.set_coeff(b, true);
+    }
+    if (d.degree() < 1 || d.degree() > deg / 2) continue;
+    if (p.mod(d).is_zero()) return false;
+  }
+  return true;
+}
+
+TEST(Irreducible, KnownSmallCases) {
+  EXPECT_TRUE(is_irreducible(Poly{1}));             // x
+  EXPECT_TRUE(is_irreducible(Poly{1, 0}));          // x+1
+  EXPECT_TRUE(is_irreducible(Poly{2, 1, 0}));       // x^2+x+1
+  EXPECT_FALSE(is_irreducible(Poly{2, 0}));         // (x+1)^2
+  EXPECT_FALSE(is_irreducible(Poly{2, 1}));         // x(x+1)
+  EXPECT_TRUE(is_irreducible(Poly{3, 1, 0}));
+  EXPECT_TRUE(is_irreducible(Poly{3, 2, 0}));
+  EXPECT_FALSE(is_irreducible(Poly{3, 0}));         // (x+1)(x^2+x+1)
+  EXPECT_TRUE(is_irreducible(Poly{4, 1, 0}));
+  EXPECT_TRUE(is_irreducible(Poly{4, 3, 0}));
+  EXPECT_FALSE(is_irreducible(Poly{4, 2, 0}));      // (x^2+x+1)^2
+  EXPECT_TRUE(is_irreducible(Poly{8, 4, 3, 1, 0})); // AES
+  EXPECT_FALSE(is_irreducible(Poly{8, 1, 0}));
+}
+
+TEST(Irreducible, ConstantAndZeroAreNot) {
+  EXPECT_FALSE(is_irreducible(Poly{}));
+  EXPECT_FALSE(is_irreducible(Poly::one()));
+}
+
+TEST(Irreducible, NoConstantTermIsReducible) {
+  EXPECT_FALSE(is_irreducible(Poly{5, 3}));  // divisible by x
+}
+
+TEST(Irreducible, RabinAgreesWithTrialDivision) {
+  // Exhaustive cross-check for all polynomials of degree 2..9.
+  for (unsigned deg = 2; deg <= 9; ++deg) {
+    for (unsigned low = 0; low < (1u << deg); ++low) {
+      Poly p = Poly::monomial(deg);
+      for (unsigned b = 0; b < deg; ++b) {
+        if ((low >> b) & 1u) p.set_coeff(b, true);
+      }
+      EXPECT_EQ(is_irreducible(p), irreducible_by_trial_division(p))
+          << "disagreement on " << p.to_string();
+    }
+  }
+}
+
+TEST(Irreducible, DistinctPrimeFactors) {
+  EXPECT_EQ(distinct_prime_factors(1), (std::vector<std::uint64_t>{}));
+  EXPECT_EQ(distinct_prime_factors(2), (std::vector<std::uint64_t>{2}));
+  EXPECT_EQ(distinct_prime_factors(12), (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_EQ(distinct_prime_factors(233), (std::vector<std::uint64_t>{233}));
+  EXPECT_EQ(distinct_prime_factors(571), (std::vector<std::uint64_t>{571}));
+  EXPECT_EQ(distinct_prime_factors(96),
+            (std::vector<std::uint64_t>{2, 3}));
+}
+
+TEST(Irreducible, TrinomialListsMatchKnownTables) {
+  // Classic table of irreducible trinomial middle exponents.
+  const std::map<unsigned, std::vector<unsigned>> known = {
+      {2, {1}},
+      {3, {1, 2}},
+      {4, {1, 3}},
+      {5, {2, 3}},
+      {6, {1, 3, 5}},
+      {7, {1, 3, 4, 6}},
+      {9, {1, 4, 5, 8}},
+      {15, {1, 4, 7, 8, 11, 14}},
+  };
+  for (const auto& [m, expected] : known) {
+    EXPECT_EQ(irreducible_trinomials(m), expected) << "m=" << m;
+  }
+}
+
+TEST(Irreducible, NoTrinomialExistsForMultiplesOfEight) {
+  // Degree divisible by 8 has no irreducible trinomial (classic result).
+  for (unsigned m : {8u, 16u, 24u, 32u}) {
+    EXPECT_TRUE(irreducible_trinomials(m).empty()) << "m=" << m;
+  }
+}
+
+TEST(Irreducible, TrinomialSetIsReciprocalSymmetric) {
+  // x^m+x^a+1 irreducible iff x^m+x^(m-a)+1 irreducible.
+  for (unsigned m : {5u, 7u, 9u, 15u, 17u, 23u}) {
+    const auto list = irreducible_trinomials(m);
+    for (unsigned a : list) {
+      EXPECT_TRUE(std::find(list.begin(), list.end(), m - a) != list.end())
+          << "m=" << m << " a=" << a;
+    }
+  }
+}
+
+TEST(Irreducible, FirstPentanomialIsIrreducibleAndMinimal) {
+  for (unsigned m : {4u, 8u, 12u, 16u, 24u}) {
+    const auto p = first_irreducible_pentanomial(m);
+    ASSERT_TRUE(p.has_value()) << "m=" << m;
+    EXPECT_TRUE(is_irreducible(*p));
+    EXPECT_TRUE(p->is_pentanomial());
+    EXPECT_EQ(p->degree(), static_cast<int>(m));
+  }
+  // Known: the lexicographically smallest irreducible pentanomial of
+  // degree 8 is x^8+x^4+x^3+x+1 (searched (a,b,c) ascending) — this is in
+  // fact the AES polynomial's little sibling; verify by direct search.
+  const auto p8 = first_irreducible_pentanomial(8);
+  ASSERT_TRUE(p8.has_value());
+  bool found_smaller = false;
+  for (unsigned a = 3; a < 8 && !found_smaller; ++a) {
+    for (unsigned b = 2; b < a && !found_smaller; ++b) {
+      for (unsigned c = 1; c < b && !found_smaller; ++c) {
+        Poly q{8, a, b, c, 0};
+        if (q == *p8) {
+          found_smaller = true;  // reached our result first => minimal
+          break;
+        }
+        EXPECT_FALSE(is_irreducible(q))
+            << q.to_string() << " precedes " << p8->to_string();
+      }
+    }
+  }
+}
+
+TEST(Irreducible, DefaultIrreducibleProperties) {
+  for (unsigned m = 2; m <= 40; ++m) {
+    const Poly p = default_irreducible(m);
+    EXPECT_EQ(p.degree(), static_cast<int>(m));
+    EXPECT_TRUE(is_irreducible(p)) << p.to_string();
+    EXPECT_TRUE(p.is_trinomial() || p.is_pentanomial());
+    if (!irreducible_trinomials(m).empty()) {
+      EXPECT_TRUE(p.is_trinomial())
+          << "NIST convention prefers trinomials when they exist";
+    }
+  }
+}
+
+TEST(Irreducible, DefaultIrreducibleRejectsDegreeOne) {
+  EXPECT_THROW(default_irreducible(0), Error);
+  EXPECT_THROW(default_irreducible(1), Error);
+}
+
+TEST(Irreducible, CountMatchesNecklaceFormula) {
+  // #irreducible polynomials of degree n over GF(2) = (1/n) sum_{d|n}
+  // mu(d) 2^(n/d).
+  const auto mobius = [](unsigned n) -> int {
+    int result = 1;
+    for (unsigned p = 2; p * p <= n; ++p) {
+      if (n % p == 0) {
+        n /= p;
+        if (n % p == 0) return 0;
+        result = -result;
+      }
+    }
+    if (n > 1) result = -result;
+    return result;
+  };
+  for (unsigned n = 1; n <= 12; ++n) {
+    long expected = 0;
+    for (unsigned d = 1; d <= n; ++d) {
+      if (n % d == 0) expected += mobius(d) * (1L << (n / d));
+    }
+    expected /= n;
+    long counted = 0;
+    if (n == 1) {
+      counted = 2;  // x and x+1 (all_irreducible skips x by requiring p0=1,
+                    // so count directly here)
+      expected = 2;
+    } else {
+      counted = static_cast<long>(all_irreducible(n).size());
+    }
+    EXPECT_EQ(counted, expected) << "degree " << n;
+  }
+}
+
+TEST(Irreducible, AllIrreducibleEntriesAreValid) {
+  for (unsigned m : {4u, 6u, 8u}) {
+    for (const Poly& p : all_irreducible(m)) {
+      EXPECT_EQ(p.degree(), static_cast<int>(m));
+      EXPECT_TRUE(is_irreducible(p));
+      EXPECT_TRUE(p.coeff(0));
+    }
+  }
+}
+
+TEST(Irreducible, LargePaperDegreesAreFast) {
+  // The 571-bit NIST polynomial must validate quickly (Rabin, not trial
+  // division).  This also pins the correctness of the big-degree path.
+  EXPECT_TRUE(is_irreducible(Poly{571, 10, 5, 2, 0}));
+  EXPECT_TRUE(is_irreducible(Poly{409, 87, 0}));
+  EXPECT_FALSE(is_irreducible(Poly{571, 10, 5, 2}));  // no constant term
+}
+
+}  // namespace
+}  // namespace gfre::gf2

@@ -1,0 +1,96 @@
+// Tests for the Karatsuba multiplier generator: functional equivalence,
+// structural properties (AND-count savings), and end-to-end P(x) recovery.
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+#include "gen/karatsuba.hpp"
+#include "gen/mastrovito.hpp"
+#include "gf2m/field.hpp"
+#include "gf2poly/irreducible.hpp"
+#include "sim/equivalence.hpp"
+#include "util/prng.hpp"
+
+namespace gfre::gen {
+namespace {
+
+using gf2::Poly;
+
+class KaratsubaSweep : public ::testing::TestWithParam<Poly> {};
+
+TEST_P(KaratsubaSweep, MatchesFieldMultiplication) {
+  const gf2m::Field field(GetParam());
+  const auto netlist = generate_karatsuba(field);
+  netlist.validate();
+  const auto ports = nl::multiplier_ports(netlist);
+  Prng rng(field.m() * 7);
+  const auto cex = sim::check_field_multiplier(netlist, ports, field, rng, 24);
+  EXPECT_FALSE(cex.has_value()) << cex->to_string();
+}
+
+TEST_P(KaratsubaSweep, FlowRecoversPolynomial) {
+  const gf2m::Field field(GetParam());
+  const auto netlist = generate_karatsuba(field);
+  core::FlowOptions options;
+  options.threads = 2;
+  const auto report = core::reverse_engineer(netlist, options);
+  EXPECT_TRUE(report.success) << report.summary();
+  EXPECT_EQ(report.recovery.p, field.modulus());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Moduli, KaratsubaSweep,
+    ::testing::Values(Poly{4, 1, 0}, Poly{5, 2, 0}, Poly{8, 4, 3, 1, 0},
+                      Poly{11, 2, 0}, Poly{16, 5, 3, 1, 0}, Poly{23, 5, 0},
+                      Poly{32, 7, 3, 2, 0}),
+    [](const ::testing::TestParamInfo<Poly>& info) {
+      return "deg" + std::to_string(info.param.degree()) + "_idx" +
+             std::to_string(info.index);
+    });
+
+TEST(Karatsuba, ThresholdOneWorks) {
+  const gf2m::Field field(Poly{8, 4, 3, 1, 0});
+  KaratsubaOptions options;
+  options.threshold = 1;
+  const auto netlist = generate_karatsuba(field, options);
+  const auto ports = nl::multiplier_ports(netlist);
+  Prng rng(42);
+  EXPECT_FALSE(
+      sim::check_field_multiplier(netlist, ports, field, rng, 16).has_value());
+}
+
+TEST(Karatsuba, UsesFewerAndGatesThanMastrovito) {
+  // The whole point of Karatsuba: sub-quadratic AND count (m^log2(3) vs
+  // m^2), at the price of extra XORs.
+  const gf2m::Field field(gf2::default_irreducible(32));
+  KaratsubaOptions options;
+  options.threshold = 2;
+  const auto karatsuba_netlist = generate_karatsuba(field, options);
+  const auto mastrovito_netlist = generate_mastrovito(field);
+  const auto ands = [](const nl::Netlist& n) {
+    const auto histogram = n.cell_histogram();
+    const auto it = histogram.find(nl::CellType::And);
+    return it == histogram.end() ? std::size_t{0} : it->second;
+  };
+  EXPECT_LT(ands(karatsuba_netlist), ands(mastrovito_netlist));
+  // The XOR trade is roughly break-even at this size; it must at least not
+  // shrink (the AND savings are not free).
+  EXPECT_GE(karatsuba_netlist.xor2_equivalent_count(),
+            mastrovito_netlist.xor2_equivalent_count());
+}
+
+TEST(Karatsuba, AllIrreducibleDegree4To6) {
+  for (unsigned m = 4; m <= 6; ++m) {
+    for (const Poly& p : gf2::all_irreducible(m)) {
+      const gf2m::Field field(p);
+      KaratsubaOptions options;
+      options.threshold = 2;
+      const auto netlist = generate_karatsuba(field, options);
+      const auto report = core::reverse_engineer(netlist);
+      EXPECT_TRUE(report.success) << p.to_string();
+      EXPECT_EQ(report.recovery.p, p);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gfre::gen

@@ -1,0 +1,106 @@
+// Tests for the word-level Montgomery reference (the Table II circuits'
+// functional spec).
+#include <gtest/gtest.h>
+
+#include "gf2m/field.hpp"
+#include "gf2m/montgomery.hpp"
+#include "gf2poly/catalog.hpp"
+#include "util/prng.hpp"
+
+namespace gfre::gf2m {
+namespace {
+
+using gf2::Poly;
+
+class MontgomeryRef : public ::testing::TestWithParam<Poly> {};
+
+TEST_P(MontgomeryRef, MontProIsProductTimesRInverse) {
+  const Field f(GetParam());
+  const Montgomery mont(f);
+  Prng rng(f.m() * 31u);
+  for (int i = 0; i < 25; ++i) {
+    const Poly a = f.random_element(rng);
+    const Poly b = f.random_element(rng);
+    const Poly expected = f.mul(f.mul(a, b), mont.r_inverse());
+    EXPECT_EQ(mont.mont_pro(a, b), expected)
+        << "a=" << a.to_string() << " b=" << b.to_string() << " in "
+        << f.to_string();
+  }
+}
+
+TEST_P(MontgomeryRef, DomainConversionRoundTrip) {
+  const Field f(GetParam());
+  const Montgomery mont(f);
+  Prng rng(f.m() * 97u);
+  for (int i = 0; i < 25; ++i) {
+    const Poly a = f.random_element(rng);
+    EXPECT_EQ(mont.from_mont(mont.to_mont(a)), a);
+    // to_mont multiplies by x^m.
+    EXPECT_EQ(mont.to_mont(a), f.mul(a, f.reduce(Poly::monomial(f.m()))));
+  }
+}
+
+TEST_P(MontgomeryRef, ComposedMulEqualsFieldMul) {
+  const Field f(GetParam());
+  const Montgomery mont(f);
+  Prng rng(f.m() * 131u);
+  for (int i = 0; i < 25; ++i) {
+    const Poly a = f.random_element(rng);
+    const Poly b = f.random_element(rng);
+    EXPECT_EQ(mont.mul(a, b), f.mul(a, b));
+  }
+}
+
+TEST_P(MontgomeryRef, MontgomeryDomainPreservesStructure) {
+  // MontPro is an isomorphic multiplication in the Montgomery domain:
+  // MontPro(to(a), to(b)) == to(a*b).
+  const Field f(GetParam());
+  const Montgomery mont(f);
+  Prng rng(f.m() * 151u);
+  for (int i = 0; i < 15; ++i) {
+    const Poly a = f.random_element(rng);
+    const Poly b = f.random_element(rng);
+    EXPECT_EQ(mont.mont_pro(mont.to_mont(a), mont.to_mont(b)),
+              mont.to_mont(f.mul(a, b)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fields, MontgomeryRef,
+    ::testing::Values(Poly{2, 1, 0}, Poly{4, 1, 0}, Poly{4, 3, 0},
+                      Poly{8, 4, 3, 1, 0}, Poly{13, 4, 3, 1, 0},
+                      Poly{23, 5, 0}, Poly{64, 21, 19, 4, 0},
+                      Poly{233, 74, 0}),
+    [](const ::testing::TestParamInfo<Poly>& info) {
+      return "deg" + std::to_string(info.param.degree()) + "_idx" +
+             std::to_string(info.index);
+    });
+
+TEST(MontgomeryRef, ConstantsMatchDefinitions) {
+  const Field f(Poly{8, 4, 3, 1, 0});
+  const Montgomery mont(f);
+  EXPECT_EQ(mont.r_squared(), Poly::monomial(16).mod(f.modulus()));
+  EXPECT_EQ(f.mul(mont.r_inverse(), f.reduce(Poly::monomial(8))),
+            Poly::one());
+}
+
+TEST(MontgomeryRef, ExhaustiveTinyField) {
+  // GF(2^3): check MontPro against the definition for all operand pairs.
+  const Field f(Poly{3, 1, 0});
+  const Montgomery mont(f);
+  for (unsigned ai = 0; ai < 8; ++ai) {
+    for (unsigned bi = 0; bi < 8; ++bi) {
+      Poly a, b;
+      for (unsigned k = 0; k < 3; ++k) {
+        if ((ai >> k) & 1u) a.set_coeff(k, true);
+        if ((bi >> k) & 1u) b.set_coeff(k, true);
+      }
+      EXPECT_EQ(mont.mont_pro(a, b),
+                f.mul(f.mul(a, b), mont.r_inverse()));
+      EXPECT_EQ(mont.mul(a, b), f.mul(a, b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gfre::gf2m

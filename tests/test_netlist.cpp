@@ -1,0 +1,204 @@
+// Tests for the netlist graph: construction, topology, cones, validation.
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.hpp"
+#include "netlist/ports.hpp"
+#include "util/error.hpp"
+
+namespace gfre::nl {
+namespace {
+
+Netlist tiny_xor_and() {
+  // z = (a & b) ^ c
+  Netlist n("tiny");
+  const Var a = n.add_input("a");
+  const Var b = n.add_input("b");
+  const Var c = n.add_input("c");
+  const Var t = n.add_gate(CellType::And, {a, b}, "t");
+  const Var z = n.add_gate(CellType::Xor, {t, c}, "z");
+  n.mark_output(z);
+  return n;
+}
+
+TEST(Netlist, BasicConstruction) {
+  const Netlist n = tiny_xor_and();
+  EXPECT_EQ(n.name(), "tiny");
+  EXPECT_EQ(n.num_gates(), 2u);
+  EXPECT_EQ(n.num_equations(), 2u);
+  EXPECT_EQ(n.num_vars(), 5u);
+  EXPECT_EQ(n.inputs().size(), 3u);
+  EXPECT_EQ(n.outputs().size(), 1u);
+  EXPECT_EQ(n.var_name(n.outputs()[0]), "z");
+  n.validate();
+}
+
+TEST(Netlist, InputAndDriverQueries) {
+  const Netlist n = tiny_xor_and();
+  const Var a = *n.find_var("a");
+  const Var t = *n.find_var("t");
+  EXPECT_TRUE(n.is_input(a));
+  EXPECT_FALSE(n.is_input(t));
+  EXPECT_FALSE(n.driver(a).has_value());
+  ASSERT_TRUE(n.driver(t).has_value());
+  EXPECT_EQ(n.gate(*n.driver(t)).type, CellType::And);
+  EXPECT_FALSE(n.find_var("nope").has_value());
+}
+
+TEST(Netlist, AutoNamesAreUnique) {
+  Netlist n;
+  const Var a = n.add_input("a");
+  const Var g1 = n.add_gate(CellType::Inv, {a});
+  const Var g2 = n.add_gate(CellType::Inv, {g1});
+  EXPECT_NE(n.var_name(g1), n.var_name(g2));
+}
+
+TEST(Netlist, DuplicateNameRejected) {
+  Netlist n;
+  n.add_input("a");
+  EXPECT_THROW(n.add_input("a"), Error);
+  const Var a = *n.find_var("a");
+  EXPECT_THROW(n.add_gate(CellType::Inv, {a}, "a"), Error);
+}
+
+TEST(Netlist, BadArityRejected) {
+  Netlist n;
+  const Var a = n.add_input("a");
+  EXPECT_THROW(n.add_gate(CellType::And, {a}), Error);
+  EXPECT_THROW(n.add_gate(CellType::Inv, {a, a}), Error);
+  EXPECT_THROW(n.add_gate(CellType::Mux, {a, a}), Error);
+}
+
+TEST(Netlist, UndeclaredInputRejected) {
+  Netlist n;
+  const Var a = n.add_input("a");
+  EXPECT_THROW(n.add_gate(CellType::Inv, {static_cast<Var>(a + 100)}), Error);
+}
+
+TEST(Netlist, TopologicalOrderRespectsDependencies) {
+  const Netlist n = tiny_xor_and();
+  const auto order = n.topological_order();
+  ASSERT_EQ(order.size(), 2u);
+  // AND (driving t) must precede XOR (consuming t).
+  EXPECT_EQ(n.gate(order[0]).type, CellType::And);
+  EXPECT_EQ(n.gate(order[1]).type, CellType::Xor);
+}
+
+TEST(Netlist, FaninConeAndInputs) {
+  // Two independent outputs share nothing.
+  Netlist n;
+  const Var a = n.add_input("a");
+  const Var b = n.add_input("b");
+  const Var c = n.add_input("c");
+  const Var x = n.add_gate(CellType::And, {a, b}, "x");
+  const Var y = n.add_gate(CellType::Inv, {c}, "y");
+  n.mark_output(x);
+  n.mark_output(y);
+
+  const auto cone_x = n.fanin_cone(x);
+  ASSERT_EQ(cone_x.size(), 1u);
+  EXPECT_EQ(n.gate(cone_x[0]).output, x);
+  EXPECT_EQ(n.cone_inputs(x), (std::vector<Var>{a, b}));
+  EXPECT_EQ(n.cone_inputs(y), (std::vector<Var>{c}));
+  // Cone of an input is empty.
+  EXPECT_TRUE(n.fanin_cone(a).empty());
+}
+
+TEST(Netlist, ConeIsTransitive) {
+  Netlist n;
+  const Var a = n.add_input("a");
+  const Var b = n.add_input("b");
+  Var t = n.add_gate(CellType::And, {a, b});
+  for (int i = 0; i < 5; ++i) t = n.add_gate(CellType::Inv, {t});
+  n.mark_output(t);
+  EXPECT_EQ(n.fanin_cone(t).size(), 6u);
+}
+
+TEST(Netlist, DepthLongestPath) {
+  Netlist n;
+  const Var a = n.add_input("a");
+  const Var b = n.add_input("b");
+  const Var g1 = n.add_gate(CellType::And, {a, b});
+  const Var g2 = n.add_gate(CellType::Inv, {g1});
+  const Var g3 = n.add_gate(CellType::Xor, {g2, a});
+  n.mark_output(g3);
+  EXPECT_EQ(n.depth(), 3u);
+}
+
+TEST(Netlist, CellHistogramAndXorCount) {
+  Netlist n;
+  const Var a = n.add_input("a");
+  const Var b = n.add_input("b");
+  const Var c = n.add_input("c");
+  n.add_gate(CellType::Xor, {a, b, c});  // counts as 2 XOR2
+  const Var x = n.add_gate(CellType::Xor, {a, b});
+  const Var y = n.add_gate(CellType::Xnor, {x, c});
+  n.mark_output(y);
+  const auto histogram = n.cell_histogram();
+  EXPECT_EQ(histogram.at(CellType::Xor), 2u);
+  EXPECT_EQ(histogram.at(CellType::Xnor), 1u);
+  EXPECT_EQ(n.xor2_equivalent_count(), 4u);
+}
+
+TEST(Netlist, ValidateCatchesMissingOutput) {
+  Netlist n;
+  const Var a = n.add_input("a");
+  (void)a;
+  // mark_output on undeclared id throws immediately.
+  EXPECT_THROW(n.mark_output(static_cast<Var>(99)), Error);
+}
+
+TEST(Ports, FindWordPort) {
+  Netlist n;
+  for (int i = 0; i < 4; ++i) n.add_input("a" + std::to_string(i));
+  n.add_input("clk");
+  const auto port = find_word_port(n, "a");
+  ASSERT_TRUE(port.has_value());
+  EXPECT_EQ(port->width(), 4u);
+  EXPECT_EQ(n.var_name(port->bits[2]), "a2");
+  EXPECT_FALSE(find_word_port(n, "b").has_value());
+}
+
+TEST(Ports, GroupedInputPortsRequireDenseIndices) {
+  Netlist n;
+  n.add_input("a0");
+  n.add_input("a1");
+  n.add_input("b0");
+  n.add_input("b2");  // gap: b1 missing
+  n.add_input("en");
+  const auto ports = input_word_ports(n);
+  ASSERT_EQ(ports.size(), 1u);
+  EXPECT_EQ(ports[0].base, "a");
+  EXPECT_EQ(ports[0].width(), 2u);
+}
+
+TEST(Ports, MultiplierPortsValidation) {
+  Netlist n;
+  for (int i = 0; i < 3; ++i) n.add_input("a" + std::to_string(i));
+  for (int i = 0; i < 3; ++i) n.add_input("b" + std::to_string(i));
+  std::vector<Var> zs;
+  for (int i = 0; i < 3; ++i) {
+    const Var z = n.add_gate(
+        CellType::And, {*n.find_var("a" + std::to_string(i)),
+                        *n.find_var("b" + std::to_string(i))},
+        "z" + std::to_string(i));
+    n.mark_output(z);
+    zs.push_back(z);
+  }
+  const auto ports = multiplier_ports(n);
+  EXPECT_EQ(ports.m(), 3u);
+  EXPECT_EQ(ports.z.bits, zs);
+  EXPECT_THROW(multiplier_ports(n, "x", "b", "z"), InvalidArgument);
+}
+
+TEST(Ports, MultiplierPortsWidthMismatch) {
+  Netlist n;
+  for (int i = 0; i < 3; ++i) n.add_input("a" + std::to_string(i));
+  for (int i = 0; i < 2; ++i) n.add_input("b" + std::to_string(i));
+  const Var z = n.add_gate(CellType::And,
+                           {*n.find_var("a0"), *n.find_var("b0")}, "z0");
+  n.mark_output(z);
+  EXPECT_THROW(multiplier_ports(n), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gfre::nl

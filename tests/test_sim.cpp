@@ -1,0 +1,136 @@
+// Tests for the bit-parallel simulator and equivalence checking.
+#include <gtest/gtest.h>
+
+#include "gen/mastrovito.hpp"
+#include "gen/montgomery_gate.hpp"
+#include "gf2m/field.hpp"
+#include "gf2m/montgomery.hpp"
+#include "helpers.hpp"
+#include "sim/equivalence.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace gfre::sim {
+namespace {
+
+using gf2::Poly;
+
+TEST(Simulator, SingleVectorBasics) {
+  nl::Netlist n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto x = n.add_gate(nl::CellType::Xor, {a, b});
+  const auto o = n.add_gate(nl::CellType::Inv, {x});
+  n.mark_output(o);
+  const Simulator simulator(n);
+  EXPECT_EQ(simulator.run_single({false, false})[0], true);
+  EXPECT_EQ(simulator.run_single({true, false})[0], false);
+  EXPECT_EQ(simulator.run_single({true, true})[0], true);
+}
+
+TEST(Simulator, LanesAreIndependent) {
+  nl::Netlist n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto g = n.add_gate(nl::CellType::And, {a, b});
+  n.mark_output(g);
+  const Simulator simulator(n);
+  // 64 lanes: lane i has a = bit i of pattern1, b = bit i of pattern2.
+  const std::uint64_t pa = 0xF0F0F0F0F0F0F0F0ull;
+  const std::uint64_t pb = 0xCCCCCCCCCCCCCCCCull;
+  EXPECT_EQ(simulator.run({pa, pb})[0], pa & pb);
+}
+
+TEST(Simulator, InputCountValidated) {
+  nl::Netlist n;
+  n.add_input("a");
+  const Simulator simulator(n);
+  EXPECT_THROW(simulator.run({1, 2}), Error);
+}
+
+TEST(Equivalence, MastrovitoMatchesFieldExhaustively) {
+  for (const Poly& p : {Poly{2, 1, 0}, Poly{3, 1, 0}, Poly{4, 1, 0},
+                        Poly{4, 3, 0}, Poly{5, 2, 0}}) {
+    const gf2m::Field field(p);
+    const auto netlist = gen::generate_mastrovito(field);
+    const auto ports = nl::multiplier_ports(netlist);
+    Prng rng(1);
+    const auto cex = check_field_multiplier(netlist, ports, field, rng);
+    EXPECT_FALSE(cex.has_value())
+        << p.to_string() << ": " << cex->to_string();
+  }
+}
+
+TEST(Equivalence, RandomBatchesForLargerField) {
+  const gf2m::Field field(Poly{16, 5, 3, 1, 0});
+  const auto netlist = gen::generate_mastrovito(field);
+  const auto ports = nl::multiplier_ports(netlist);
+  Prng rng(2);
+  EXPECT_FALSE(check_field_multiplier(netlist, ports, field, rng, 16)
+                   .has_value());
+}
+
+TEST(Equivalence, DetectsBrokenMultiplier) {
+  const gf2m::Field field(Poly{4, 1, 0});
+  // Build a multiplier and corrupt it: replace one partial-product AND with
+  // OR by rebuilding a netlist by hand.
+  auto netlist = gen::generate_mastrovito(field);
+  // A fresh netlist with the same interface but the wrong modulus:
+  const gf2m::Field wrong(Poly{4, 3, 0});
+  const auto wrong_netlist = gen::generate_mastrovito(wrong);
+  const auto ports = nl::multiplier_ports(wrong_netlist);
+  Prng rng(3);
+  const auto cex = check_field_multiplier(wrong_netlist, ports, field, rng);
+  ASSERT_TRUE(cex.has_value());
+  // The counterexample must actually witness the difference.
+  EXPECT_EQ(cex->expected_z, field.mul(cex->a, cex->b));
+  EXPECT_EQ(cex->netlist_z, wrong.mul(cex->a, cex->b));
+  EXPECT_NE(cex->netlist_z, cex->expected_z);
+}
+
+TEST(Equivalence, MontgomeryRawMatchesReference) {
+  const gf2m::Field field(Poly{8, 4, 3, 1, 0});
+  const gf2m::Montgomery mont(field);
+  gen::MontgomeryOptions options;
+  options.raw = true;
+  const auto netlist = gen::generate_montgomery(field, options);
+  const auto ports = nl::multiplier_ports(netlist);
+  Prng rng(4);
+  const auto cex = check_multiplier(
+      netlist, ports,
+      [&](const Poly& a, const Poly& b) { return mont.mont_pro(a, b); },
+      rng);
+  EXPECT_FALSE(cex.has_value()) << cex->to_string();
+}
+
+TEST(Equivalence, NetlistVsNetlistByName) {
+  const gf2m::Field field(Poly{4, 1, 0});
+  gen::MastrovitoOptions product_form;
+  gen::MastrovitoOptions matrix_form;
+  matrix_form.style = gen::MastrovitoOptions::Style::Matrix;
+  const auto lhs = gen::generate_mastrovito(field, product_form);
+  const auto rhs = gen::generate_mastrovito(field, matrix_form);
+  Prng rng(5);
+  EXPECT_FALSE(check_netlists_equal(lhs, rhs, rng).has_value());
+
+  const gf2m::Field other(Poly{4, 3, 0});
+  const auto different = gen::generate_mastrovito(other);
+  const auto mismatch = check_netlists_equal(lhs, different, rng);
+  ASSERT_TRUE(mismatch.has_value());
+  EXPECT_NE(mismatch->find("differs"), std::string::npos);
+}
+
+TEST(Equivalence, CounterexampleToString) {
+  Counterexample cex;
+  cex.a = Poly{1, 0};
+  cex.b = Poly{2};
+  cex.netlist_z = Poly{0};
+  cex.expected_z = Poly{1};
+  const std::string s = cex.to_string();
+  EXPECT_NE(s.find("A=x+1"), std::string::npos);
+  EXPECT_NE(s.find("expected=x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gfre::sim
