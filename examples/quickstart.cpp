@@ -2,8 +2,8 @@
 // multiplier (the AES field) and verify it against the golden model.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   cmake -B build -S . && cmake --build build -j
+//   ./build/example_quickstart
 #include <iostream>
 
 #include "core/flow.hpp"

@@ -23,14 +23,22 @@ std::uint64_t FlowReport::memory_bytes() const {
 
 std::string FlowReport::summary() const {
   std::ostringstream oss;
-  oss << "GF(2^" << m << ") multiplier, " << equations << " equations\n";
-  oss << "  circuit class : " << to_string(recovery.circuit_class) << "\n";
-  oss << "  Algorithm 2   : P(x) = " << algorithm2_p.to_string() << "\n";
-  oss << "  recovered P(x): " << recovery.p.to_string()
-      << (recovery.p_is_irreducible ? " (irreducible)" : " (NOT irreducible)")
-      << "\n";
-  oss << "  rows check    : "
-      << (recovery.rows_consistent ? "consistent" : "INCONSISTENT") << "\n";
+  if (m == 0) {
+    // Analysis never ran (e.g. port inference found no multiplier
+    // interface): only the classification and diagnosis are meaningful.
+    oss << "netlist with " << equations << " equations\n";
+    oss << "  circuit class : " << to_string(recovery.circuit_class) << "\n";
+  } else {
+    oss << "GF(2^" << m << ") multiplier, " << equations << " equations\n";
+    oss << "  circuit class : " << to_string(recovery.circuit_class) << "\n";
+    oss << "  Algorithm 2   : P(x) = " << algorithm2_p.to_string() << "\n";
+    oss << "  recovered P(x): " << recovery.p.to_string()
+        << (recovery.p_is_irreducible ? " (irreducible)"
+                                      : " (NOT irreducible)")
+        << "\n";
+    oss << "  rows check    : "
+        << (recovery.rows_consistent ? "consistent" : "INCONSISTENT") << "\n";
+  }
   if (!recovery.diagnosis.empty()) {
     oss << "  diagnosis     : " << recovery.diagnosis << "\n";
   }
@@ -56,11 +64,22 @@ FlowReport reverse_engineer(const nl::Netlist& netlist,
 
   nl::MultiplierPorts ports;
   if (options.infer_ports) {
+    // Port inference is a discovery heuristic over arbitrary input data, so
+    // its failure is a flow outcome (success=false + diagnosis), not an API
+    // misuse like asking for explicitly named ports that do not exist.
     auto inferred = nl::infer_multiplier_ports(netlist);
     if (!inferred.has_value()) {
-      throw InvalidArgument("netlist '" + netlist.name() +
-                            "' does not expose a two-operand word-level "
-                            "multiplier interface");
+      report.equations = netlist.num_equations();
+      report.recovery.circuit_class = CircuitClass::NotAMultiplier;
+      report.recovery.diagnosis =
+          "netlist '" + netlist.name() +
+          "' does not expose a two-operand word-level multiplier interface "
+          "(inputs must group into two same-width word ports and outputs "
+          "into one)";
+      report.verification.detail = "skipped: no multiplier interface";
+      report.success = false;
+      report.total_seconds = total.seconds();
+      return report;
     }
     ports = std::move(*inferred);
   } else {

@@ -51,6 +51,39 @@ inline nl::Netlist random_netlist(Prng& rng, unsigned num_inputs,
   return netlist;
 }
 
+/// Rebuilds `netlist` with output *names* permuted: the net that was
+/// <z_base>_i is renamed to <z_base>_{perm[i]} (bus bit scrambling).
+/// Because the flow finds output bits by name, this scrambles the z word's
+/// declared bit order while leaving the logic untouched.
+inline nl::Netlist scramble_outputs(const nl::Netlist& netlist,
+                                    const std::vector<unsigned>& perm,
+                                    const std::string& z_base = "z") {
+  nl::Netlist out(netlist.name() + "_scrambled");
+  std::vector<nl::Var> map(netlist.num_vars());
+  for (nl::Var v : netlist.inputs()) {
+    map[v] = out.add_input(netlist.var_name(v));
+  }
+  // Output nets get their permuted names; everything else keeps its own.
+  std::vector<std::string> rename(netlist.num_vars());
+  for (unsigned i = 0; i < perm.size(); ++i) {
+    rename[netlist.outputs()[i]] = z_base + std::to_string(perm[i]);
+    out.reserve_name(rename[netlist.outputs()[i]]);
+  }
+  for (std::size_t g : netlist.topological_order()) {
+    const nl::Gate& gate = netlist.gate(g);
+    std::vector<nl::Var> inputs;
+    for (nl::Var in : gate.inputs) inputs.push_back(map[in]);
+    map[gate.output] =
+        out.add_gate(gate.type, std::move(inputs), rename[gate.output]);
+  }
+  // Outputs marked in *name index* order, i.e. declared order is the
+  // scrambled order.
+  for (unsigned i = 0; i < perm.size(); ++i) {
+    out.mark_output(*out.find_var(z_base + std::to_string(i)));
+  }
+  return out;
+}
+
 /// Semantic equality of two netlists with identical input/output *order*
 /// (names may differ), by exhaustive simulation up to 2^inputs <= 4096,
 /// else 64-vector random batches.

@@ -181,8 +181,12 @@ TEST(Gf2Poly, GcdProperties) {
       EXPECT_TRUE(g.is_zero());
       continue;
     }
-    if (!a.is_zero()) EXPECT_TRUE(a.mod(g).is_zero());
-    if (!b.is_zero()) EXPECT_TRUE(b.mod(g).is_zero());
+    if (!a.is_zero()) {
+      EXPECT_TRUE(a.mod(g).is_zero());
+    }
+    if (!b.is_zero()) {
+      EXPECT_TRUE(b.mod(g).is_zero());
+    }
     EXPECT_EQ(Poly::gcd(a, b), Poly::gcd(b, a));
   }
 }

@@ -1,0 +1,82 @@
+// Theorem 2 determinism: per-output-bit backward rewriting is independent
+// across bits, so the thread count used for parallel extraction must not
+// change any result — neither the extracted ANFs nor the recovered P(x).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "core/parallel_extract.hpp"
+#include "gen/mastrovito.hpp"
+#include "gf2m/field.hpp"
+#include "gf2poly/irreducible.hpp"
+
+namespace gfre {
+namespace {
+
+using core::extract_all_outputs;
+using gf2::Poly;
+
+constexpr unsigned kThreadCounts[] = {1, 2, 8};
+
+class ThreadInvariance : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ThreadInvariance, ExtractionAnfsAreIdenticalAcrossThreadCounts) {
+  const unsigned m = GetParam();
+  const gf2m::Field field(gf2::default_irreducible(m));
+  const auto netlist = gen::generate_mastrovito(field);
+
+  const auto baseline = extract_all_outputs(netlist, 1);
+  ASSERT_EQ(baseline.anfs.size(), m);
+  for (const unsigned threads : kThreadCounts) {
+    const auto result = extract_all_outputs(netlist, threads);
+    EXPECT_EQ(result.threads, threads);
+    ASSERT_EQ(result.anfs.size(), m) << "threads=" << threads;
+    for (unsigned bit = 0; bit < m; ++bit) {
+      EXPECT_EQ(result.anfs[bit], baseline.anfs[bit])
+          << "threads=" << threads << " bit=" << bit;
+    }
+  }
+}
+
+TEST_P(ThreadInvariance, RecoveredPolynomialIsIdenticalAcrossThreadCounts) {
+  const unsigned m = GetParam();
+  const Poly p = gf2::default_irreducible(m);
+  const gf2m::Field field(p);
+  const auto netlist = gen::generate_mastrovito(field);
+
+  for (const unsigned threads : kThreadCounts) {
+    core::FlowOptions options;
+    options.threads = threads;
+    const auto report = core::reverse_engineer(netlist, options);
+    EXPECT_TRUE(report.success) << "threads=" << threads << "\n"
+                                << report.summary();
+    EXPECT_EQ(report.recovery.p, p) << "threads=" << threads;
+    EXPECT_EQ(report.algorithm2_p, p) << "threads=" << threads;
+    EXPECT_EQ(report.m, m);
+  }
+}
+
+TEST_P(ThreadInvariance, OversubscriptionBeyondBitCountIsHarmless) {
+  // More threads than output bits: the pool must not duplicate, drop or
+  // reorder per-bit work.
+  const unsigned m = GetParam();
+  const gf2m::Field field(gf2::default_irreducible(m));
+  const auto netlist = gen::generate_mastrovito(field);
+  const auto baseline = extract_all_outputs(netlist, 1);
+  const auto flooded = extract_all_outputs(netlist, 4 * m);
+  ASSERT_EQ(flooded.anfs.size(), baseline.anfs.size());
+  for (unsigned bit = 0; bit < m; ++bit) {
+    EXPECT_EQ(flooded.anfs[bit], baseline.anfs[bit]) << "bit=" << bit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gf2m4To8, ThreadInvariance,
+                         ::testing::Values(4u, 5u, 6u, 7u, 8u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "m" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace gfre

@@ -70,7 +70,7 @@ TEST(Timer, MeasuresElapsedTime) {
   Timer t;
   // Busy-wait a tiny amount.
   volatile unsigned long long sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GT(t.seconds(), 0.0);
   EXPECT_NEAR(t.micros(), t.seconds() * 1e6, 1e3);
   const double before = t.seconds();
