@@ -1,0 +1,106 @@
+// Minimal machine-readable bench-result writer.
+//
+// Benches emit a flat JSON document ({"benchmark": ..., "records": [...]})
+// so CI can upload the numbers as an artifact and the perf trajectory of
+// the rewriting engine is tracked across PRs instead of living in console
+// scrollback.  No external JSON dependency: records are flat key -> value
+// maps of strings and numbers, which is all a trend dashboard needs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gfre::bench {
+
+/// One flat JSON object in the "records" array.
+class JsonRecord {
+ public:
+  JsonRecord& add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + escape(value) + "\"");
+    return *this;
+  }
+  JsonRecord& add(const std::string& key, const char* value) {
+    return add(key, std::string(value));
+  }
+  JsonRecord& add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", value);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonRecord& add(const std::string& key, std::size_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonRecord& add(const std::string& key, unsigned value) {
+    return add(key, static_cast<std::size_t>(value));
+  }
+
+  std::string render() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "\"" + escape(fields_[i].first) + "\": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  static std::string escape(const std::string& text) {
+    std::string out;
+    for (char c : text) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Collects records and writes {"benchmark": name, "records": [...]}.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string benchmark)
+      : benchmark_(std::move(benchmark)) {}
+
+  JsonRecord& add_record() {
+    records_.emplace_back();
+    return records_.back();
+  }
+
+  /// Writes the document; returns false (with a note on stderr) on I/O
+  /// failure so benches can keep running without result capture.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot open '%s' for writing\n",
+                   path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"records\": [\n",
+                 benchmark_.c_str());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "    %s%s\n", records_[i].render().c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %zu bench records to %s\n", records_.size(),
+                path.c_str());
+    return true;
+  }
+
+ private:
+  std::string benchmark_;
+  std::vector<JsonRecord> records_;
+};
+
+}  // namespace gfre::bench

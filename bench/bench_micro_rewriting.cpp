@@ -40,6 +40,9 @@ const gfre::nl::Netlist& montgomery_netlist(unsigned m) {
   return it->second;
 }
 
+// Single-bit backward rewriting per substitution backend.  "SingleBit"
+// (no suffix) is the packed default; the Indexed/Naive variants keep the
+// ablation baselines measurable at micro scale.
 void BM_RewriteSingleBit(benchmark::State& state) {
   const unsigned m = static_cast<unsigned>(state.range(0));
   const auto& netlist = mastrovito_netlist(m);
@@ -49,6 +52,19 @@ void BM_RewriteSingleBit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RewriteSingleBit)->Arg(16)->Arg(64)->Arg(96)->Unit(benchmark::kMicrosecond);
+
+void BM_RewriteSingleBitIndexed(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const auto& netlist = mastrovito_netlist(m);
+  const auto z_mid = *netlist.find_var("z" + std::to_string(m / 2));
+  gfre::core::RewriteOptions options;
+  options.strategy = gfre::core::RewriteStrategy::Indexed;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gfre::core::extract_output_anf(netlist, z_mid, options));
+  }
+}
+BENCHMARK(BM_RewriteSingleBitIndexed)->Arg(16)->Arg(64)->Arg(96)->Unit(benchmark::kMicrosecond);
 
 void BM_RewriteSingleBitNaive(benchmark::State& state) {
   const unsigned m = static_cast<unsigned>(state.range(0));
@@ -80,6 +96,16 @@ void BM_ExtractAllBitsMontgomery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExtractAllBitsMontgomery)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_ExtractAllBitsMontgomeryIndexed(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const auto& netlist = montgomery_netlist(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gfre::core::extract_all_outputs(
+        netlist, 2, gfre::core::RewriteStrategy::Indexed));
+  }
+}
+BENCHMARK(BM_ExtractAllBitsMontgomeryIndexed)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 
 void BM_Algorithm2Recovery(benchmark::State& state) {
   const unsigned m = static_cast<unsigned>(state.range(0));

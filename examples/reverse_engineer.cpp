@@ -7,7 +7,8 @@
 // Options:
 //   --threads N        extraction threads (default: hardware)
 //   --ports a,b,z      operand/result port base names (default a,b,z)
-//   --naive            use the naive-scan rewriting strategy
+//   --strategy NAME    rewriting backend: packed (default), indexed, naive
+//   --naive            shorthand for --strategy naive
 //   --no-verify        skip the golden-model comparison
 //   --trace BIT        print the Algorithm-1 trace of one output bit
 //
@@ -32,7 +33,8 @@ namespace {
 
 void usage() {
   std::cerr
-      << "usage: reverse_engineer [--threads N] [--ports a,b,z] [--naive]\n"
+      << "usage: reverse_engineer [--threads N] [--ports a,b,z]\n"
+      << "                        [--strategy packed|indexed|naive]\n"
       << "                        [--no-verify] [--trace BIT]\n"
       << "                        <netlist.eqn|netlist.blif|netlist.v>\n"
       << "       reverse_engineer --demo\n";
@@ -69,6 +71,14 @@ int main(int argc, char** argv) {
       demo = true;
     } else if (arg == "--naive") {
       options.strategy = core::RewriteStrategy::NaiveScan;
+    } else if (arg == "--strategy" && i + 1 < argc) {
+      const auto strategy = core::strategy_from_name(argv[++i]);
+      if (!strategy.has_value()) {
+        std::cerr << "unknown strategy '" << argv[i] << "'\n";
+        usage();
+        return 2;
+      }
+      options.strategy = *strategy;
     } else if (arg == "--no-verify") {
       options.verify_with_golden = false;
     } else if (arg == "--threads" && i + 1 < argc) {

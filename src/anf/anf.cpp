@@ -20,6 +20,7 @@ Anf Anf::var(Var v) {
 
 Anf Anf::from_monomials(std::vector<Monomial> monomials) {
   Anf a;
+  a.reserve(monomials.size());
   for (auto& m : monomials) a.toggle(m);
   return a;
 }
@@ -39,6 +40,7 @@ bool Anf::toggle(const Monomial& m) {
 }
 
 Anf& Anf::operator+=(const Anf& rhs) {
+  reserve(size() + rhs.size());
   for (const auto& m : rhs.monomials_) toggle(m);
   return *this;
 }
@@ -51,6 +53,10 @@ Anf Anf::operator+(const Anf& rhs) const {
 
 Anf Anf::operator*(const Anf& rhs) const {
   Anf out;
+  // The full product is an upper bound (mod-2 cancellation only shrinks
+  // it); cap the reservation so degenerate huge products stay sane.
+  out.reserve(std::min<std::size_t>(size() * rhs.size(),
+                                    std::size_t{1} << 20));
   for (const auto& a : monomials_) {
     for (const auto& b : rhs.monomials_) {
       out.toggle(a.times(b));

@@ -40,6 +40,11 @@ class Anf {
   /// Number of monomials.
   std::size_t size() const { return monomials_.size(); }
 
+  /// Reserves hash capacity for n monomials — bulk construction
+  /// (operator+=, operator*, from_monomials, engine conversions) calls
+  /// this to avoid incremental rehashing.
+  void reserve(std::size_t n) { monomials_.reserve(n); }
+
   /// Adds m (mod 2): inserts if absent, cancels if present.
   /// Returns true if the monomial is present after the toggle.
   bool toggle(const Monomial& m);

@@ -1,0 +1,397 @@
+#include "anf/packed.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace gfre::anf::packed {
+
+const char* to_string(RepKind kind) {
+  switch (kind) {
+    case RepKind::Bits64: return "bits64";
+    case RepKind::Bits128: return "bits128";
+    case RepKind::Bits256: return "bits256";
+    case RepKind::Sparse: return "sparse";
+  }
+  return "?";
+}
+
+RepKind rep_for_cone(std::size_t cone_vars) {
+  if (cone_vars <= 64) return RepKind::Bits64;
+  if (cone_vars <= 128) return RepKind::Bits128;
+  if (cone_vars <= 256) return RepKind::Bits256;
+  return RepKind::Sparse;
+}
+
+namespace {
+
+inline std::uint64_t mix64(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 29;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 32;
+  return h;
+}
+
+/// Fixed-width bitset monomial: bit s set <=> slot s in the monomial.
+template <unsigned W>
+struct BitsRep {
+  static constexpr RepKind kKind = W == 1   ? RepKind::Bits64
+                                   : W == 2 ? RepKind::Bits128
+                                            : RepKind::Bits256;
+  std::array<std::uint64_t, W> w{};
+
+  bool operator==(const BitsRep&) const = default;
+
+  static BitsRep from_range(const Slot* begin, const Slot* end) {
+    BitsRep r;
+    for (const Slot* s = begin; s != end; ++s) r.w[*s >> 6] |= 1ull << (*s & 63);
+    return r;
+  }
+
+  std::uint64_t hash() const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (unsigned i = 0; i < W; ++i) h = mix64(h ^ w[i]);
+    return h;
+  }
+
+  void clear(Slot s) { w[s >> 6] &= ~(1ull << (s & 63)); }
+
+  /// Monomial product (variables are idempotent): set union = word OR.
+  BitsRep united(const BitsRep& other) const {
+    BitsRep r;
+    for (unsigned i = 0; i < W; ++i) r.w[i] = w[i] | other.w[i];
+    return r;
+  }
+
+  template <typename Fn>
+  void for_each_slot(Fn&& fn) const {
+    for (unsigned i = 0; i < W; ++i) {
+      std::uint64_t bits = w[i];
+      while (bits != 0) {
+        fn(static_cast<Slot>(64 * i + std::countr_zero(bits)));
+        bits &= bits - 1;
+      }
+    }
+  }
+};
+
+/// Wide-cone spill representation: a sorted inline array of u16 slots.
+/// Covers any cone up to kMaxSlots; degree is capped at kSparseMaxDegree
+/// (Overflow past that — the caller falls back to the legacy engine).
+struct SparseRep {
+  static constexpr RepKind kKind = RepKind::Sparse;
+  // Invariant: v[0..deg) sorted ascending, v[deg..] zeroed (so the
+  // defaulted operator== compares whole values).
+  std::uint16_t deg = 0;
+  std::array<Slot, kSparseMaxDegree> v{};
+
+  bool operator==(const SparseRep&) const = default;
+
+  /// Requires [begin, end) sorted ascending without duplicates.
+  static SparseRep from_range(const Slot* begin, const Slot* end) {
+    const auto n = static_cast<std::size_t>(end - begin);
+    if (n > kSparseMaxDegree) {
+      throw Overflow("monomial degree " + std::to_string(n) +
+                     " exceeds the sparse packing cap");
+    }
+    SparseRep r;
+    r.deg = static_cast<std::uint16_t>(n);
+    std::copy(begin, end, r.v.begin());
+    return r;
+  }
+
+  std::uint64_t hash() const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull ^ deg;
+    for (unsigned i = 0; i < deg; ++i) h = mix64(h ^ v[i]);
+    return h;
+  }
+
+  void clear(Slot s) {
+    for (unsigned i = 0; i < deg; ++i) {
+      if (v[i] != s) continue;
+      for (unsigned j = i + 1; j < deg; ++j) v[j - 1] = v[j];
+      v[--deg] = 0;
+      return;
+    }
+  }
+
+  SparseRep united(const SparseRep& other) const {
+    SparseRep r;
+    unsigned i = 0, j = 0, n = 0;
+    while (i < deg || j < other.deg) {
+      Slot next;
+      if (j >= other.deg || (i < deg && v[i] <= other.v[j])) {
+        next = v[i];
+        if (j < other.deg && other.v[j] == next) ++j;  // idempotent: x*x = x
+        ++i;
+      } else {
+        next = other.v[j++];
+      }
+      if (n == kSparseMaxDegree) {
+        throw Overflow("monomial union exceeds the sparse packing cap");
+      }
+      r.v[n++] = next;
+    }
+    r.deg = static_cast<std::uint16_t>(n);
+    return r;
+  }
+
+  template <typename Fn>
+  void for_each_slot(Fn&& fn) const {
+    for (unsigned i = 0; i < deg; ++i) fn(v[i]);
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Open-addressed term table + occurrence index, shared across representations
+// ---------------------------------------------------------------------------
+
+struct ConeEngine::Impl {
+  virtual ~Impl() = default;
+  virtual RepKind rep() const = 0;
+  virtual std::size_t occurrence_count(Slot var) = 0;
+  virtual void substitute(Slot var, const TermList& terms) = 0;
+  virtual std::size_t size() const = 0;
+  virtual std::size_t cancellations() const = 0;
+  virtual std::size_t peak_terms() const = 0;
+  virtual std::vector<SlotMono> monomials() const = 0;
+};
+
+namespace {
+
+template <typename Rep>
+class EngineImpl final : public ConeEngine::Impl {
+ public:
+  EngineImpl(std::size_t num_slots, Slot root) : occ_(num_slots) {
+    table_.assign(kMinTable, kEmpty);
+    toggle(Rep::from_range(&root, &root + 1));
+    cancellations_ = 0;  // the seed insert can never cancel
+    peak_ = live_;
+  }
+
+  RepKind rep() const override { return Rep::kKind; }
+
+  std::size_t occurrence_count(Slot var) override {
+    collect_hits(var);
+    return hits_.size();
+  }
+
+  void substitute(Slot var, const TermList& terms) override {
+    // Reuses the hit set stashed by an immediately preceding
+    // occurrence_count(var) — the driver's prepare/substitute pairing —
+    // so the bucket is walked once per gate.  The stash can only go stale
+    // through toggles, which happen exclusively below (and invalidate it).
+    if (!hits_valid_ || hits_var_ != var) collect_hits(var);
+    hits_valid_ = false;
+    // `var` never reappears after this step (reverse topological order),
+    // so the whole bucket can be retired.
+    std::vector<OccRef>().swap(occ_[var]);
+
+    packed_terms_.clear();
+    for (std::size_t t = 0; t < terms.term_count(); ++t) {
+      packed_terms_.push_back(
+          Rep::from_range(terms.term_begin(t), terms.term_end(t)));
+    }
+
+    for (const Rep& hit : hits_) {
+      erase_known(hit);
+      Rep rest = hit;
+      rest.clear(var);
+      for (const Rep& term : packed_terms_) toggle(rest.united(term));
+    }
+    peak_ = std::max(peak_, live_);
+  }
+
+  std::size_t size() const override { return live_; }
+  std::size_t cancellations() const override { return cancellations_; }
+  std::size_t peak_terms() const override { return peak_; }
+
+  std::vector<SlotMono> monomials() const override {
+    std::vector<SlotMono> out;
+    out.reserve(live_);
+    for (const Entry& e : entries_) {
+      if ((e.gen & 1u) == 0) continue;  // odd generation = live
+      SlotMono mono;
+      e.mono.for_each_slot([&](Slot s) { mono.push_back(s); });
+      out.push_back(std::move(mono));
+    }
+    return out;
+  }
+
+ private:
+  struct Entry {
+    Rep mono{};
+    // Liveness is the generation's parity (odd = live); a stale occurrence
+    // handle is detected by generation mismatch, so a recycled entry id
+    // never aliases an old handle.
+    std::uint32_t gen = 0;
+  };
+  struct OccRef {
+    std::uint32_t id;
+    std::uint32_t gen;
+  };
+
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+  static constexpr std::uint32_t kTombstone = 0xfffffffeu;
+  static constexpr std::size_t kMinTable = 64;
+
+  /// Adds mono mod 2: inserts if absent, cancels if present.
+  void toggle(const Rep& mono) {
+    maybe_grow();
+    const std::size_t mask = table_.size() - 1;
+    std::size_t i = mono.hash() & mask;
+    std::size_t first_tombstone = table_.size();
+    for (;; i = (i + 1) & mask) {
+      const std::uint32_t s = table_[i];
+      if (s == kEmpty) {
+        insert(mono, first_tombstone < table_.size() ? first_tombstone : i,
+               first_tombstone >= table_.size());
+        return;
+      }
+      if (s == kTombstone) {
+        if (first_tombstone == table_.size()) first_tombstone = i;
+        continue;
+      }
+      if (entries_[s].mono == mono) {
+        ++entries_[s].gen;  // live -> dead; stale handles stop matching
+        free_.push_back(s);
+        table_[i] = kTombstone;
+        --live_;
+        ++cancellations_;
+        return;
+      }
+    }
+  }
+
+  /// Removes a monomial known to be live (a substitution hit) without
+  /// counting it as a mod-2 cancellation.
+  void erase_known(const Rep& mono) {
+    const std::size_t mask = table_.size() - 1;
+    std::size_t i = mono.hash() & mask;
+    for (;; i = (i + 1) & mask) {
+      const std::uint32_t s = table_[i];
+      GFRE_ASSERT(s != kEmpty, "packed engine: erasing absent monomial");
+      if (s == kTombstone || !(entries_[s].mono == mono)) continue;
+      ++entries_[s].gen;
+      free_.push_back(s);
+      table_[i] = kTombstone;
+      --live_;
+      return;
+    }
+  }
+
+  void insert(const Rep& mono, std::size_t table_index, bool fresh_slot) {
+    std::uint32_t id;
+    if (!free_.empty()) {
+      id = free_.back();
+      free_.pop_back();
+    } else {
+      id = static_cast<std::uint32_t>(entries_.size());
+      entries_.emplace_back();
+    }
+    Entry& e = entries_[id];
+    e.mono = mono;
+    ++e.gen;  // dead -> live
+    table_[table_index] = id;
+    if (fresh_slot) ++used_;
+    ++live_;
+    mono.for_each_slot([&](Slot s) { occ_[s].push_back(OccRef{id, e.gen}); });
+  }
+
+  /// Validates the bucket's handles, stashing live monomials as packed
+  /// copies in hits_ and compacting the bucket in place.
+  void collect_hits(Slot var) {
+    auto& bucket = occ_[var];
+    hits_.clear();
+    std::size_t out = 0;
+    for (const OccRef& ref : bucket) {
+      if (entries_[ref.id].gen != ref.gen) continue;  // stale handle
+      hits_.push_back(entries_[ref.id].mono);
+      bucket[out++] = ref;
+    }
+    bucket.resize(out);
+    hits_var_ = var;
+    hits_valid_ = true;
+  }
+
+  void maybe_grow() {
+    if ((used_ + 1) * 8 < table_.size() * 7) return;
+    // Grow for the live set; if tombstones dominate, this rehash at the
+    // same power of two just sweeps them out.
+    std::size_t target = std::bit_ceil(std::max(kMinTable, live_ * 4));
+    table_.assign(target, kEmpty);
+    used_ = live_;
+    const std::size_t mask = table_.size() - 1;
+    for (std::uint32_t id = 0; id < entries_.size(); ++id) {
+      if ((entries_[id].gen & 1u) == 0) continue;
+      std::size_t i = entries_[id].mono.hash() & mask;
+      while (table_[i] != kEmpty) i = (i + 1) & mask;
+      table_[i] = id;
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> free_;
+  std::vector<std::uint32_t> table_;  // power-of-2 open addressing
+  std::size_t live_ = 0;
+  std::size_t used_ = 0;  // live + tombstones
+  std::vector<std::vector<OccRef>> occ_;  // per-slot occurrence handles
+  std::size_t cancellations_ = 0;
+  std::size_t peak_ = 0;
+  // Per-substitution scratch, reused to avoid churn.  hits_ doubles as
+  // the occurrence_count -> substitute stash (guarded by hits_var_).
+  std::vector<Rep> hits_;
+  Slot hits_var_ = 0;
+  bool hits_valid_ = false;
+  std::vector<Rep> packed_terms_;
+};
+
+}  // namespace
+
+ConeEngine::ConeEngine(std::size_t num_slots, Slot root) {
+  if (num_slots > kMaxSlots) {
+    throw Overflow("cone has " + std::to_string(num_slots) +
+                   " variables, beyond 16-bit slot space");
+  }
+  switch (rep_for_cone(num_slots)) {
+    case RepKind::Bits64:
+      impl_ = std::make_unique<EngineImpl<BitsRep<1>>>(num_slots, root);
+      break;
+    case RepKind::Bits128:
+      impl_ = std::make_unique<EngineImpl<BitsRep<2>>>(num_slots, root);
+      break;
+    case RepKind::Bits256:
+      impl_ = std::make_unique<EngineImpl<BitsRep<4>>>(num_slots, root);
+      break;
+    case RepKind::Sparse:
+      impl_ = std::make_unique<EngineImpl<SparseRep>>(num_slots, root);
+      break;
+  }
+}
+
+ConeEngine::~ConeEngine() = default;
+ConeEngine::ConeEngine(ConeEngine&&) noexcept = default;
+ConeEngine& ConeEngine::operator=(ConeEngine&&) noexcept = default;
+
+RepKind ConeEngine::rep() const { return impl_->rep(); }
+std::size_t ConeEngine::occurrence_count(Slot var) {
+  return impl_->occurrence_count(var);
+}
+void ConeEngine::substitute(Slot var, const TermList& terms) {
+  impl_->substitute(var, terms);
+}
+std::size_t ConeEngine::size() const { return impl_->size(); }
+std::size_t ConeEngine::cancellations() const { return impl_->cancellations(); }
+std::size_t ConeEngine::peak_terms() const { return impl_->peak_terms(); }
+std::vector<SlotMono> ConeEngine::monomials() const {
+  return impl_->monomials();
+}
+
+}  // namespace gfre::anf::packed

@@ -24,7 +24,7 @@ namespace gfre::core {
 
 struct FlowOptions {
   unsigned threads = 1;
-  RewriteStrategy strategy = RewriteStrategy::Indexed;
+  RewriteStrategy strategy = RewriteStrategy::Packed;
   /// Skip the golden comparison (used by benches that only time
   /// extraction, matching the paper's reported "extraction" runtimes).
   bool verify_with_golden = true;

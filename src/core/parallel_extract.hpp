@@ -30,12 +30,12 @@ ExtractionResult extract_outputs(const nl::Netlist& netlist,
                                  const std::vector<nl::Var>& outputs,
                                  unsigned threads,
                                  RewriteStrategy strategy =
-                                     RewriteStrategy::Indexed);
+                                     RewriteStrategy::Packed);
 
 /// Convenience: all declared primary outputs of the netlist.
 ExtractionResult extract_all_outputs(const nl::Netlist& netlist,
                                      unsigned threads,
                                      RewriteStrategy strategy =
-                                         RewriteStrategy::Indexed);
+                                         RewriteStrategy::Packed);
 
 }  // namespace gfre::core

@@ -1,10 +1,13 @@
 #include "core/rewriter.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <limits>
 #include <ostream>
 #include <unordered_map>
 #include <vector>
 
+#include "anf/packed.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -14,54 +17,113 @@ using anf::Anf;
 using anf::Monomial;
 using nl::Var;
 
+const char* to_string(RewriteStrategy strategy) {
+  switch (strategy) {
+    case RewriteStrategy::Packed: return "packed";
+    case RewriteStrategy::Indexed: return "indexed";
+    case RewriteStrategy::NaiveScan: return "naive";
+  }
+  return "?";
+}
+
+std::optional<RewriteStrategy> strategy_from_name(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "packed") return RewriteStrategy::Packed;
+  if (lower == "indexed") return RewriteStrategy::Indexed;
+  if (lower == "naive" || lower == "naivescan") {
+    return RewriteStrategy::NaiveScan;
+  }
+  return std::nullopt;
+}
+
 namespace {
 
-/// Occurrence-indexed polynomial: an Anf plus a lazy variable -> monomial
-/// index.  Entries may be stale (monomial since cancelled); consumers
-/// re-validate against the set.
+/// Occurrence-indexed polynomial (the legacy "Indexed" backend's store): a
+/// stable entry table plus a variable -> (entry id, generation) handle
+/// index.  Handles are validated by generation match — stale entries are
+/// dropped lazily, and a handle is pushed exactly once per live monomial
+/// per variable, so collecting occurrences needs no copy + sort + unique
+/// of full Monomial values.
 class IndexedPoly {
  public:
   void toggle(const Monomial& m, std::size_t* cancellations) {
-    if (anf_.toggle(m)) {
-      for (Var v : m.vars()) index_[v].push_back(m);
-    } else if (cancellations != nullptr) {
-      ++(*cancellations);
+    const auto it = live_.find(m);
+    if (it != live_.end()) {
+      release(it);
+      if (cancellations != nullptr) ++(*cancellations);
+      return;
     }
+    std::uint32_t id;
+    if (!free_.empty()) {
+      id = free_.back();
+      free_.pop_back();
+    } else {
+      id = static_cast<std::uint32_t>(entries_.size());
+      entries_.push_back(Entry{nullptr, 0});
+    }
+    const auto pos = live_.emplace(m, id).first;
+    Entry& e = entries_[id];
+    e.mono = &pos->first;  // node-stable across unordered_map rehashes
+    ++e.gen;               // dead -> live (odd)
+    for (Var v : m.vars()) index_[v].push_back(OccRef{id, e.gen});
   }
 
-  /// Monomials currently containing v (validated against the live set).
+  /// Monomials currently containing v; compacts the handle bucket.
   std::vector<Monomial> occurrences(Var v) {
     std::vector<Monomial> hits;
     const auto it = index_.find(v);
     if (it == index_.end()) return hits;
     auto& bucket = it->second;
-    // Compact the bucket while validating: stale entries are dropped.
-    std::vector<Monomial> fresh;
-    for (const Monomial& m : bucket) {
-      if (anf_.contains(m)) {
-        hits.push_back(m);
-        fresh.push_back(m);
-      }
+    std::size_t out = 0;
+    for (const OccRef& ref : bucket) {
+      if (entries_[ref.id].gen != ref.gen) continue;  // stale handle
+      hits.push_back(*entries_[ref.id].mono);
+      bucket[out++] = ref;
     }
-    // Deduplicate (a monomial can be re-toggled into the same bucket).
-    std::sort(hits.begin(), hits.end());
-    hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
-    bucket = std::move(fresh);
+    bucket.resize(out);
     return hits;
   }
 
   void erase(const Monomial& m) {
-    const bool present = anf_.contains(m);
-    GFRE_ASSERT(present, "erasing absent monomial");
-    anf_.toggle(m);
+    const auto it = live_.find(m);
+    GFRE_ASSERT(it != live_.end(), "erasing absent monomial");
+    release(it);
   }
 
-  const Anf& value() const { return anf_; }
-  std::size_t size() const { return anf_.size(); }
+  Anf value() const {
+    Anf out;
+    out.reserve(live_.size());
+    for (const auto& [m, id] : live_) out.toggle(m);
+    return out;
+  }
+
+  std::size_t size() const { return live_.size(); }
 
  private:
-  Anf anf_;
-  std::unordered_map<Var, std::vector<Monomial>> index_;
+  struct Entry {
+    const Monomial* mono;  // owned by live_; only dereferenced while live
+    std::uint32_t gen;     // parity: odd = live; handles match exact gen
+  };
+  struct OccRef {
+    std::uint32_t id;
+    std::uint32_t gen;
+  };
+  using LiveMap = std::unordered_map<Monomial, std::uint32_t,
+                                     anf::MonomialHash>;
+
+  void release(LiveMap::iterator it) {
+    const std::uint32_t id = it->second;
+    ++entries_[id].gen;  // live -> dead; all outstanding handles go stale
+    free_.push_back(id);
+    live_.erase(it);
+  }
+
+  LiveMap live_;
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> free_;
+  std::unordered_map<Var, std::vector<OccRef>> index_;
 };
 
 void trace_step(std::ostream& out, const nl::Netlist& netlist,
@@ -76,90 +138,265 @@ void trace_step(std::ostream& out, const nl::Netlist& netlist,
   out << "\n";
 }
 
-Anf rewrite_indexed(const nl::Netlist& netlist, Var output,
-                    const RewriteOptions& options, RewriteStats* stats) {
+// ---------------------------------------------------------------------------
+// Algorithm-1 backends.  Each backend owns the polynomial store; the shared
+// driver below walks the cone and applies the gate steps.
+//
+// Backend interface:
+//   Backend(netlist, output, cone)   — F := {output}
+//   bool prepare(Var v)              — true iff v occurs in F (caches hits)
+//   void substitute(const nl::Gate&) — apply the gate's ANF for v
+//   std::size_t size()               — |F|
+//   std::size_t transient_peak()     — intra-substitution |F| estimate
+//   std::size_t cancellations()      — running mod-2 cancellation count
+//   Anf value()                      — F as a canonical Anf
+// ---------------------------------------------------------------------------
+
+/// Packed backend: cone-local dense slot remapping over anf/packed.hpp.
+class PackedBackend {
+ public:
+  PackedBackend(const nl::Netlist& netlist, Var output,
+                const std::vector<std::size_t>& cone)
+      : var_to_slot_(netlist.num_vars(),
+                     std::numeric_limits<std::uint32_t>::max()) {
+    slot_of(output);
+    for (std::size_t g : cone) {
+      const nl::Gate& gate = netlist.gate(g);
+      slot_of(gate.output);
+      for (Var in : gate.inputs) slot_of(in);
+    }
+    engine_.emplace(slot_to_var_.size(),
+                    static_cast<anf::packed::Slot>(var_to_slot_[output]));
+  }
+
+  bool prepare(Var v) {
+    var_slot_ = static_cast<anf::packed::Slot>(var_to_slot_[v]);
+    return engine_->occurrence_count(var_slot_) > 0;
+  }
+
+  void substitute(const nl::Gate& gate) {
+    build_terms(gate);
+    engine_->substitute(var_slot_, terms_);
+  }
+
+  std::size_t size() const { return engine_->size(); }
+  std::size_t transient_peak() const { return engine_->size(); }
+  std::size_t cancellations() const { return engine_->cancellations(); }
+
+  Anf value() const {
+    Anf out;
+    const auto monos = engine_->monomials();
+    out.reserve(monos.size());
+    std::vector<Var> vars;
+    for (const auto& mono : monos) {
+      vars.clear();
+      for (anf::packed::Slot s : mono) vars.push_back(slot_to_var_[s]);
+      out.toggle(Monomial::from_vars(vars));
+    }
+    return out;
+  }
+
+ private:
+  anf::packed::Slot slot(Var v) const {
+    return static_cast<anf::packed::Slot>(var_to_slot_[v]);
+  }
+
+  void push_singleton(Var v) {
+    terms_.begin_term();
+    terms_.push_slot(slot(v));
+    terms_.end_term();
+  }
+
+  void push_constant_one() {
+    terms_.begin_term();
+    terms_.end_term();
+  }
+
+  /// Builds the gate's ANF directly in slot space.  The simple cell
+  /// families that dominate generated netlists (AND/XOR trees, inverters)
+  /// skip the per-gate Anf construction entirely; complex cells fall back
+  /// to the exact cell_anf model.  Duplicate gate inputs need no special
+  /// care: AND terms dedup on end_term(), XOR duplicates cancel mod 2 in
+  /// the engine — identical semantics to cell_anf.
+  void build_terms(const nl::Gate& gate) {
+    terms_.clear();
+    switch (gate.type) {
+      case nl::CellType::Const0:
+        break;
+      case nl::CellType::Const1:
+        push_constant_one();
+        break;
+      case nl::CellType::Buf:
+        push_singleton(gate.inputs[0]);
+        break;
+      case nl::CellType::Inv:
+        push_constant_one();
+        push_singleton(gate.inputs[0]);
+        break;
+      case nl::CellType::Xor:
+        for (Var in : gate.inputs) push_singleton(in);
+        break;
+      case nl::CellType::Xnor:
+        push_constant_one();
+        for (Var in : gate.inputs) push_singleton(in);
+        break;
+      case nl::CellType::Nand:
+        push_constant_one();
+        [[fallthrough]];
+      case nl::CellType::And:
+        terms_.begin_term();
+        for (Var in : gate.inputs) terms_.push_slot(slot(in));
+        terms_.end_term();
+        break;
+      default: {
+        const Anf expression = nl::cell_anf(gate.type, gate.inputs);
+        for (const Monomial& term : expression.monomials()) {
+          terms_.begin_term();
+          for (Var v : term.vars()) terms_.push_slot(slot(v));
+          terms_.end_term();
+        }
+        break;
+      }
+    }
+  }
+
+  std::uint32_t slot_of(Var v) {
+    if (var_to_slot_[v] == std::numeric_limits<std::uint32_t>::max()) {
+      if (slot_to_var_.size() >= anf::packed::kMaxSlots) {
+        throw anf::packed::Overflow("cone exceeds 16-bit slot space");
+      }
+      var_to_slot_[v] = static_cast<std::uint32_t>(slot_to_var_.size());
+      slot_to_var_.push_back(v);
+    }
+    return var_to_slot_[v];
+  }
+
+  std::vector<std::uint32_t> var_to_slot_;
+  std::vector<Var> slot_to_var_;
+  std::optional<anf::packed::ConeEngine> engine_;
+  anf::packed::Slot var_slot_ = 0;
+  anf::packed::TermList terms_;
+};
+
+/// Legacy occurrence-indexed backend (the ablation baseline).
+class IndexedBackend {
+ public:
+  IndexedBackend(const nl::Netlist&, Var output,
+                 const std::vector<std::size_t>&) {
+    poly_.toggle(Monomial(output), nullptr);
+  }
+
+  bool prepare(Var v) {
+    var_ = v;
+    hits_ = poly_.occurrences(v);
+    return !hits_.empty();
+  }
+
+  void substitute(const nl::Gate& gate) {
+    const Anf expression = nl::cell_anf(gate.type, gate.inputs);
+    for (const Monomial& hit : hits_) {
+      poly_.erase(hit);
+      const Monomial rest = hit.without(var_);
+      for (const Monomial& term : expression.monomials()) {
+        poly_.toggle(rest.times(term), &cancellations_);
+      }
+    }
+  }
+
+  std::size_t size() const { return poly_.size(); }
+  std::size_t transient_peak() const { return poly_.size(); }
+  std::size_t cancellations() const { return cancellations_; }
+  Anf value() const { return poly_.value(); }
+
+ private:
+  IndexedPoly poly_;
+  Var var_ = 0;
+  std::vector<Monomial> hits_;
+  std::size_t cancellations_ = 0;
+};
+
+/// Textbook whole-polynomial scan (lines 4-5 of Algorithm 1, literal
+/// reading) — kept for the ablation benchmark.
+class NaiveBackend {
+ public:
+  NaiveBackend(const nl::Netlist&, Var output,
+               const std::vector<std::size_t>&)
+      : f_(Anf::var(output)) {}
+
+  bool prepare(Var v) {
+    var_ = v;
+    hits_.clear();
+    for (const Monomial& m : f_.monomials()) {
+      if (m.contains(v)) hits_.push_back(m);
+    }
+    return !hits_.empty();
+  }
+
+  void substitute(const nl::Gate& gate) {
+    const Anf expression = nl::cell_anf(gate.type, gate.inputs);
+    transient_peak_ =
+        f_.size() - hits_.size() + hits_.size() * expression.size();
+    for (const Monomial& hit : hits_) {
+      f_.toggle(hit);  // remove
+      const Monomial rest = hit.without(var_);
+      for (const Monomial& term : expression.monomials()) {
+        if (!f_.toggle(rest.times(term))) ++cancellations_;
+      }
+    }
+  }
+
+  std::size_t size() const { return f_.size(); }
+  std::size_t transient_peak() const { return transient_peak_; }
+  std::size_t cancellations() const { return cancellations_; }
+  const Anf& value() const { return f_; }
+
+ private:
+  Anf f_;
+  Var var_ = 0;
+  std::vector<Monomial> hits_;
+  std::size_t cancellations_ = 0;
+  std::size_t transient_peak_ = 0;
+};
+
+/// Algorithm 1, generic over the substitution backend.
+template <typename Backend>
+Anf run_backward_rewriting(const nl::Netlist& netlist, Var output,
+                           const RewriteOptions& options,
+                           RewriteStats* stats) {
   const auto cone = netlist.fanin_cone(output);
-  if (stats != nullptr) stats->cone_gates = cone.size();
+  if (stats != nullptr) {
+    const double seconds = stats->seconds;
+    *stats = RewriteStats{};  // fresh slate (matters on packed fallback)
+    stats->seconds = seconds;
+    stats->cone_gates = cone.size();
+  }
 
-  IndexedPoly f;
-  std::size_t cancellations = 0;
-  f.toggle(Monomial(output), &cancellations);
-
-  std::size_t peak = f.size();
+  Backend backend(netlist, output, cone);
+  std::size_t peak = backend.size();
   // Reverse topological order: consumers before producers.
   for (std::size_t idx = cone.size(); idx-- > 0;) {
     const nl::Gate& gate = netlist.gate(cone[idx]);
-    const Var v = gate.output;
-    const auto hits = f.occurrences(v);
-    if (hits.empty()) continue;
+    if (!backend.prepare(gate.output)) continue;
     if (stats != nullptr) ++stats->substitutions;
 
-    const Anf expression = nl::cell_anf(gate.type, gate.inputs);
-    const std::size_t cancelled_before = cancellations;
-    for (const Monomial& hit : hits) {
-      f.erase(hit);
-      const Monomial rest = hit.without(v);
-      for (const Monomial& term : expression.monomials()) {
-        f.toggle(rest.times(term), &cancellations);
-      }
-    }
-    peak = std::max(peak, f.size());
+    const std::size_t cancelled_before = backend.cancellations();
+    backend.substitute(gate);
+    peak = std::max({peak, backend.size(), backend.transient_peak()});
     if (options.trace != nullptr) {
-      trace_step(*options.trace, netlist, cone[idx], f.value(),
-                 cancellations - cancelled_before);
+      // Materializing value() per step costs O(|F|) for the handle-based
+      // backends, but trace_step's sorted full-polynomial print is already
+      // that order — tracing is a demonstration feature, not a hot path.
+      trace_step(*options.trace, netlist, cone[idx], backend.value(),
+                 backend.cancellations() - cancelled_before);
     }
   }
 
   if (stats != nullptr) {
-    stats->cancellations = cancellations;
+    stats->cancellations = backend.cancellations();
     stats->peak_terms = peak;
-    stats->final_terms = f.size();
+    stats->final_terms = backend.size();
   }
-  return f.value();
-}
-
-Anf rewrite_naive(const nl::Netlist& netlist, Var output,
-                  const RewriteOptions& options, RewriteStats* stats) {
-  const auto cone = netlist.fanin_cone(output);
-  if (stats != nullptr) stats->cone_gates = cone.size();
-
-  Anf f = Anf::var(output);
-  std::size_t peak = f.size();
-  std::size_t cancellations = 0;
-
-  for (std::size_t idx = cone.size(); idx-- > 0;) {
-    const nl::Gate& gate = netlist.gate(cone[idx]);
-    const Var v = gate.output;
-    // Whole-polynomial scan (lines 4-5 of Algorithm 1, literal reading).
-    std::vector<Monomial> hits;
-    for (const Monomial& m : f.monomials()) {
-      if (m.contains(v)) hits.push_back(m);
-    }
-    if (hits.empty()) continue;
-    if (stats != nullptr) ++stats->substitutions;
-
-    const Anf expression = nl::cell_anf(gate.type, gate.inputs);
-    const std::size_t size_before_products =
-        f.size() - hits.size() + hits.size() * expression.size();
-    for (const Monomial& hit : hits) {
-      f.toggle(hit);  // remove
-      const Monomial rest = hit.without(v);
-      for (const Monomial& term : expression.monomials()) {
-        if (!f.toggle(rest.times(term))) ++cancellations;
-      }
-    }
-    peak = std::max({peak, f.size(), size_before_products});
-    if (options.trace != nullptr) {
-      trace_step(*options.trace, netlist, cone[idx], f, 0);
-    }
-  }
-
-  if (stats != nullptr) {
-    stats->cancellations = cancellations;
-    stats->peak_terms = peak;
-    stats->final_terms = f.size();
-  }
-  return f;
+  return backend.value();
 }
 
 }  // namespace
@@ -169,11 +406,26 @@ Anf extract_output_anf(const nl::Netlist& netlist, Var output,
   Timer timer;
   Anf result;
   switch (options.strategy) {
+    case RewriteStrategy::Packed:
+      try {
+        result =
+            run_backward_rewriting<PackedBackend>(netlist, output, options,
+                                                  stats);
+      } catch (const anf::packed::Overflow&) {
+        // Cone beyond the packing limits (16-bit slot space or sparse
+        // degree cap): redo this cone on the legacy engine.
+        result =
+            run_backward_rewriting<IndexedBackend>(netlist, output, options,
+                                                   stats);
+      }
+      break;
     case RewriteStrategy::Indexed:
-      result = rewrite_indexed(netlist, output, options, stats);
+      result = run_backward_rewriting<IndexedBackend>(netlist, output,
+                                                      options, stats);
       break;
     case RewriteStrategy::NaiveScan:
-      result = rewrite_naive(netlist, output, options, stats);
+      result = run_backward_rewriting<NaiveBackend>(netlist, output, options,
+                                                    stats);
       break;
   }
   // Sanity (Theorem 1): a fully rewritten polynomial mentions only primary

@@ -7,16 +7,28 @@
 // inputs: it is the unique ANF of that output bit (Theorem 1), and by
 // Theorem 2 each output bit can be rewritten independently.
 //
-// Two substitution strategies are provided:
-//  * Indexed   — a variable -> monomial occurrence index makes each
-//                substitution O(occurrences x |gate ANF|);
+// Algorithm 1 itself is generic over a substitution backend; three are
+// provided:
+//  * Packed    — the default.  Cone variables are densely remapped to
+//                slots 0..k-1 and monomials packed as fixed-width bitsets
+//                (1/2/4 64-bit words chosen per cone, sorted-u16 spill for
+//                wider cones) in an open-addressed flat table with an
+//                occurrence index of small handles (anf/packed.hpp).  The
+//                final polynomial is converted back to the canonical
+//                anf::Anf, so everything downstream is unchanged.
+//  * Indexed   — the legacy engine: heap monomials in an unordered set
+//                plus a variable -> occurrence-handle index, making each
+//                substitution O(occurrences x |gate ANF|).  Kept as the
+//                ablation baseline.
 //  * NaiveScan — re-scans the whole polynomial per gate (the textbook
 //                reading of Algorithm 1; kept for the ablation benchmark).
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "anf/anf.hpp"
 #include "netlist/netlist.hpp"
@@ -24,9 +36,16 @@
 namespace gfre::core {
 
 enum class RewriteStrategy {
+  Packed,
   Indexed,
   NaiveScan,
 };
+
+/// Canonical lower-case name ("packed", "indexed", "naive").
+const char* to_string(RewriteStrategy strategy);
+
+/// Inverse of to_string (case-insensitive; "naivescan" also accepted).
+std::optional<RewriteStrategy> strategy_from_name(std::string_view name);
 
 /// Per-extraction statistics (drives the paper's runtime/memory columns and
 /// the Figure 4 per-bit profile).
@@ -40,7 +59,7 @@ struct RewriteStats {
 };
 
 struct RewriteOptions {
-  RewriteStrategy strategy = RewriteStrategy::Indexed;
+  RewriteStrategy strategy = RewriteStrategy::Packed;
   /// When set, prints a per-iteration trace in the style of the paper's
   /// Figure 3 ("G3: (1+a0b1+p0+s2)x+x   elim: 2x").
   std::ostream* trace = nullptr;

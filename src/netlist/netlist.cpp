@@ -6,6 +6,13 @@
 
 namespace gfre::nl {
 
+namespace {
+// Tri-color DFS marks for topo_dfs.
+constexpr unsigned char kWhite = 0;
+constexpr unsigned char kGrey = 1;
+constexpr unsigned char kBlack = 2;
+}  // namespace
+
 Var Netlist::new_var(const std::string& name, bool is_input) {
   std::string final_name = name;
   if (final_name.empty()) {
@@ -78,65 +85,62 @@ std::optional<Var> Netlist::find_var(const std::string& name) const {
   return it->second;
 }
 
+void Netlist::topo_dfs(std::size_t root_gate,
+                       std::vector<unsigned char>& mark,
+                       std::vector<std::size_t>& order) const {
+  // Iterative tri-color DFS appending gates reachable from root_gate to
+  // `order` in topological order (inputs before users); throws on
+  // combinational cycles.  Shared by the whole-netlist sort and the
+  // per-output fanin cone.
+  std::vector<std::pair<std::size_t, std::size_t>> stack;  // (gate, next-in)
+  mark[root_gate] = kGrey;
+  stack.emplace_back(root_gate, 0);
+  while (!stack.empty()) {
+    auto& [g, next] = stack.back();
+    const Gate& gate = gates_[g];
+    bool descended = false;
+    while (next < gate.inputs.size()) {
+      const Var in = gate.inputs[next++];
+      const auto drv = driver(in);
+      if (!drv.has_value() || mark[*drv] == kBlack) continue;
+      if (mark[*drv] == kGrey) {
+        throw Error("combinational cycle through net '" + var_name(in) +
+                    "' in netlist '" + name_ + "'");
+      }
+      mark[*drv] = kGrey;
+      // emplace_back may reallocate, invalidating g/next/gate — leave the
+      // inner loop now and re-bind from stack.back() on the next pass.
+      stack.emplace_back(*drv, 0);
+      descended = true;
+      break;
+    }
+    if (!descended && next >= gate.inputs.size()) {
+      mark[g] = kBlack;
+      order.push_back(g);
+      stack.pop_back();
+    }
+  }
+}
+
 std::vector<std::size_t> Netlist::topological_order() const {
-  // Iterative DFS over gates from every output net of every gate.
-  enum class Mark : std::uint8_t { White, Grey, Black };
-  std::vector<Mark> mark(gates_.size(), Mark::White);
+  std::vector<unsigned char> mark(gates_.size(), kWhite);
   std::vector<std::size_t> order;
   order.reserve(gates_.size());
-
-  std::vector<std::pair<std::size_t, std::size_t>> stack;  // (gate, next-in)
   for (std::size_t root = 0; root < gates_.size(); ++root) {
-    if (mark[root] != Mark::White) continue;
-    stack.emplace_back(root, 0);
-    mark[root] = Mark::Grey;
-    while (!stack.empty()) {
-      auto& [g, next] = stack.back();
-      const Gate& gate = gates_[g];
-      bool descended = false;
-      while (next < gate.inputs.size()) {
-        const Var in = gate.inputs[next++];
-        const auto drv = driver(in);
-        if (!drv.has_value()) continue;
-        if (mark[*drv] == Mark::Grey) {
-          throw Error("combinational cycle through net '" + var_name(in) +
-                      "' in netlist '" + name_ + "'");
-        }
-        if (mark[*drv] == Mark::White) {
-          mark[*drv] = Mark::Grey;
-          stack.emplace_back(*drv, 0);
-          descended = true;
-          break;
-        }
-      }
-      if (!descended && next >= gate.inputs.size()) {
-        mark[g] = Mark::Black;
-        order.push_back(g);
-        stack.pop_back();
-      }
-    }
+    if (mark[root] == kWhite) topo_dfs(root, mark, order);
   }
   return order;
 }
 
 std::vector<std::size_t> Netlist::fanin_cone(Var root) const {
   GFRE_ASSERT(root < num_vars(), "net " << root << " undeclared");
-  std::vector<bool> in_cone(gates_.size(), false);
-  std::vector<Var> work{root};
-  while (!work.empty()) {
-    const Var v = work.back();
-    work.pop_back();
-    const auto drv = driver(v);
-    if (!drv.has_value() || in_cone[*drv]) continue;
-    in_cone[*drv] = true;
-    for (Var in : gates_[*drv].inputs) work.push_back(in);
-  }
-  // Gates are not necessarily stored topologically (parsers), so order the
-  // cone using the global topological order.
+  // Cone-local DFS: per-bit extraction cost scales with the cone, not
+  // with a whole-netlist topological sort — this runs once per output bit
+  // on the Algorithm-1 hot path.
+  std::vector<unsigned char> mark(gates_.size(), kWhite);
   std::vector<std::size_t> cone;
-  for (std::size_t g : topological_order()) {
-    if (in_cone[g]) cone.push_back(g);
-  }
+  const auto root_drv = driver(root);
+  if (root_drv.has_value()) topo_dfs(*root_drv, mark, cone);
   return cone;
 }
 

@@ -109,6 +109,11 @@ class Netlist {
  private:
   Var new_var(const std::string& name, bool is_input);
 
+  /// Tri-color DFS from one gate, appending reachable gates to `order` in
+  /// topological order; backs topological_order() and fanin_cone().
+  void topo_dfs(std::size_t root_gate, std::vector<unsigned char>& mark,
+                std::vector<std::size_t>& order) const;
+
   std::string name_;
   std::size_t next_auto_name_ = 0;
   std::unordered_set<std::string> reserved_names_;
