@@ -12,58 +12,14 @@
 #include <utility>
 #include <vector>
 
+#include "util/jsonl.hpp"
+
 namespace gfre::bench {
 
-/// One flat JSON object in the "records" array.
-class JsonRecord {
- public:
-  JsonRecord& add(const std::string& key, const std::string& value) {
-    fields_.emplace_back(key, "\"" + escape(value) + "\"");
-    return *this;
-  }
-  JsonRecord& add(const std::string& key, const char* value) {
-    return add(key, std::string(value));
-  }
-  JsonRecord& add(const std::string& key, double value) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.9g", value);
-    fields_.emplace_back(key, buf);
-    return *this;
-  }
-  JsonRecord& add(const std::string& key, std::size_t value) {
-    fields_.emplace_back(key, std::to_string(value));
-    return *this;
-  }
-  JsonRecord& add(const std::string& key, unsigned value) {
-    return add(key, static_cast<std::size_t>(value));
-  }
-
-  std::string render() const {
-    std::string out = "{";
-    for (std::size_t i = 0; i < fields_.size(); ++i) {
-      if (i != 0) out += ", ";
-      out += "\"" + escape(fields_[i].first) + "\": " + fields_[i].second;
-    }
-    out += "}";
-    return out;
-  }
-
- private:
-  static std::string escape(const std::string& text) {
-    std::string out;
-    for (char c : text) {
-      if (c == '"' || c == '\\') out += '\\';
-      if (c == '\n') {
-        out += "\\n";
-        continue;
-      }
-      out += c;
-    }
-    return out;
-  }
-
-  std::vector<std::pair<std::string, std::string>> fields_;
-};
+/// One flat JSON object in the "records" array — the library's JSON-lines
+/// record (util/jsonl.hpp), so escaping/formatting rules live in exactly
+/// one place.
+using JsonRecord = gfre::JsonLine;
 
 /// Collects records and writes {"benchmark": name, "records": [...]}.
 class JsonReport {

@@ -1,0 +1,225 @@
+// Batch reverse-engineering driver — the serving entry point for whole
+// verification workloads:
+//
+//   gfre_batch --jobs <manifest> [options]
+//
+// The manifest lists one netlist per line with optional per-job overrides
+// (see core/batch.hpp):
+//
+//   # path                     per-job options
+//   rtl/mastrovito_m8.eqn
+//   rtl/montgomery_m16.blif    strategy=indexed
+//   drops/unknown.v            infer=1 max_terms=2000000
+//
+// All jobs execute over ONE shared thread pool at cone granularity
+// (output-bit tasks from different circuits interleave), duplicate
+// submissions are served from the content-hash cache, and every job's
+// outcome is written as one JSON line with --out.
+//
+// Options:
+//   --jobs FILE        job manifest (required)
+//   --threads N        shared pool width (default: hardware)
+//   --strategy NAME    default rewriting backend: packed|indexed|naive
+//   --ports a,b,z      default operand/result port base names
+//   --max-terms N      default per-bit term budget (0 = unlimited)
+//   --no-verify        skip golden-model comparison by default
+//   --no-cache         disable content-hash memoization
+//   --out FILE         write per-job results as JSON lines
+//   --quiet            suppress per-job lines (summary only)
+//
+// Exit code 0 iff every job succeeded.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/batch.hpp"
+#include "gf2poly/gf2_poly.hpp"
+#include "util/error.hpp"
+#include "util/jsonl.hpp"
+#include "util/options.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: gfre_batch --jobs <manifest> [--threads N]\n"
+            << "                  [--strategy packed|indexed|naive]\n"
+            << "                  [--ports a,b,z] [--max-terms N]\n"
+            << "                  [--no-verify] [--no-cache]\n"
+            << "                  [--out report.jsonl] [--quiet]\n";
+}
+
+gfre::JsonLine result_line(const gfre::core::BatchJobResult& result) {
+  gfre::JsonLine line;
+  line.add("name", result.name);
+  if (!result.path.empty()) line.add("path", result.path);
+  line.add("ok", result.ok);
+  line.add("cache_hit", result.cache_hit);
+  if (!result.error.empty()) {
+    line.add("error", result.error);
+    return line;
+  }
+  const auto& report = result.report;
+  line.add("m", report.m);
+  line.add("equations", report.equations);
+  line.add("circuit_class", gfre::core::to_string(report.recovery.circuit_class));
+  if (report.m != 0) {
+    line.add("p", report.recovery.p.to_paper_string());
+    line.add("p_irreducible", report.recovery.p_is_irreducible);
+  }
+  if (!report.recovery.diagnosis.empty()) {
+    line.add("diagnosis", report.recovery.diagnosis);
+  }
+  line.add("scrambled_outputs", report.output_permutation.has_value());
+  line.add("verification", report.verification.detail);
+  line.add("extract_seconds", report.extraction.wall_seconds);
+  line.add("completed_seconds", result.seconds);
+  return line;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gfre;
+
+  std::string manifest;
+  std::string out_path;
+  bool quiet = false;
+  core::BatchOptions batch_options;
+  batch_options.threads = static_cast<unsigned>(configured_threads());
+  core::FlowOptions defaults;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--jobs" && i + 1 < argc) {
+        manifest = argv[++i];
+      } else if (arg == "--threads" && i + 1 < argc) {
+        const std::string value = argv[++i];
+        if (value.empty() || value[0] == '-') {
+          // stoul wraps "-1" to ~4 billion workers.
+          std::cerr << "--threads wants a positive integer\n";
+          usage();
+          return 2;
+        }
+        const unsigned long threads = std::stoul(value);
+        if (threads == 0 || threads > 4096) {
+          std::cerr << "--threads wants 1..4096\n";
+          usage();
+          return 2;
+        }
+        batch_options.threads = static_cast<unsigned>(threads);
+      } else if (arg == "--strategy" && i + 1 < argc) {
+        const auto strategy = core::strategy_from_name(argv[++i]);
+        if (!strategy.has_value()) {
+          std::cerr << "unknown strategy '" << argv[i] << "'\n";
+          usage();
+          return 2;
+        }
+        defaults.strategy = *strategy;
+      } else if (arg == "--ports" && i + 1 < argc) {
+        const std::string spec = argv[++i];
+        const auto c1 = spec.find(',');
+        const auto c2 = spec.find(',', c1 + 1);
+        if (c1 == std::string::npos || c2 == std::string::npos) {
+          usage();
+          return 2;
+        }
+        defaults.a_base = spec.substr(0, c1);
+        defaults.b_base = spec.substr(c1 + 1, c2 - c1 - 1);
+        defaults.z_base = spec.substr(c2 + 1);
+      } else if (arg == "--max-terms" && i + 1 < argc) {
+        const std::string value = argv[++i];
+        if (value.empty() || value[0] == '-') {
+          // stoull silently wraps negatives to huge budgets.
+          std::cerr << "--max-terms wants a non-negative integer\n";
+          usage();
+          return 2;
+        }
+        defaults.max_terms = std::stoull(value);
+      } else if (arg == "--no-verify") {
+        defaults.verify_with_golden = false;
+      } else if (arg == "--no-cache") {
+        batch_options.memoize = false;
+      } else if (arg == "--out" && i + 1 < argc) {
+        out_path = argv[++i];
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else {
+        usage();
+        return 2;
+      }
+    }
+  } catch (const std::exception& e) {
+    // std::stoul/std::stoull reject non-numeric or overflowing values.
+    std::cerr << "bad numeric argument: " << e.what() << "\n";
+    usage();
+    return 2;
+  }
+  if (manifest.empty() || batch_options.threads == 0) {
+    usage();
+    return 2;
+  }
+
+  try {
+    const auto jobs = core::parse_manifest(manifest, defaults);
+    if (jobs.empty()) {
+      std::cerr << "manifest '" << manifest << "' lists no jobs\n";
+      return 2;
+    }
+    std::printf("gfre_batch: %zu jobs on %u shared workers (cache %s)\n",
+                jobs.size(), batch_options.threads,
+                batch_options.memoize ? "on" : "off");
+
+    const auto batch = core::run_batch(jobs, batch_options);
+
+    if (!quiet) {
+      for (const auto& result : batch.results) {
+        if (!result.error.empty()) {
+          std::printf("  [LOAD-ERROR] %-40s %s\n", result.name.c_str(),
+                      result.error.c_str());
+        } else if (result.ok) {
+          std::printf("  [ok%s] %-40s GF(2^%u) P(x)=%s\n",
+                      result.cache_hit ? ",cached" : "",
+                      result.name.c_str(), result.report.m,
+                      result.report.recovery.p.to_paper_string().c_str());
+        } else {
+          std::printf("  [FAILED%s] %-40s %s\n",
+                      result.cache_hit ? ",cached" : "",
+                      result.name.c_str(),
+                      result.report.recovery.diagnosis.c_str());
+        }
+      }
+    }
+
+    bool report_written = true;
+    if (!out_path.empty()) {
+      JsonlWriter writer(out_path);
+      for (const auto& result : batch.results) {
+        writer.write(result_line(result));
+      }
+      writer.close();
+      report_written = writer.ok();
+      std::printf("wrote %zu result lines to %s%s\n", writer.lines_written(),
+                  out_path.c_str(), report_written ? "" : " (WRITE ERROR)");
+    }
+
+    const auto& stats = batch.stats;
+    std::printf(
+        "batch: %zu jobs in %.3f s (%.1f jobs/s) — %zu ok, %zu failed, "
+        "%zu load errors, %zu cache hits, %zu cones (%zu cross-circuit "
+        "steals)\n",
+        stats.jobs, batch.wall_seconds,
+        batch.wall_seconds > 0 ? static_cast<double>(stats.jobs) /
+                                     batch.wall_seconds
+                               : 0.0,
+        stats.succeeded, stats.failed, stats.load_errors, stats.cache_hits,
+        stats.cones_extracted, stats.cone_steals);
+    // A truncated --out report is a tool failure even when every job
+    // succeeded — downstream pipelines consume that file.
+    if (!report_written) return 2;
+    return batch.all_ok() ? 0 : 1;
+  } catch (const gfre::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -18,14 +18,12 @@
 #include <iostream>
 #include <string>
 
+#include "core/batch.hpp"
 #include "core/flow.hpp"
 #include "core/rewriter.hpp"
 #include "gen/mastrovito.hpp"
 #include "gf2m/field.hpp"
 #include "gf2poly/irreducible.hpp"
-#include "netlist/io_blif.hpp"
-#include "netlist/io_eqn.hpp"
-#include "netlist/io_verilog.hpp"
 #include "util/error.hpp"
 #include "util/options.hpp"
 
@@ -38,20 +36,6 @@ void usage() {
       << "                        [--no-verify] [--trace BIT]\n"
       << "                        <netlist.eqn|netlist.blif|netlist.v>\n"
       << "       reverse_engineer --demo\n";
-}
-
-bool ends_with(const std::string& text, const std::string& suffix) {
-  return text.size() >= suffix.size() &&
-         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
-             0;
-}
-
-gfre::nl::Netlist load(const std::string& path) {
-  if (ends_with(path, ".eqn")) return gfre::nl::read_eqn_file(path);
-  if (ends_with(path, ".blif")) return gfre::nl::read_blif_file(path);
-  if (ends_with(path, ".v")) return gfre::nl::read_verilog_file(path);
-  throw gfre::InvalidArgument("unknown netlist extension on '" + path +
-                              "' (want .eqn, .blif or .v)");
 }
 
 }  // namespace
@@ -116,7 +100,7 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     } else {
-      netlist = load(path);
+      netlist = core::load_netlist_file(path);
       std::cout << "loaded '" << path << "': " << netlist.num_equations()
                 << " equations, " << netlist.inputs().size() << " inputs, "
                 << netlist.outputs().size() << " outputs\n";

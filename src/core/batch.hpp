@@ -1,0 +1,115 @@
+// Batch reverse-engineering engine — many netlists, one shared pool.
+//
+// The paper parallelizes backward rewriting per output bit *within* one
+// circuit (Theorem 2); a production verification workload has many circuits
+// in flight at once.  This engine accepts N jobs (netlist file or in-memory
+// netlist, each with its own FlowOptions) and executes them over ONE shared
+// util::ThreadPool at cone granularity: output-bit extraction tasks from
+// different circuits interleave on the same workers, so a straggler cone in
+// one job never idles the pool the way per-job `parallel_extract` ownership
+// would.  Workers keep affinity with the job they last served (the netlist
+// is hot in cache) and steal cones from other in-flight jobs when their own
+// runs dry.
+//
+// Results are memoized by netlist content hash + flow-option signature —
+// file bytes for file jobs (hashed from the same single read that is
+// parsed, so a file rewritten mid-batch cannot poison the cache), a
+// structural hash for in-memory jobs.  Submitting the same netlist twice
+// costs one read and one extraction; the duplicate returns the cached
+// FlowReport and is marked cache_hit.  Failures are isolated per job — a corrupt file, a missing
+// port or a term-budget blowup fails that job's result and nothing else.
+//
+// Every job's FlowReport is identical to what a standalone
+// core::reverse_engineer of the same input would produce (timing/RSS fields
+// aside): both entry points share resolve_flow_ports / analyze_extraction /
+// extraction_failure_report, which tests/test_batch.cpp enforces
+// differentially.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gfre::core {
+
+/// One reverse-engineering job: a netlist file path (.eqn/.blif/.v) or an
+/// in-memory netlist (which takes precedence), plus per-job flow options.
+/// FlowOptions::threads is ignored — parallelism belongs to the batch pool.
+struct BatchJob {
+  std::string name;                    ///< label; defaulted from path/netlist
+  std::string path;                    ///< file-backed job
+  std::optional<nl::Netlist> netlist;  ///< in-memory job
+  FlowOptions options;
+};
+
+struct BatchJobResult {
+  std::string name;
+  std::string path;
+  /// Job-level failure before the flow could run (unreadable/unparseable
+  /// file).  Empty when the flow ran — then `report` tells the story.
+  std::string error;
+  bool cache_hit = false;
+  /// error.empty() && report.success.
+  bool ok = false;
+  FlowReport report;
+  /// Wall clock from batch start to this job's completion.
+  double seconds = 0.0;
+};
+
+struct BatchOptions {
+  /// Shared pool width (>= 1).
+  unsigned threads = 1;
+  /// Content-hash result memoization (per run_batch call).
+  bool memoize = true;
+};
+
+struct BatchStats {
+  std::size_t jobs = 0;
+  std::size_t succeeded = 0;     ///< results with ok
+  std::size_t failed = 0;        ///< flow ran, success=false
+  std::size_t load_errors = 0;   ///< file unreadable/unparseable
+  std::size_t cache_hits = 0;    ///< results served from memoization
+  std::size_t cones_extracted = 0;  ///< output-bit tasks actually rewritten
+  /// Cone tasks a worker claimed from a different job than the one it last
+  /// served — the cross-circuit interleaving this engine exists for.
+  std::size_t cone_steals = 0;
+};
+
+struct BatchReport {
+  /// One entry per submitted job, in submission order.
+  std::vector<BatchJobResult> results;
+  BatchStats stats;
+  double wall_seconds = 0.0;
+  unsigned threads = 1;
+
+  bool all_ok() const;
+};
+
+/// Executes the jobs over one shared pool; never throws for per-job
+/// failures (those land in the job's result).
+BatchReport run_batch(std::vector<BatchJob> jobs,
+                      const BatchOptions& options);
+
+/// Structural content hash of a netlist (names, cells, wiring, outputs) —
+/// the memoization key domain for in-memory jobs (file jobs hash their
+/// raw bytes).  Exposed for tests.
+std::uint64_t netlist_content_hash(const nl::Netlist& netlist);
+
+/// Loads a netlist by file extension (.eqn/.blif/.v); throws
+/// InvalidArgument on unknown extensions, ParseError/Error on bad content.
+nl::Netlist load_netlist_file(const std::string& path);
+
+/// Parses a batch manifest: one job per line,
+///   <netlist-path> [name=X] [ports=a,b,z] [strategy=packed|indexed|naive]
+///                  [infer=0|1] [verify=0|1] [permute=0|1] [max_terms=N]
+/// with '#' comments and blank lines ignored.  Relative paths resolve
+/// against the manifest's directory.  `defaults` seeds every job's options
+/// before the per-line overrides apply.  Throws ParseError on bad lines.
+std::vector<BatchJob> parse_manifest(const std::string& path,
+                                     const FlowOptions& defaults = {});
+
+}  // namespace gfre::core

@@ -57,42 +57,66 @@ std::string FlowReport::summary() const {
   return oss.str();
 }
 
-FlowReport reverse_engineer(const nl::Netlist& netlist,
-                            const FlowOptions& options) {
-  Timer total;
-  FlowReport report;
-
-  nl::MultiplierPorts ports;
+std::optional<nl::MultiplierPorts> resolve_flow_ports(
+    const nl::Netlist& netlist, const FlowOptions& options,
+    FlowReport* failure) {
+  const auto fail = [&](const std::string& diagnosis) {
+    if (failure != nullptr) {
+      *failure = FlowReport{};
+      failure->equations = netlist.num_equations();
+      failure->recovery.circuit_class = CircuitClass::NotAMultiplier;
+      failure->recovery.diagnosis = diagnosis;
+      failure->verification.detail = "skipped: no multiplier interface";
+      failure->success = false;
+    }
+  };
   if (options.infer_ports) {
     // Port inference is a discovery heuristic over arbitrary input data, so
     // its failure is a flow outcome (success=false + diagnosis), not an API
     // misuse like asking for explicitly named ports that do not exist.
     auto inferred = nl::infer_multiplier_ports(netlist);
     if (!inferred.has_value()) {
-      report.equations = netlist.num_equations();
-      report.recovery.circuit_class = CircuitClass::NotAMultiplier;
-      report.recovery.diagnosis =
-          "netlist '" + netlist.name() +
-          "' does not expose a two-operand word-level multiplier interface "
-          "(inputs must group into two same-width word ports and outputs "
-          "into one)";
-      report.verification.detail = "skipped: no multiplier interface";
-      report.success = false;
-      report.total_seconds = total.seconds();
-      return report;
+      fail("netlist '" + netlist.name() +
+           "' does not expose a two-operand word-level multiplier interface "
+           "(inputs must group into two same-width word ports and outputs "
+           "into one)");
+      return std::nullopt;
     }
-    ports = std::move(*inferred);
-  } else {
-    ports = nl::multiplier_ports(netlist, options.a_base, options.b_base,
-                                 options.z_base);
+    return inferred;
   }
+  // Named ports: missing or mis-sized words are likewise a flow outcome —
+  // fuzzed mutants drop/duplicate output nets and batch manifests point at
+  // arbitrary files, and neither may take the process down.
+  try {
+    return nl::multiplier_ports(netlist, options.a_base, options.b_base,
+                                options.z_base);
+  } catch (const Error& e) {
+    fail(e.what());
+    return std::nullopt;
+  }
+}
+
+FlowReport extraction_failure_report(const nl::Netlist& netlist,
+                                     const nl::MultiplierPorts& ports,
+                                     const std::string& what) {
+  FlowReport report;
   report.m = ports.m();
   report.equations = netlist.num_equations();
+  report.recovery.circuit_class = CircuitClass::NotAMultiplier;
+  report.recovery.diagnosis = "extraction aborted: " + what;
+  report.verification.detail = "skipped: extraction aborted";
+  report.success = false;
+  return report;
+}
 
-  // Phase 1: parallel backward rewriting (Algorithms 1 + Theorem 2).
-  report.extraction =
-      extract_outputs(netlist, ports.z.bits, options.threads,
-                      options.strategy);
+FlowReport analyze_extraction(const nl::Netlist& netlist,
+                              const nl::MultiplierPorts& ports,
+                              ExtractionResult extraction,
+                              const FlowOptions& options) {
+  FlowReport report;
+  report.m = ports.m();
+  report.equations = netlist.num_equations();
+  report.extraction = std::move(extraction);
 
   // Phase 2: Algorithm 2 (Theorem 3 membership test).
   report.algorithm2_p = recover_irreducible(report.extraction.anfs, ports);
@@ -145,6 +169,30 @@ FlowReport reverse_engineer(const nl::Netlist& netlist,
       report.recovery.circuit_class != CircuitClass::NotAMultiplier &&
       report.recovery.p_is_irreducible && report.recovery.rows_consistent &&
       (!options.verify_with_golden || report.verification.equivalent);
+  return report;
+}
+
+FlowReport reverse_engineer(const nl::Netlist& netlist,
+                            const FlowOptions& options) {
+  Timer total;
+  FlowReport report;
+
+  const auto ports = resolve_flow_ports(netlist, options, &report);
+  if (!ports.has_value()) {
+    report.total_seconds = total.seconds();
+    return report;
+  }
+
+  // Phase 1: parallel backward rewriting (Algorithms 1 + Theorem 2).
+  try {
+    report = analyze_extraction(
+        netlist, *ports,
+        extract_outputs(netlist, ports->z.bits, options.threads,
+                        options.strategy, options.max_terms),
+        options);
+  } catch (const Error& e) {
+    report = extraction_failure_report(netlist, *ports, e.what());
+  }
 
   report.total_seconds = total.seconds();
   report.rss_peak_bytes = peak_rss_bytes();

@@ -39,6 +39,12 @@ struct FlowOptions {
   std::string a_base = "a";
   std::string b_base = "b";
   std::string z_base = "z";
+  /// Per-output-bit live-monomial budget for backward rewriting (0 =
+  /// unlimited).  Non-multiplier inputs can blow up exponentially; with a
+  /// budget the flow returns success=false with a diagnosis instead of
+  /// exhausting memory — the wall the fuzz suite and the batch service
+  /// lean on.
+  std::size_t max_terms = 0;
 };
 
 struct FlowReport {
@@ -82,5 +88,33 @@ struct FlowReport {
 /// Runs the full flow on a multiplier netlist.
 FlowReport reverse_engineer(const nl::Netlist& netlist,
                             const FlowOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Flow phases.  reverse_engineer composes these; the batch engine
+// (core/batch.hpp) drives the same phases itself so that a job executed at
+// cone granularity on a shared pool lands on a report identical to a
+// standalone run.
+// ---------------------------------------------------------------------------
+
+/// Resolves the multiplier interface (named ports or inference).  On
+/// failure returns nullopt and fills `failure` with the diagnosed
+/// success=false report — both entry points fail with the same words.
+std::optional<nl::MultiplierPorts> resolve_flow_ports(
+    const nl::Netlist& netlist, const FlowOptions& options,
+    FlowReport* failure);
+
+/// Phases 2-4 on already-extracted ANFs: Algorithm 2, reduction-matrix
+/// recovery/classification, output-permutation retry, golden verification
+/// and the success verdict.  Timing/RSS fields are left for the caller.
+FlowReport analyze_extraction(const nl::Netlist& netlist,
+                              const nl::MultiplierPorts& ports,
+                              ExtractionResult extraction,
+                              const FlowOptions& options);
+
+/// The diagnosed failure report for an extraction that threw (term budget,
+/// invariant violation): shared so standalone and batch runs agree.
+FlowReport extraction_failure_report(const nl::Netlist& netlist,
+                                     const nl::MultiplierPorts& ports,
+                                     const std::string& what);
 
 }  // namespace gfre::core

@@ -9,7 +9,8 @@ namespace gfre::core {
 ExtractionResult extract_outputs(const nl::Netlist& netlist,
                                  const std::vector<nl::Var>& outputs,
                                  unsigned threads,
-                                 RewriteStrategy strategy) {
+                                 RewriteStrategy strategy,
+                                 std::size_t max_terms) {
   GFRE_ASSERT(threads >= 1, "need at least one extraction thread");
   ExtractionResult result;
   result.threads = threads;
@@ -19,6 +20,7 @@ ExtractionResult extract_outputs(const nl::Netlist& netlist,
   Timer timer;
   RewriteOptions options;
   options.strategy = strategy;
+  options.max_terms = max_terms;
 
   if (threads == 1) {
     for (std::size_t i = 0; i < outputs.size(); ++i) {
@@ -41,8 +43,10 @@ ExtractionResult extract_outputs(const nl::Netlist& netlist,
 
 ExtractionResult extract_all_outputs(const nl::Netlist& netlist,
                                      unsigned threads,
-                                     RewriteStrategy strategy) {
-  return extract_outputs(netlist, netlist.outputs(), threads, strategy);
+                                     RewriteStrategy strategy,
+                                     std::size_t max_terms) {
+  return extract_outputs(netlist, netlist.outputs(), threads, strategy,
+                         max_terms);
 }
 
 }  // namespace gfre::core

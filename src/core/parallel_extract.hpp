@@ -25,17 +25,22 @@ struct ExtractionResult {
   unsigned threads = 1;
 };
 
-/// Extracts the ANFs of the given output nets in parallel.
+/// Extracts the ANFs of the given output nets in parallel.  `max_terms`
+/// bounds the live-monomial count of each bit's rewriting (0 = unlimited);
+/// when any bit exceeds it, the whole extraction throws TermBudgetExceeded
+/// after the in-flight bits have drained.
 ExtractionResult extract_outputs(const nl::Netlist& netlist,
                                  const std::vector<nl::Var>& outputs,
                                  unsigned threads,
                                  RewriteStrategy strategy =
-                                     RewriteStrategy::Packed);
+                                     RewriteStrategy::Packed,
+                                 std::size_t max_terms = 0);
 
 /// Convenience: all declared primary outputs of the netlist.
 ExtractionResult extract_all_outputs(const nl::Netlist& netlist,
                                      unsigned threads,
                                      RewriteStrategy strategy =
-                                         RewriteStrategy::Packed);
+                                         RewriteStrategy::Packed,
+                                     std::size_t max_terms = 0);
 
 }  // namespace gfre::core

@@ -382,6 +382,14 @@ Anf run_backward_rewriting(const nl::Netlist& netlist, Var output,
     const std::size_t cancelled_before = backend.cancellations();
     backend.substitute(gate);
     peak = std::max({peak, backend.size(), backend.transient_peak()});
+    if (options.max_terms != 0 && backend.size() > options.max_terms) {
+      if (stats != nullptr) {
+        stats->cancellations = backend.cancellations();
+        stats->peak_terms = peak;
+        stats->final_terms = backend.size();
+      }
+      throw TermBudgetExceeded(backend.size(), options.max_terms);
+    }
     if (options.trace != nullptr) {
       // Materializing value() per step costs O(|F|) for the handle-based
       // backends, but trace_step's sorted full-polynomial print is already

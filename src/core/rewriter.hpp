@@ -32,8 +32,32 @@
 
 #include "anf/anf.hpp"
 #include "netlist/netlist.hpp"
+#include "util/error.hpp"
 
 namespace gfre::core {
+
+/// Thrown when a rewriting run exceeds its configured term budget
+/// (RewriteOptions::max_terms).  Non-multiplier inputs — fuzzed mutants,
+/// hostile submissions to the batch service — can make |F| blow up
+/// exponentially; the budget turns that into a bounded, diagnosable
+/// failure instead of an OOM or an effective hang.
+class TermBudgetExceeded : public Error {
+ public:
+  TermBudgetExceeded(std::size_t terms, std::size_t budget)
+      : Error("backward rewriting exceeded its term budget (" +
+              std::to_string(terms) + " live monomials > limit " +
+              std::to_string(budget) +
+              "); the cone is not a bounded GF(2^m) datapath"),
+        terms_(terms),
+        budget_(budget) {}
+
+  std::size_t terms() const { return terms_; }
+  std::size_t budget() const { return budget_; }
+
+ private:
+  std::size_t terms_;
+  std::size_t budget_;
+};
 
 enum class RewriteStrategy {
   Packed,
@@ -63,6 +87,11 @@ struct RewriteOptions {
   /// When set, prints a per-iteration trace in the style of the paper's
   /// Figure 3 ("G3: (1+a0b1+p0+s2)x+x   elim: 2x").
   std::ostream* trace = nullptr;
+  /// Upper bound on live monomials during rewriting; 0 = unlimited.
+  /// Exceeding it throws TermBudgetExceeded (checked between
+  /// substitutions, so the transient overshoot is at most one gate-ANF
+  /// expansion).
+  std::size_t max_terms = 0;
 };
 
 /// Extracts the ANF of one output bit by backward rewriting.

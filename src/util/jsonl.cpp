@@ -1,0 +1,95 @@
+#include "util/jsonl.hpp"
+
+#include "util/error.hpp"
+
+namespace gfre {
+
+namespace {
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonLine& JsonLine::add(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, "\"" + escape(value) + "\"");
+  return *this;
+}
+
+JsonLine& JsonLine::add(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  fields_.emplace_back(key, buf);
+  return *this;
+}
+
+JsonLine& JsonLine::add(const std::string& key, std::size_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonLine& JsonLine::add(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+std::string JsonLine::render() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"" + escape(fields_[i].first) + "\": " + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+JsonlWriter::JsonlWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    throw Error("cannot open '" + path + "' for writing");
+  }
+}
+
+JsonlWriter::~JsonlWriter() { close(); }
+
+void JsonlWriter::write(const JsonLine& line) {
+  if (file_ == nullptr) {
+    ok_ = false;
+    return;
+  }
+  const std::string text = line.render();
+  if (std::fprintf(file_, "%s\n", text.c_str()) < 0) {
+    ok_ = false;
+    return;
+  }
+  ++lines_;
+}
+
+void JsonlWriter::close() {
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0) ok_ = false;
+    file_ = nullptr;
+  }
+}
+
+}  // namespace gfre

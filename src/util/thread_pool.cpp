@@ -47,7 +47,19 @@ void ThreadPool::parallel_for(std::size_t count,
   for (std::size_t i = 0; i < count; ++i) {
     futs.push_back(submit([i, &fn] { fn(i); }));
   }
-  for (auto& f : futs) f.get();
+  // Drain every future before surfacing any failure: tasks capture `fn` by
+  // reference, so returning (by throw) while workers still run would leave
+  // them calling a destroyed function.  The first failure is stashed and
+  // rethrown once the whole range has completed.
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 std::size_t ThreadPool::default_threads() {

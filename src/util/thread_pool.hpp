@@ -44,8 +44,12 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Run `count` indexed tasks (fn(0..count-1)) across the pool and wait.
-  /// Exceptions from tasks are rethrown (the first one encountered).
+  /// Run `count` indexed tasks (fn(0..count-1)) across the pool and wait
+  /// for ALL of them to finish — even when some throw.  The first exception
+  /// (lowest index) is stashed as a std::exception_ptr and rethrown only
+  /// after every task has completed, so `fn` is never destroyed while a
+  /// worker still references it and a throwing task can never escalate to
+  /// std::terminate.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
   /// Reasonable default worker count for this machine.

@@ -1,0 +1,404 @@
+// Differential batch-invariance suite: a mixed manifest pushed through the
+// batch engine — at 1, 2 and 8 shared workers, on the Packed and Indexed
+// backends — must produce FlowReports semantically identical to running
+// each job alone through core::reverse_engineer.  Plus memoization
+// semantics (same netlist twice costs one extraction), per-job failure
+// isolation, and manifest parsing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/flow.hpp"
+#include "gen/karatsuba.hpp"
+#include "gen/mastrovito.hpp"
+#include "gen/montgomery_gate.hpp"
+#include "gen/shift_add.hpp"
+#include "gen/squarer.hpp"
+#include "gf2m/field.hpp"
+#include "gf2poly/irreducible.hpp"
+#include "helpers.hpp"
+#include "netlist/io_eqn.hpp"
+#include "util/prng.hpp"
+
+#ifndef GFRE_SOURCE_DIR
+#define GFRE_SOURCE_DIR "."
+#endif
+
+namespace gfre::core {
+namespace {
+
+using gf2::Poly;
+
+std::string data_path(const std::string& file) {
+  return std::string(GFRE_SOURCE_DIR) + "/data/" + file;
+}
+
+/// Semantic report equality: every deterministic field must match bit for
+/// bit; wall-clock and RSS fields are inherently run-dependent and
+/// excluded.
+void expect_reports_equal(const FlowReport& got, const FlowReport& want,
+                          const std::string& label) {
+  EXPECT_EQ(got.m, want.m) << label;
+  EXPECT_EQ(got.equations, want.equations) << label;
+  EXPECT_EQ(got.success, want.success) << label;
+  EXPECT_EQ(got.algorithm2_p, want.algorithm2_p) << label;
+  EXPECT_EQ(got.recovery.p, want.recovery.p) << label;
+  EXPECT_EQ(got.recovery.p_is_irreducible, want.recovery.p_is_irreducible)
+      << label;
+  EXPECT_EQ(got.recovery.circuit_class, want.recovery.circuit_class) << label;
+  EXPECT_EQ(got.recovery.rows, want.recovery.rows) << label;
+  EXPECT_EQ(got.recovery.rows_consistent, want.recovery.rows_consistent)
+      << label;
+  EXPECT_EQ(got.recovery.diagnosis, want.recovery.diagnosis) << label;
+  EXPECT_EQ(got.output_permutation, want.output_permutation) << label;
+  EXPECT_EQ(got.verification.equivalent, want.verification.equivalent)
+      << label;
+  EXPECT_EQ(got.verification.mismatch_bit, want.verification.mismatch_bit)
+      << label;
+  EXPECT_EQ(got.verification.detail, want.verification.detail) << label;
+  ASSERT_EQ(got.extraction.anfs.size(), want.extraction.anfs.size()) << label;
+  for (std::size_t i = 0; i < got.extraction.anfs.size(); ++i) {
+    EXPECT_EQ(got.extraction.anfs[i], want.extraction.anfs[i])
+        << label << " bit " << i;
+  }
+  ASSERT_EQ(got.extraction.per_bit.size(), want.extraction.per_bit.size())
+      << label;
+  for (std::size_t i = 0; i < got.extraction.per_bit.size(); ++i) {
+    const auto& g = got.extraction.per_bit[i];
+    const auto& w = want.extraction.per_bit[i];
+    EXPECT_EQ(g.cone_gates, w.cone_gates) << label << " bit " << i;
+    EXPECT_EQ(g.substitutions, w.substitutions) << label << " bit " << i;
+    EXPECT_EQ(g.cancellations, w.cancellations) << label << " bit " << i;
+    EXPECT_EQ(g.peak_terms, w.peak_terms) << label << " bit " << i;
+    EXPECT_EQ(g.final_terms, w.final_terms) << label << " bit " << i;
+  }
+}
+
+/// The mixed workload: all five generator families in memory, frozen
+/// fixtures from disk in every format, a scrambled-output bus, a
+/// non-multiplier squarer interface, a corrupt netlist and a missing file.
+std::vector<BatchJob> mixed_manifest(RewriteStrategy strategy) {
+  std::vector<BatchJob> jobs;
+  const auto add_memory = [&](std::string name, nl::Netlist netlist) {
+    BatchJob job;
+    job.name = std::move(name);
+    job.netlist = std::move(netlist);
+    job.options.strategy = strategy;
+    jobs.push_back(std::move(job));
+  };
+  const auto add_file = [&](const std::string& file) {
+    BatchJob job;
+    job.path = data_path(file);
+    job.options.strategy = strategy;
+    jobs.push_back(std::move(job));
+  };
+
+  for (unsigned m : {5u, 8u}) {
+    const gf2m::Field field(gf2::default_irreducible(m));
+    const std::string suffix = "_m" + std::to_string(m);
+    add_memory("mastrovito" + suffix, gen::generate_mastrovito(field));
+    add_memory("montgomery" + suffix, gen::generate_montgomery(field));
+    add_memory("karatsuba" + suffix, gen::generate_karatsuba(field));
+    add_memory("shiftadd" + suffix, gen::generate_shift_add(field));
+    // The squarer has a one-operand interface: port resolution must fail
+    // it identically in batch and standalone runs.
+    add_memory("squarer" + suffix, gen::generate_squarer(field));
+  }
+  {
+    const gf2m::Field field(Poly{8, 4, 3, 1, 0});
+    add_memory("scrambled_mastrovito_m8",
+               test::scramble_outputs(gen::generate_mastrovito(field),
+                                      {3, 1, 4, 7, 6, 0, 2, 5}));
+  }
+  add_file("mastrovito_m8.eqn");
+  add_file("montgomery_m8.blif");
+  add_file("karatsuba_m8.v");
+  add_file("shiftadd_m8.eqn");
+  add_file("mastrovito_syn_m8.eqn");
+  add_file("mastrovito_mapped_m8.blif");
+  add_file("handwritten_gf4_aoi.eqn");
+  add_file("corrupt_gf4.eqn");
+  add_file("montgomery_m16.eqn");
+  add_file("karatsuba_m16.v");
+  // Duplicate submission: must come back cache-identical.
+  add_file("mastrovito_m8.eqn");
+  jobs.back().name = "duplicate_mastrovito_m8";
+  // Unreadable path: a load error that must not poison the batch.
+  {
+    BatchJob job;
+    job.name = "missing_file";
+    job.path = data_path("does_not_exist.eqn");
+    job.options.strategy = strategy;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+/// Standalone baseline for one job (the sequential `run_flow` ground
+/// truth); nullopt for jobs that cannot load.
+std::optional<FlowReport> baseline_report(const BatchJob& job) {
+  nl::Netlist netlist("x");
+  if (job.netlist.has_value()) {
+    netlist = *job.netlist;
+  } else {
+    try {
+      netlist = load_netlist_file(job.path);
+    } catch (const Error&) {
+      return std::nullopt;
+    }
+  }
+  FlowOptions options = job.options;
+  options.threads = 1;
+  return reverse_engineer(netlist, options);
+}
+
+class BatchInvariance
+    : public ::testing::TestWithParam<std::tuple<RewriteStrategy, unsigned>> {
+};
+
+TEST_P(BatchInvariance, MatchesSequentialRunFlow) {
+  const RewriteStrategy strategy = std::get<0>(GetParam());
+  const unsigned threads = std::get<1>(GetParam());
+
+  const auto jobs = mixed_manifest(strategy);
+  ASSERT_GE(jobs.size(), 20u) << "the issue demands a >=20 job manifest";
+
+  std::vector<std::optional<FlowReport>> baselines;
+  baselines.reserve(jobs.size());
+  for (const auto& job : jobs) baselines.push_back(baseline_report(job));
+
+  BatchOptions options;
+  options.threads = threads;
+  const auto batch = run_batch(jobs, options);
+
+  ASSERT_EQ(batch.results.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& result = batch.results[i];
+    const std::string label = result.name + " @" + std::to_string(threads) +
+                              "T/" + to_string(strategy);
+    if (!baselines[i].has_value()) {
+      EXPECT_FALSE(result.error.empty()) << label;
+      EXPECT_FALSE(result.ok) << label;
+      continue;
+    }
+    EXPECT_TRUE(result.error.empty()) << label << ": " << result.error;
+    expect_reports_equal(result.report, *baselines[i], label);
+    EXPECT_EQ(result.ok, baselines[i]->success) << label;
+  }
+
+  // Failure isolation: the corrupt and missing jobs fail, everything that
+  // is a real multiplier still succeeds in the same batch.
+  std::size_t ok_count = 0;
+  for (const auto& result : batch.results) ok_count += result.ok ? 1 : 0;
+  EXPECT_GE(ok_count, 16u);
+  EXPECT_EQ(batch.stats.jobs, jobs.size());
+  EXPECT_EQ(batch.stats.load_errors, 1u);
+  EXPECT_GE(batch.stats.cache_hits, 1u) << "duplicate file must dedup";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, BatchInvariance,
+    ::testing::Combine(::testing::Values(RewriteStrategy::Packed,
+                                         RewriteStrategy::Indexed),
+                       ::testing::Values(1u, 2u, 8u)),
+    [](const ::testing::TestParamInfo<std::tuple<RewriteStrategy, unsigned>>&
+           info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param)) + "threads";
+    });
+
+// -- Memoization semantics --------------------------------------------------
+
+TEST(BatchCache, SameFileTwiceCostsOneExtraction) {
+  std::vector<BatchJob> jobs(2);
+  jobs[0].path = data_path("mastrovito_m8.eqn");
+  jobs[1].path = data_path("mastrovito_m8.eqn");
+  jobs[1].name = "dup";
+
+  BatchOptions options;
+  options.threads = 4;
+  const auto batch = run_batch(jobs, options);
+  EXPECT_EQ(batch.stats.cones_extracted, 8u)
+      << "the duplicate must be served from the cache, not re-extracted";
+  EXPECT_EQ(batch.stats.cache_hits, 1u);
+  int hits = 0;
+  for (const auto& result : batch.results) {
+    EXPECT_TRUE(result.ok);
+    hits += result.cache_hit ? 1 : 0;
+  }
+  EXPECT_EQ(hits, 1);
+  expect_reports_equal(batch.results[1].report, batch.results[0].report,
+                       "cached duplicate");
+}
+
+TEST(BatchCache, IdenticalInMemoryNetlistsDedup) {
+  const gf2m::Field field(Poly{8, 4, 3, 1, 0});
+  const auto netlist = gen::generate_montgomery(field);
+  std::vector<BatchJob> jobs(2);
+  jobs[0].name = "first";
+  jobs[0].netlist = netlist;
+  jobs[1].name = "second";
+  jobs[1].netlist = netlist;
+
+  BatchOptions options;
+  options.threads = 2;
+  const auto batch = run_batch(jobs, options);
+  EXPECT_EQ(batch.stats.cones_extracted, 8u);
+  EXPECT_EQ(batch.stats.cache_hits, 1u);
+  EXPECT_TRUE(batch.results[0].ok);
+  EXPECT_TRUE(batch.results[1].ok);
+}
+
+TEST(BatchCache, DifferentOptionsDoNotShareResults) {
+  // Same netlist, different option signatures: verification on vs off
+  // changes the report, so the cache must keep them apart.
+  std::vector<BatchJob> jobs(2);
+  jobs[0].path = data_path("mastrovito_m8.eqn");
+  jobs[1].path = data_path("mastrovito_m8.eqn");
+  jobs[1].options.verify_with_golden = false;
+
+  BatchOptions options;
+  options.threads = 2;
+  const auto batch = run_batch(jobs, options);
+  EXPECT_EQ(batch.stats.cache_hits, 0u);
+  EXPECT_EQ(batch.stats.cones_extracted, 16u);
+  EXPECT_EQ(batch.results[0].report.verification.detail,
+            "all 8 output ANFs match the golden model");
+  EXPECT_EQ(batch.results[1].report.verification.detail, "skipped");
+}
+
+TEST(BatchCache, MemoizeOffExtractsEveryJob) {
+  std::vector<BatchJob> jobs(2);
+  jobs[0].path = data_path("mastrovito_m8.eqn");
+  jobs[1].path = data_path("mastrovito_m8.eqn");
+
+  BatchOptions options;
+  options.threads = 2;
+  options.memoize = false;
+  const auto batch = run_batch(jobs, options);
+  EXPECT_EQ(batch.stats.cache_hits, 0u);
+  EXPECT_EQ(batch.stats.cones_extracted, 16u);
+}
+
+// -- Failure isolation ------------------------------------------------------
+
+TEST(BatchIsolation, TermBudgetBlowupFailsOnlyThatJob) {
+  // A tiny per-bit budget aborts the first job's extraction; its neighbor
+  // (same circuit, default budget) must still verify cleanly.
+  const gf2m::Field field(Poly{8, 4, 3, 1, 0});
+  std::vector<BatchJob> jobs(2);
+  jobs[0].name = "strangled";
+  jobs[0].netlist = gen::generate_mastrovito(field);
+  jobs[0].options.max_terms = 3;
+  jobs[1].name = "healthy";
+  jobs[1].netlist = gen::generate_mastrovito(field);
+
+  BatchOptions options;
+  options.threads = 2;
+  const auto batch = run_batch(jobs, options);
+  EXPECT_FALSE(batch.results[0].ok);
+  EXPECT_NE(batch.results[0].report.recovery.diagnosis.find("term budget"),
+            std::string::npos)
+      << batch.results[0].report.recovery.diagnosis;
+  EXPECT_TRUE(batch.results[1].ok) << batch.results[1].report.summary();
+
+  // And identically to a standalone run of the same strangled job.
+  FlowOptions strangled;
+  strangled.max_terms = 3;
+  const auto alone = reverse_engineer(gen::generate_mastrovito(field),
+                                      strangled);
+  expect_reports_equal(batch.results[0].report, alone, "strangled");
+}
+
+TEST(BatchIsolation, EmptyBatchIsANoOp) {
+  BatchOptions options;
+  options.threads = 4;
+  const auto batch = run_batch({}, options);
+  EXPECT_TRUE(batch.results.empty());
+  EXPECT_TRUE(batch.all_ok());
+  EXPECT_EQ(batch.stats.jobs, 0u);
+}
+
+// -- Content hashing --------------------------------------------------------
+
+TEST(BatchHash, StructuralHashSeesGateChanges) {
+  const gf2m::Field field(Poly{4, 1, 0});
+  const auto a = gen::generate_mastrovito(field);
+  const auto b = gen::generate_mastrovito(field);
+  EXPECT_EQ(netlist_content_hash(a), netlist_content_hash(b));
+  const auto other = gen::generate_karatsuba(field);
+  EXPECT_NE(netlist_content_hash(a), netlist_content_hash(other));
+}
+
+// -- Manifest parsing -------------------------------------------------------
+
+TEST(BatchManifest, ParsesJobsWithOverrides) {
+  std::string dir = ::testing::TempDir();
+  while (!dir.empty() && dir.back() == '/') dir.pop_back();
+  const std::string path = dir + "/jobs.manifest";
+  {
+    std::ofstream out(path);
+    out << "# comment line\n"
+        << "\n"
+        << "mastrovito_m8.eqn\n"
+        << "sub/montgomery.blif strategy=indexed verify=0 name=monty\n"
+        << "/abs/karatsuba.v ports=x,y,p max_terms=1234 infer=1\n";
+  }
+  const auto jobs = parse_manifest(path);
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].path, dir + "/mastrovito_m8.eqn");
+  EXPECT_EQ(jobs[1].path, dir + "/sub/montgomery.blif");
+  EXPECT_EQ(jobs[1].name, "monty");
+  EXPECT_EQ(jobs[1].options.strategy, RewriteStrategy::Indexed);
+  EXPECT_FALSE(jobs[1].options.verify_with_golden);
+  EXPECT_EQ(jobs[2].path, "/abs/karatsuba.v");
+  EXPECT_EQ(jobs[2].options.a_base, "x");
+  EXPECT_EQ(jobs[2].options.b_base, "y");
+  EXPECT_EQ(jobs[2].options.z_base, "p");
+  EXPECT_EQ(jobs[2].options.max_terms, 1234u);
+  EXPECT_TRUE(jobs[2].options.infer_ports);
+  std::remove(path.c_str());
+}
+
+TEST(BatchManifest, RejectsBadLinesWithLocation) {
+  const std::string path = ::testing::TempDir() + "/bad.manifest";
+  {
+    std::ofstream out(path);
+    out << "good.eqn\n"
+        << "other.eqn strategy=warp\n";
+  }
+  try {
+    parse_manifest(path);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("warp"), std::string::npos);
+  }
+  std::remove(path.c_str());
+  EXPECT_THROW(parse_manifest("/no/such/manifest"), Error);
+}
+
+TEST(BatchManifest, RejectsSilentJobDrops) {
+  const std::string path = ::testing::TempDir() + "/dropped.manifest";
+  {
+    // Options but no path: without an error this job would silently
+    // vanish from the batch.
+    std::ofstream out(path);
+    out << "name=ghost strategy=indexed\n";
+  }
+  EXPECT_THROW(parse_manifest(path), ParseError);
+  {
+    // stoull would wrap -1 into an unlimited budget.
+    std::ofstream out(path);
+    out << "good.eqn max_terms=-1\n";
+  }
+  EXPECT_THROW(parse_manifest(path), ParseError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gfre::core

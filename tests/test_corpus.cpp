@@ -63,7 +63,13 @@ INSTANTIATE_TEST_SUITE_P(
         CorpusCase{"karatsuba_m8", 8, Poly{8, 4, 3, 1, 0}},
         CorpusCase{"shiftadd_m8", 8, Poly{8, 4, 3, 1, 0}},
         CorpusCase{"mastrovito_syn_m8", 8, Poly{8, 4, 3, 1, 0}},
-        CorpusCase{"mastrovito_mapped_m8", 8, Poly{8, 4, 3, 1, 0}}),
+        CorpusCase{"mastrovito_mapped_m8", 8, Poly{8, 4, 3, 1, 0}},
+        // m=16 fixtures: output cones exceed 64 cone variables, so the
+        // packed engine's multi-word (Bits128/Bits256) monomial
+        // representations are exercised from frozen files, not only from
+        // in-memory generators.
+        CorpusCase{"montgomery_m16", 16, Poly{16, 5, 3, 1, 0}},
+        CorpusCase{"karatsuba_m16", 16, Poly{16, 5, 3, 1, 0}}),
     [](const ::testing::TestParamInfo<CorpusCase>& info) {
       return info.param.stem;
     });

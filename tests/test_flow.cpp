@@ -191,8 +191,12 @@ TEST(Flow, CustomPortBases) {
   const auto report = reverse_engineer(netlist, options);
   EXPECT_TRUE(report.success);
   EXPECT_EQ(report.recovery.p, field.modulus());
-  // With default bases the ports are missing entirely.
-  EXPECT_THROW(reverse_engineer(netlist), Error);
+  // With default bases the ports are missing entirely — a flow outcome
+  // (fuzzed mutants and batch manifests hit this), not an exception.
+  const auto missing = reverse_engineer(netlist);
+  EXPECT_FALSE(missing.success);
+  EXPECT_EQ(missing.recovery.circuit_class, CircuitClass::NotAMultiplier);
+  EXPECT_FALSE(missing.recovery.diagnosis.empty());
 }
 
 TEST(Flow, SkipGoldenVerification) {

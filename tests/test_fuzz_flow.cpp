@@ -1,0 +1,367 @@
+// Deterministic fuzz wall for the reverse-engineering flow.
+//
+// A seeded mutator corrupts real multiplier netlists — gate-type flips,
+// wire swaps, output drops/duplicates, constant stuck-ats — across all
+// five generator families.  The contract under fuzz: every mutant either
+// recovers a correct P(x) (success implies the golden check passed) or
+// returns success=false with a non-empty diagnosis.  Never a crash, an
+// uncaught exception, a sanitizer trip, or an unbounded blowup (the
+// per-bit term budget turns exponential mutants into diagnosed failures).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/flow.hpp"
+#include "gen/karatsuba.hpp"
+#include "gen/mastrovito.hpp"
+#include "gen/montgomery_gate.hpp"
+#include "gen/shift_add.hpp"
+#include "gen/squarer.hpp"
+#include "gf2m/field.hpp"
+#include "gf2poly/irreducible.hpp"
+#include "netlist/cell.hpp"
+#include "util/prng.hpp"
+
+namespace gfre::core {
+namespace {
+
+using gf2::Poly;
+
+enum class Mutation {
+  GateTypeFlip,     ///< swap a gate's cell for another of the same arity
+  WireSwap,         ///< reroute one gate input to a random earlier net
+  OutputDrop,       ///< rename one z bit away (word port goes sparse)
+  OutputDuplicate,  ///< alias one z bit to another (two identical rows)
+  StuckAt,          ///< pin one gate input to constant 0/1
+};
+
+const char* to_string(Mutation m) {
+  switch (m) {
+    case Mutation::GateTypeFlip: return "gate-type-flip";
+    case Mutation::WireSwap: return "wire-swap";
+    case Mutation::OutputDrop: return "output-drop";
+    case Mutation::OutputDuplicate: return "output-duplicate";
+    case Mutation::StuckAt: return "stuck-at";
+  }
+  return "?";
+}
+
+/// Rebuilds `base` (names preserved, gates in topological order) with one
+/// seeded mutation applied.  The result always passes Netlist::validate();
+/// whether it still computes anything meaningful is the flow's problem.
+nl::Netlist mutate(const nl::Netlist& base, Mutation kind, Prng& rng) {
+  // Keeps the base name: a mutation that lands on nothing must rebuild to
+  // the identical content hash (the control path of the fuzz contract).
+  nl::Netlist out(base.name());
+  std::vector<nl::Var> map(base.num_vars());
+  for (nl::Var v : base.inputs()) {
+    map[v] = out.add_input(base.var_name(v));
+  }
+  const auto order = base.topological_order();
+  const std::size_t target = order.empty() ? 0 : rng.next_below(order.size());
+
+  // Output aliasing/dropping picks its victims up front.
+  const std::size_t num_outputs = base.outputs().size();
+  std::size_t drop_idx = num_outputs, dup_from = num_outputs,
+              dup_to = num_outputs;
+  if (kind == Mutation::OutputDrop && num_outputs > 0) {
+    drop_idx = rng.next_below(num_outputs);
+  }
+  if (kind == Mutation::OutputDuplicate && num_outputs > 1) {
+    dup_to = rng.next_below(num_outputs);
+    do {
+      dup_from = rng.next_below(num_outputs);
+    } while (dup_from == dup_to);
+  }
+
+  // Pool of nets legal as gate inputs at each point of the rebuild.
+  std::vector<nl::Var> pool(out.inputs());
+
+  std::optional<nl::Var> stuck_constant;
+  if (kind == Mutation::StuckAt) {
+    // Explicit name: auto-generated "n<id>" could collide with the base
+    // netlist's own auto names (ids shift by one here).
+    stuck_constant = out.add_gate(
+        rng.next_bool() ? nl::CellType::Const1 : nl::CellType::Const0, {},
+        "fuzz_stuck_const");
+  }
+
+  for (std::size_t idx = 0; idx < order.size(); ++idx) {
+    const nl::Gate& gate = base.gate(order[idx]);
+    nl::CellType type = gate.type;
+    std::vector<nl::Var> inputs;
+    inputs.reserve(gate.inputs.size());
+    for (nl::Var in : gate.inputs) inputs.push_back(map[in]);
+    std::string name = base.var_name(gate.output);
+
+    if (idx == target) {
+      switch (kind) {
+        case Mutation::GateTypeFlip: {
+          std::vector<nl::CellType> candidates;
+          for (nl::CellType candidate : nl::all_cell_types()) {
+            if (candidate != gate.type &&
+                nl::arity_ok(candidate, inputs.size())) {
+              candidates.push_back(candidate);
+            }
+          }
+          if (!candidates.empty()) {
+            type = candidates[rng.next_below(candidates.size())];
+          }
+          break;
+        }
+        case Mutation::WireSwap:
+          if (!inputs.empty() && !pool.empty()) {
+            inputs[rng.next_below(inputs.size())] =
+                pool[rng.next_below(pool.size())];
+          }
+          break;
+        case Mutation::StuckAt:
+          if (!inputs.empty()) {
+            inputs[rng.next_below(inputs.size())] = *stuck_constant;
+          }
+          break;
+        case Mutation::OutputDrop:
+        case Mutation::OutputDuplicate:
+          break;  // handled below via the output nets
+      }
+    }
+    if (drop_idx < num_outputs &&
+        gate.output == base.outputs()[drop_idx]) {
+      name = "fuzz_dropped";  // the z word loses this index
+    }
+    map[gate.output] = out.add_gate(type, std::move(inputs), name);
+    pool.push_back(map[gate.output]);
+  }
+
+  if (dup_to < num_outputs) {
+    // Alias: replace bit dup_to's net with a buffer of bit dup_from.  The
+    // original driver keeps its logic under a fresh name.
+    // (Both nets exist by now; out must not reuse the z name.)
+    const nl::Var from = map[base.outputs()[dup_from]];
+    const nl::Var to_old = map[base.outputs()[dup_to]];
+    const std::string z_name = base.var_name(base.outputs()[dup_to]);
+    // Rebuild with the name freed: simplest is a second pass.
+    nl::Netlist out2(out.name());
+    std::vector<nl::Var> map2(out.num_vars());
+    for (nl::Var v : out.inputs()) map2[v] = out2.add_input(out.var_name(v));
+    for (std::size_t g : out.topological_order()) {
+      const nl::Gate& gate = out.gate(g);
+      std::vector<nl::Var> inputs;
+      for (nl::Var in : gate.inputs) inputs.push_back(map2[in]);
+      const bool is_victim = gate.output == to_old;
+      map2[gate.output] =
+          out2.add_gate(gate.type, std::move(inputs),
+                        is_victim ? "fuzz_unaliased"
+                                  : out.var_name(gate.output));
+    }
+    const nl::Var alias = out2.add_gate(nl::CellType::Buf, {map2[from]},
+                                        z_name);
+    for (std::size_t i = 0; i < num_outputs; ++i) {
+      const nl::Var original = map[base.outputs()[i]];
+      out2.mark_output(i == dup_to ? alias : map2[original]);
+    }
+    return out2;
+  }
+
+  for (nl::Var v : base.outputs()) out.mark_output(map[v]);
+  return out;
+}
+
+struct FamilyCase {
+  const char* name;
+  nl::Netlist (*generate)(const gf2m::Field&);
+};
+
+nl::Netlist make_mastrovito(const gf2m::Field& f) {
+  return gen::generate_mastrovito(f);
+}
+nl::Netlist make_montgomery(const gf2m::Field& f) {
+  return gen::generate_montgomery(f);
+}
+nl::Netlist make_karatsuba(const gf2m::Field& f) {
+  return gen::generate_karatsuba(f);
+}
+nl::Netlist make_shift_add(const gf2m::Field& f) {
+  return gen::generate_shift_add(f);
+}
+nl::Netlist make_squarer(const gf2m::Field& f) {
+  return gen::generate_squarer(f);
+}
+
+const FamilyCase kFamilies[] = {
+    {"mastrovito", &make_mastrovito}, {"montgomery", &make_montgomery},
+    {"karatsuba", &make_karatsuba},   {"shiftadd", &make_shift_add},
+    {"squarer", &make_squarer},
+};
+
+const Mutation kMutations[] = {
+    Mutation::GateTypeFlip, Mutation::WireSwap, Mutation::OutputDrop,
+    Mutation::OutputDuplicate, Mutation::StuckAt,
+};
+
+FlowOptions fuzz_options() {
+  FlowOptions options;
+  options.threads = 2;
+  // The wall against exponential mutants: a diagnosed failure instead of
+  // an OOM/hang when a flip turns an XOR tree into an OR tower.
+  options.max_terms = 50000;
+  return options;
+}
+
+/// The fuzz contract for one mutant.  `base` is the unmutated circuit's
+/// report: a mutation that landed on nothing must reproduce its outcome
+/// (the squarer family legitimately fails even unmutated — one-operand
+/// interface).
+void expect_recovers_or_diagnoses(const nl::Netlist& mutant,
+                                  const std::string& label, bool changed,
+                                  const FlowReport& base) {
+  FlowReport report;
+  ASSERT_NO_THROW(report = reverse_engineer(mutant, fuzz_options()))
+      << label;
+  if (!changed) {
+    EXPECT_EQ(report.success, base.success)
+        << label << "\n" << report.summary();
+    EXPECT_EQ(report.recovery.p, base.recovery.p) << label;
+    return;
+  }
+  if (report.success) {
+    // The mutant still verifies as *some* clean multiplier (e.g. the flip
+    // reproduced an equivalent cell).  success already implies the golden
+    // equivalence check passed; pin the invariants that make it safe.
+    EXPECT_TRUE(report.recovery.p_is_irreducible) << label;
+    EXPECT_TRUE(report.recovery.rows_consistent) << label;
+    EXPECT_TRUE(report.verification.equivalent) << label;
+  } else {
+    EXPECT_FALSE(report.recovery.diagnosis.empty())
+        << label << " failed without a diagnosis\n"
+        << report.summary();
+  }
+}
+
+class FuzzFamilies : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(FuzzFamilies, MutantsRecoverOrDiagnoseM4To12) {
+  const FamilyCase family = GetParam();
+  for (unsigned m : {4u, 5u, 7u, 9u, 12u}) {
+    const gf2m::Field field(gf2::default_irreducible(m));
+    const auto base = family.generate(field);
+    const std::uint64_t base_hash = netlist_content_hash(base);
+    const FlowReport base_report = reverse_engineer(base, fuzz_options());
+    for (const Mutation kind : kMutations) {
+      for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+        Prng rng(0x9e3779b9u * m + 1000003u * seed +
+                 static_cast<std::uint64_t>(kind) * 7919u);
+        const auto mutant = mutate(base, kind, rng);
+        ASSERT_NO_THROW(mutant.validate())
+            << family.name << " m=" << m << " " << to_string(kind);
+        const bool changed = netlist_content_hash(mutant) != base_hash;
+        expect_recovers_or_diagnoses(
+            mutant,
+            std::string(family.name) + " m=" + std::to_string(m) + " " +
+                to_string(kind) + " seed=" + std::to_string(seed),
+            changed, base_report);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FuzzFamilies,
+                         ::testing::ValuesIn(kFamilies),
+                         [](const ::testing::TestParamInfo<FamilyCase>& info) {
+                           return std::string(info.param.name);
+                         });
+
+// -- Mutator properties -----------------------------------------------------
+
+TEST(FuzzMutator, DeterministicForSeed) {
+  const gf2m::Field field(Poly{8, 4, 3, 1, 0});
+  const auto base = gen::generate_mastrovito(field);
+  for (const Mutation kind : kMutations) {
+    Prng a(42), b(42), c(43);
+    const auto ma = mutate(base, kind, a);
+    const auto mb = mutate(base, kind, b);
+    EXPECT_EQ(netlist_content_hash(ma), netlist_content_hash(mb))
+        << to_string(kind);
+    const auto mc = mutate(base, kind, c);
+    // Different seeds *usually* differ; not asserted (they may collide).
+    (void)mc;
+  }
+}
+
+TEST(FuzzMutator, IdentityRebuildPreservesHash) {
+  // A mutation kind that targets outputs leaves the gate structure alone
+  // when the netlist has one output and duplication is impossible — the
+  // rebuild itself must be hash-transparent.
+  const gf2m::Field field(Poly{4, 1, 0});
+  const auto base = gen::generate_mastrovito(field);
+  nl::Netlist copy("x");
+  {
+    Prng rng(7);
+    copy = mutate(base, Mutation::OutputDuplicate, rng);
+  }
+  // Same gates, same names, same outputs — only the victim bit's driver
+  // differs.  Hashes differ because the mutation landed; rerun on a
+  // single-output netlist to check transparency.
+  nl::Netlist single("single");
+  const nl::Var i0 = single.add_input("a0");
+  const nl::Var i1 = single.add_input("b0");
+  const nl::Var g = single.add_gate(nl::CellType::And, {i0, i1}, "z0");
+  single.mark_output(g);
+  Prng rng(9);
+  const auto rebuilt = mutate(single, Mutation::OutputDuplicate, rng);
+  EXPECT_EQ(netlist_content_hash(rebuilt), netlist_content_hash(single));
+}
+
+// -- Term budget ------------------------------------------------------------
+
+TEST(FuzzBudget, TinyBudgetDiagnosesInsteadOfExploding) {
+  const gf2m::Field field(Poly{8, 4, 3, 1, 0});
+  FlowOptions options;
+  options.max_terms = 3;
+  const auto report = reverse_engineer(gen::generate_mastrovito(field),
+                                       options);
+  EXPECT_FALSE(report.success);
+  EXPECT_NE(report.recovery.diagnosis.find("term budget"), std::string::npos)
+      << report.recovery.diagnosis;
+}
+
+TEST(FuzzBudget, DefaultBudgetIsUnlimited) {
+  const gf2m::Field field(Poly{8, 4, 3, 1, 0});
+  const auto report = reverse_engineer(gen::generate_mastrovito(field));
+  EXPECT_TRUE(report.success) << report.summary();
+}
+
+// -- Mutants through the batch engine ---------------------------------------
+
+TEST(FuzzBatch, MutantSwarmNeverPoisonsTheBatch) {
+  // 25 mutants of one circuit through the shared-pool engine: per-job
+  // outcomes only, no exception may escape run_batch.
+  const gf2m::Field field(Poly{8, 4, 3, 1, 0});
+  const auto base = gen::generate_mastrovito(field);
+  std::vector<BatchJob> jobs;
+  Prng rng(20260730);
+  for (int i = 0; i < 25; ++i) {
+    const Mutation kind = kMutations[rng.next_below(5)];
+    BatchJob job;
+    job.name = std::string(to_string(kind)) + "#" + std::to_string(i);
+    job.netlist = mutate(base, kind, rng);
+    job.options = fuzz_options();
+    jobs.push_back(std::move(job));
+  }
+  BatchOptions options;
+  options.threads = 4;
+  BatchReport batch;
+  ASSERT_NO_THROW(batch = run_batch(std::move(jobs), options));
+  ASSERT_EQ(batch.results.size(), 25u);
+  for (const auto& result : batch.results) {
+    EXPECT_TRUE(result.error.empty()) << result.name;
+    if (!result.report.success) {
+      EXPECT_FALSE(result.report.recovery.diagnosis.empty()) << result.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gfre::core

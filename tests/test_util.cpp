@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "util/error.hpp"
 #include "util/options.hpp"
@@ -93,6 +95,47 @@ TEST(ThreadPool, PropagatesExceptions) {
                           if (i == 7) throw Error("boom");
                         }),
       Error);
+}
+
+TEST(ThreadPool, ParallelForDrainsAllTasksWhenOneThrows) {
+  // Regression: parallel_for used to rethrow on the first failed future,
+  // returning while later tasks (which capture `fn` by reference) were
+  // still queued — a use-after-free the sanitizer job would flag.  All
+  // tasks must run to completion before the exception surfaces.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   if (i == 0) throw Error("early boom");
+                                   // Give the throwing task a head start so
+                                   // the old bug would reliably leave these
+                                   // queued at rethrow time.
+                                   std::this_thread::sleep_for(
+                                       std::chrono::microseconds(50));
+                                   ++ran;
+                                 }),
+               Error);
+  EXPECT_EQ(ran.load(), 63) << "every non-throwing task must have run";
+}
+
+TEST(ThreadPool, ParallelForReportsFirstFailureByIndex) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(8, [&](std::size_t i) {
+      if (i == 3 || i == 6) throw Error("task " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "task 3");
+  }
+}
+
+TEST(ThreadPool, SubmittedTaskExceptionIsStoredNotTerminating) {
+  // A throwing submitted task must surface through the future as a stored
+  // exception_ptr — never std::terminate the process.
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { throw Error("stored"); });
+  EXPECT_THROW(fut.get(), Error);
 }
 
 TEST(ThreadPool, SingleWorkerStillWorks) {
