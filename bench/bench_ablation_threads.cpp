@@ -9,8 +9,11 @@
 // run (a) sequentially — load + run_flow one job at a time, the
 // pre-batch-engine baseline — and (b) through core::run_batch at growing
 // worker counts, plus (c) a duplicate-heavy manifest exercising the
-// content-hash cache.  Every batch report must agree with the sequential
-// baseline; results land in BENCH_batch.json for CI trend tracking.
+// content-hash cache and (d) the same 100 jobs streamed incrementally
+// through a long-lived core::BatchScheduler (submit -> future per job, the
+// serving-tier ingest path) against the submit-all-then-wait run_batch.
+// Every batch/scheduler report must agree with the sequential baseline;
+// results land in BENCH_batch.json for CI trend tracking.
 //
 // Shape gate: on multi-core hosts batch@4 must beat sequential by >1.5x
 // jobs/sec; on single-core hosts raw interleaving cannot beat sequential,
@@ -18,12 +21,14 @@
 // which must clear 1.5x there.
 #include <cstdio>
 #include <filesystem>
+#include <future>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "bench_json.hpp"
 #include "core/batch.hpp"
+#include "core/scheduler.hpp"
 #include "gen/karatsuba.hpp"
 #include "gen/mastrovito.hpp"
 #include "gen/montgomery_gate.hpp"
@@ -251,6 +256,52 @@ int main() {
       .add("speedup_vs_sequential", cached_rate / seq_rate)
       .add("cache_hits", cached.stats.cache_hits);
 
+  // (d) Long-lived scheduler, incremental submission: the async ingest
+  // path a serving front end uses.  Same engine underneath run_batch, so
+  // the rate must land within noise of the batch rate at the same width —
+  // this measures the submit/future/promise overhead, which is one
+  // allocation + two mutex acquisitions per job against a whole
+  // extraction of work.
+  double scheduler_rate = 0;
+  {
+    core::BatchOptions sched_options;
+    sched_options.threads = cache_width;
+    Timer sched_timer;
+    std::vector<std::future<core::BatchJobResult>> futures;
+    futures.reserve(jobs.size());
+    core::BatchScheduler scheduler(sched_options);
+    for (const auto& job : jobs) {
+      futures.push_back(scheduler.submit(job).result);
+    }
+    scheduler.drain();
+    const double sched_wall = sched_timer.seconds();
+    scheduler_rate = static_cast<double>(jobs.size()) / sched_wall;
+    const auto stats = scheduler.stats();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const auto result = futures[i].get();
+      if (!result.error.empty() ||
+          !same_outcome(result.report, baseline[i])) {
+        std::printf("MISMATCH vs sequential baseline: %s @scheduler\n",
+                    result.name.c_str());
+        outcomes_match = false;
+      }
+    }
+    std::printf("scheduler stream: %zu jobs in %.2f s  (%.1f jobs/s, "
+                "%.2fx sequential, %zu cones, %zu steals)\n",
+                stats.jobs, sched_wall, scheduler_rate,
+                scheduler_rate / seq_rate, stats.cones_extracted,
+                stats.cone_steals);
+    json.add_record()
+        .add("mode", "scheduler_stream")
+        .add("jobs", stats.jobs)
+        .add("threads", sched_options.threads)
+        .add("wall_s", sched_wall)
+        .add("jobs_per_sec", scheduler_rate)
+        .add("speedup_vs_sequential", scheduler_rate / seq_rate)
+        .add("cones", stats.cones_extracted)
+        .add("cone_steals", stats.cone_steals);
+  }
+
   json.add_record()
       .add("mode", "host")
       .add("hardware_threads", hw);
@@ -282,6 +333,16 @@ int main() {
                 cached_rate / seq_rate);
     pass = pass && cache_throughput;
   }
+  // The scheduler IS the batch engine plus a future per job — a big gap at
+  // the same worker count means the async wrapper grew real overhead.  The
+  // 0.6 factor leaves room for host noise, not for a regression class.
+  const bool scheduler_ok = scheduler_rate > 0.6 * batch_rate_at_cache_width;
+  std::printf("shape check: streamed scheduler within noise of run_batch at "
+              "%u workers: %s (%.2fx)\n",
+              cache_width, scheduler_ok ? "PASS" : "FAIL",
+              scheduler_rate / batch_rate_at_cache_width);
+  pass = pass && scheduler_ok;
+
   const bool scaling_ok = hw < 2 || wall_2t < wall_1t;
   if (hw >= 2) {
     std::printf("shape check: 2-thread extraction beats 1-thread: %s\n",

@@ -11,10 +11,14 @@
 //   rtl/montgomery_m16.blif    strategy=indexed
 //   drops/unknown.v            infer=1 max_terms=2000000
 //
-// All jobs execute over ONE shared thread pool at cone granularity
-// (output-bit tasks from different circuits interleave), duplicate
-// submissions are served from the content-hash cache, and every job's
-// outcome is written as one JSON line with --out.
+// The driver STREAMS the manifest through a long-lived
+// core::BatchScheduler: each line is submitted the moment it is parsed
+// (extraction of the first job overlaps reading the rest — a 100k-line
+// manifest never materializes as a job vector), per-job completion
+// callbacks print progress as results land, and the per-job futures are
+// collected in submission order for the --out JSONL report.  Duplicate
+// submissions are served from the content-hash cache or attach to the
+// in-flight extraction.
 //
 // Options:
 //   --jobs FILE        job manifest (required)
@@ -29,14 +33,21 @@
 //
 // Exit code 0 iff every job succeeded.
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <future>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/batch.hpp"
+#include "core/scheduler.hpp"
 #include "gf2poly/gf2_poly.hpp"
 #include "util/error.hpp"
 #include "util/jsonl.hpp"
 #include "util/options.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -48,12 +59,36 @@ void usage() {
             << "                  [--out report.jsonl] [--quiet]\n";
 }
 
+/// Progress line for one completed job; runs on scheduler worker threads
+/// under a caller-held mutex.
+void print_result(const gfre::core::BatchJobResult& result) {
+  if (result.cancelled) {
+    std::printf("  [CANCELLED] %-40s\n", result.name.c_str());
+  } else if (!result.error.empty()) {
+    std::printf("  [LOAD-ERROR] %-40s %s\n", result.name.c_str(),
+                result.error.c_str());
+  } else if (result.ok) {
+    std::printf("  [ok%s] %-40s GF(2^%u) P(x)=%s\n",
+                result.cache_hit ? ",cached" : "", result.name.c_str(),
+                result.report.m,
+                result.report.recovery.p.to_paper_string().c_str());
+  } else {
+    std::printf("  [FAILED%s] %-40s %s\n", result.cache_hit ? ",cached" : "",
+                result.name.c_str(),
+                result.report.recovery.diagnosis.c_str());
+  }
+}
+
 gfre::JsonLine result_line(const gfre::core::BatchJobResult& result) {
   gfre::JsonLine line;
   line.add("name", result.name);
   if (!result.path.empty()) line.add("path", result.path);
   line.add("ok", result.ok);
   line.add("cache_hit", result.cache_hit);
+  if (result.cancelled) {
+    line.add("cancelled", true);
+    return line;
+  }
   if (!result.error.empty()) {
     line.add("error", result.error);
     return line;
@@ -120,7 +155,8 @@ int main(int argc, char** argv) {
         const std::string spec = argv[++i];
         const auto c1 = spec.find(',');
         const auto c2 = spec.find(',', c1 + 1);
-        if (c1 == std::string::npos || c2 == std::string::npos) {
+        if (c1 == std::string::npos || c2 == std::string::npos ||
+            spec.find(',', c2 + 1) != std::string::npos) {
           usage();
           return 2;
         }
@@ -161,63 +197,100 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const auto jobs = core::parse_manifest(manifest, defaults);
-    if (jobs.empty()) {
+    std::ifstream in(manifest);
+    if (!in) throw Error("cannot open manifest '" + manifest + "'");
+    const std::string base =
+        std::filesystem::path(manifest).parent_path().string();
+    std::printf("gfre_batch: streaming '%s' onto %u shared workers "
+                "(cache %s)\n",
+                manifest.c_str(), batch_options.threads,
+                batch_options.memoize ? "on" : "off");
+
+    Timer clock;
+    core::BatchScheduler scheduler(batch_options);
+    std::mutex print_mu;
+    const auto on_complete = [&print_mu](const core::BatchJobResult& r) {
+      std::lock_guard<std::mutex> lock(print_mu);
+      print_result(r);
+    };
+
+    // Submit each job the moment its line parses — extraction of early
+    // jobs overlaps manifest I/O, and nothing holds the whole job list.
+    // A bad line stops the stream but must NOT discard the work already
+    // in flight: everything submitted still drains into the report below
+    // (the old parse-everything-first driver simply exited; a streaming
+    // driver may be hours into a huge manifest when the typo surfaces).
+    std::vector<std::future<core::BatchJobResult>> pending;
+    std::string manifest_error;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      std::optional<core::BatchJob> job;
+      try {
+        job = core::parse_manifest_line(line, lineno, manifest, base,
+                                        defaults);
+      } catch (const Error& e) {
+        manifest_error = e.what();
+        std::fprintf(stderr, "manifest error (submission stops, %zu "
+                     "submitted jobs still complete): %s\n",
+                     pending.size(), e.what());
+        break;
+      }
+      if (!job.has_value()) continue;
+      pending.push_back(
+          scheduler
+              .submit(std::move(*job),
+                      quiet ? core::BatchScheduler::Callback{} : on_complete)
+              .result);
+    }
+    if (pending.empty() && !manifest_error.empty()) return 2;
+    if (pending.empty()) {
       std::cerr << "manifest '" << manifest << "' lists no jobs\n";
       return 2;
     }
-    std::printf("gfre_batch: %zu jobs on %u shared workers (cache %s)\n",
-                jobs.size(), batch_options.threads,
-                batch_options.memoize ? "on" : "off");
 
-    const auto batch = core::run_batch(jobs, batch_options);
+    scheduler.drain();
+    const core::BatchStats stats = scheduler.stats();
+    const double wall = clock.seconds();
 
-    if (!quiet) {
-      for (const auto& result : batch.results) {
-        if (!result.error.empty()) {
-          std::printf("  [LOAD-ERROR] %-40s %s\n", result.name.c_str(),
-                      result.error.c_str());
-        } else if (result.ok) {
-          std::printf("  [ok%s] %-40s GF(2^%u) P(x)=%s\n",
-                      result.cache_hit ? ",cached" : "",
-                      result.name.c_str(), result.report.m,
-                      result.report.recovery.p.to_paper_string().c_str());
-        } else {
-          std::printf("  [FAILED%s] %-40s %s\n",
-                      result.cache_hit ? ",cached" : "",
-                      result.name.c_str(),
-                      result.report.recovery.diagnosis.c_str());
-        }
+    bool all_ok = true;
+    bool report_written = true;
+    std::size_t report_lines = 0;
+    {
+      // Futures resolve in completion order but are collected in
+      // submission order, so the JSONL report matches the manifest.
+      std::optional<JsonlWriter> writer;
+      if (!out_path.empty()) writer.emplace(out_path);
+      for (auto& future : pending) {
+        const core::BatchJobResult result = future.get();
+        all_ok = all_ok && result.ok;
+        if (writer.has_value()) writer->write(result_line(result));
+      }
+      if (writer.has_value()) {
+        writer->close();
+        report_written = writer->ok();
+        report_lines = writer->lines_written();
       }
     }
-
-    bool report_written = true;
     if (!out_path.empty()) {
-      JsonlWriter writer(out_path);
-      for (const auto& result : batch.results) {
-        writer.write(result_line(result));
-      }
-      writer.close();
-      report_written = writer.ok();
-      std::printf("wrote %zu result lines to %s%s\n", writer.lines_written(),
+      std::printf("wrote %zu result lines to %s%s\n", report_lines,
                   out_path.c_str(), report_written ? "" : " (WRITE ERROR)");
     }
 
-    const auto& stats = batch.stats;
     std::printf(
-        "batch: %zu jobs in %.3f s (%.1f jobs/s) — %zu ok, %zu failed, "
-        "%zu load errors, %zu cache hits, %zu cones (%zu cross-circuit "
-        "steals)\n",
-        stats.jobs, batch.wall_seconds,
-        batch.wall_seconds > 0 ? static_cast<double>(stats.jobs) /
-                                     batch.wall_seconds
-                               : 0.0,
+        "batch: streamed %zu jobs in %.3f s (%.1f jobs/s) — %zu ok, "
+        "%zu failed, %zu load errors, %zu cache hits, %zu cones "
+        "(%zu cross-circuit steals)\n",
+        stats.jobs, wall,
+        wall > 0 ? static_cast<double>(stats.jobs) / wall : 0.0,
         stats.succeeded, stats.failed, stats.load_errors, stats.cache_hits,
         stats.cones_extracted, stats.cone_steals);
-    // A truncated --out report is a tool failure even when every job
-    // succeeded — downstream pipelines consume that file.
-    if (!report_written) return 2;
-    return batch.all_ok() ? 0 : 1;
+    // A truncated --out report or an unparseable manifest is a tool
+    // failure even when every submitted job succeeded — downstream
+    // pipelines consume that file / assume full manifest coverage.
+    if (!report_written || !manifest_error.empty()) return 2;
+    return all_ok ? 0 : 1;
   } catch (const gfre::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

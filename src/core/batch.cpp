@@ -1,574 +1,50 @@
 #include "core/batch.hpp"
 
 #include <algorithm>
-#include <condition_variable>
-#include <exception>
 #include <filesystem>
 #include <fstream>
-#include <mutex>
+#include <future>
 #include <sstream>
-#include <unordered_map>
 
-#include "core/parallel_extract.hpp"
-#include "core/rewriter.hpp"
-#include "netlist/io_blif.hpp"
-#include "netlist/io_eqn.hpp"
-#include "netlist/io_verilog.hpp"
+#include "core/scheduler.hpp"
 #include "util/error.hpp"
-#include "util/rss.hpp"
-#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace gfre::core {
-
-namespace {
-
-constexpr std::size_t kNoJob = ~std::size_t{0};
-
-// -- Content hashing --------------------------------------------------------
-
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
-// Second, independent multiply-xor stream (Murmur64's odd constant) so the
-// cache key is effectively 128 bits: an *accidental* simultaneous
-// collision is ~2^-128, i.e. never.  Neither stream is cryptographic — a
-// determined adversary could still construct a colliding pair, so a
-// hardened multi-tenant service should swap in a real cryptographic hash
-// (ROADMAP open item) before trusting cross-tenant memoization.
-constexpr std::uint64_t kAltOffset = 0x9e3779b97f4a7c15ull;
-constexpr std::uint64_t kAltPrime = 0xc6a4a7935bd1e995ull;
-
-/// Two independent 64-bit accumulators fed in one pass.
-struct Mixer {
-  std::uint64_t a = kFnvOffset;
-  std::uint64_t b = kAltOffset;
-
-  void bytes(const void* data, std::size_t n) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < n; ++i) {
-      a = (a ^ p[i]) * kFnvPrime;
-      b = (b ^ p[i]) * kAltPrime;
-    }
-  }
-  void u64(std::uint64_t v) { bytes(&v, 8); }
-  void str(const std::string& s) {
-    u64(s.size());
-    bytes(s.data(), s.size());
-  }
-};
-
-/// 128-bit memoization key.
-struct CacheKey {
-  std::uint64_t a = 0;
-  std::uint64_t b = 0;
-  bool operator==(const CacheKey&) const = default;
-  bool empty() const { return a == 0 && b == 0; }
-};
-
-struct CacheKeyHash {
-  std::size_t operator()(const CacheKey& k) const {
-    return static_cast<std::size_t>(k.a ^ (k.b * kFnvPrime));
-  }
-};
-
-void mix_netlist(Mixer& mix, const nl::Netlist& netlist) {
-  mix.str(netlist.name());
-  mix.u64(netlist.inputs().size());
-  for (nl::Var v : netlist.inputs()) mix.str(netlist.var_name(v));
-  mix.u64(netlist.num_gates());
-  for (const nl::Gate& gate : netlist.gates()) {
-    mix.u64(static_cast<std::uint64_t>(gate.type));
-    mix.str(netlist.var_name(gate.output));
-    mix.u64(gate.inputs.size());
-    for (nl::Var in : gate.inputs) mix.u64(in);
-  }
-  mix.u64(netlist.outputs().size());
-  for (nl::Var v : netlist.outputs()) mix.u64(v);
-}
-
-/// Flow options that change the report (everything but thread count).
-void mix_options(Mixer& mix, const FlowOptions& o) {
-  mix.u64(static_cast<std::uint64_t>(o.strategy));
-  mix.u64((o.verify_with_golden ? 1u : 0u) | (o.infer_ports ? 2u : 0u) |
-          (o.try_output_permutation ? 4u : 0u));
-  mix.str(o.a_base);
-  mix.str(o.b_base);
-  mix.str(o.z_base);
-  mix.u64(o.max_terms);
-}
-
-bool ends_with(const std::string& text, const std::string& suffix) {
-  return text.size() >= suffix.size() &&
-         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-std::string read_file_bytes(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot open netlist file '" + path + "'");
-  std::string bytes;
-  char buf[1 << 16];
-  while (in.read(buf, sizeof buf) || in.gcount() > 0) {
-    bytes.append(buf, static_cast<std::size_t>(in.gcount()));
-  }
-  return bytes;
-}
-
-/// Parses netlist text by the path's extension.  The batch engine hashes
-/// and parses the SAME byte buffer, so a file rewritten mid-batch can
-/// never cache a report under the wrong content hash.
-nl::Netlist parse_netlist_text(const std::string& text,
-                               const std::string& path) {
-  if (ends_with(path, ".eqn")) return nl::read_eqn(text, path);
-  if (ends_with(path, ".blif")) return nl::read_blif(text, path);
-  if (ends_with(path, ".v")) return nl::read_verilog(text, path);
-  throw InvalidArgument("unknown netlist extension on '" + path +
-                        "' (want .eqn, .blif or .v)");
-}
-
-}  // namespace
-
-std::uint64_t netlist_content_hash(const nl::Netlist& netlist) {
-  Mixer mix;
-  mix_netlist(mix, netlist);
-  return mix.a;
-}
-
-nl::Netlist load_netlist_file(const std::string& path) {
-  return parse_netlist_text(read_file_bytes(path), path);
-}
 
 bool BatchReport::all_ok() const {
   return std::all_of(results.begin(), results.end(),
                      [](const BatchJobResult& r) { return r.ok; });
 }
 
-// ---------------------------------------------------------------------------
-// Scheduler
-//
-// Per-job state machine:  PendingSetup -> SettingUp -> Extracting (one task
-// per output cone) -> ReadyToFinalize -> Finalizing -> Done, with shortcuts
-// to Done for cache hits / load errors / port failures, and AwaitingPrimary
-// for duplicates of an in-flight job.  `threads` workers run the loop in
-// Scheduler::worker on one shared ThreadPool; all bookkeeping is under one
-// mutex (tasks are coarse — a whole cone rewrite or a whole file parse — so
-// the lock is cold).
-// ---------------------------------------------------------------------------
-
-namespace {
-
-class Scheduler {
- public:
-  Scheduler(std::vector<BatchJob>&& specs, const BatchOptions& options)
-      : options_(options) {
-    jobs_.reserve(specs.size());
-    for (auto& spec : specs) {
-      Job job;
-      job.spec = std::move(spec);
-      if (job.spec.name.empty()) {
-        job.spec.name = !job.spec.path.empty()
-                            ? job.spec.path
-                            : (job.spec.netlist ? job.spec.netlist->name()
-                                                : "job");
-      }
-      jobs_.push_back(std::move(job));
-    }
-    last_job_.assign(std::max(1u, options_.threads), kNoJob);
-  }
-
-  void worker(std::size_t wid) {
-    std::unique_lock<std::mutex> lock(mu_);
-    while (!fatal_ && jobs_done_ < jobs_.size()) {
-      const Task task = find_work(wid);
-      if (task.kind == Task::Kind::None) {
-        cv_.wait(lock);
-        continue;
-      }
-      lock.unlock();
-      try {
-        switch (task.kind) {
-          case Task::Kind::Setup: run_setup(task.job); break;
-          case Task::Kind::Cone: run_cone(task.job, task.cone); break;
-          case Task::Kind::Finalize: run_finalize(task.job); break;
-          case Task::Kind::None: break;
-        }
-      } catch (...) {
-        // Per-job failures are already converted to results inside the
-        // task runners; anything reaching here is an engine bug (or OOM).
-        // Surface it through parallel_for instead of leaving the other
-        // workers waiting on a batch that can no longer finish.
-        lock.lock();
-        if (!fatal_) fatal_ = true;
-        cv_.notify_all();
-        throw;
-      }
-      lock.lock();
-    }
-    cv_.notify_all();
-  }
-
-  BatchReport collect() {
-    BatchReport out;
-    out.threads = options_.threads;
-    out.stats = stats_;
-    out.stats.jobs = jobs_.size();
-    out.results.reserve(jobs_.size());
-    for (Job& job : jobs_) {
-      if (!job.result.error.empty()) {
-        ++out.stats.load_errors;
-      } else if (job.result.ok) {
-        ++out.stats.succeeded;
-      } else {
-        ++out.stats.failed;
-      }
-      out.results.push_back(std::move(job.result));
-    }
-    out.wall_seconds = clock_.seconds();
-    return out;
-  }
-
- private:
-  struct Job {
-    BatchJob spec;
-    enum class State {
-      PendingSetup,
-      SettingUp,
-      Extracting,
-      AwaitingPrimary,  ///< duplicate of an in-flight job; primary resolves it
-      ReadyToFinalize,
-      Finalizing,
-      Done,
-    } state = State::PendingSetup;
-
-    // Setup products.  `net` points at spec.netlist (in-memory job) or at
-    // `loaded` (file job); released on completion to bound batch memory.
-    std::optional<nl::Netlist> loaded;
-    const nl::Netlist* net = nullptr;
-    std::optional<nl::MultiplierPorts> ports;
-    ExtractionResult extraction;
-    double extract_started = 0.0;
-
-    std::size_t cones_claimed = 0;
-    std::size_t cones_done = 0;
-    /// Lowest-index cone failure (Error-derived).  Lowest index — not
-    /// first to complete — because that is what both standalone paths
-    /// deterministically report (the sequential loop stops at the first
-    /// throwing bit; parallel_for rethrows the lowest-index exception),
-    /// and batch reports must be identical under any scheduling.
-    std::exception_ptr abort;
-    std::size_t abort_cone = 0;
-
-    CacheKey key;
-    std::vector<std::size_t> followers;
-
-    BatchJobResult result;
-  };
-
-  struct Task {
-    enum class Kind { None, Setup, Cone, Finalize } kind = Kind::None;
-    std::size_t job = kNoJob;
-    std::size_t cone = kNoJob;
-  };
-
-  struct CacheEntry {
-    FlowReport report;
-    std::string error;
-  };
-
-  std::size_t cones_available(const Job& job) const {
-    if (job.state != Job::State::Extracting || job.abort) return 0;
-    return job.extraction.anfs.size() - job.cones_claimed;
-  }
-
-  Task claim_cone(std::size_t j, std::size_t wid) {
-    Job& job = jobs_[j];
-    Task task;
-    task.kind = Task::Kind::Cone;
-    task.job = j;
-    task.cone = job.cones_claimed++;
-    if (last_job_[wid] != j) {
-      if (last_job_[wid] != kNoJob) ++stats_.cone_steals;
-      last_job_[wid] = j;
-    }
-    return task;
-  }
-
-  /// Claims the next unit of work under mu_.  Priorities: retire finished
-  /// jobs (unblocks duplicates), stay on the worker's current job (the
-  /// netlist is cache-hot), open a new job, and only then steal a cone
-  /// from the deepest other job's backlog.  The first three claims are
-  /// O(1) — finalize-ready jobs queue in finalize_ready_, setups are
-  /// claimed in submission order via next_setup_ — so only the rare
-  /// steal path (own job dry AND nothing left to open) scans all jobs.
-  Task find_work(std::size_t wid) {
-    if (!finalize_ready_.empty()) {
-      const std::size_t j = finalize_ready_.back();
-      finalize_ready_.pop_back();
-      jobs_[j].state = Job::State::Finalizing;
-      Task task;
-      task.kind = Task::Kind::Finalize;
-      task.job = j;
-      return task;
-    }
-    if (last_job_[wid] != kNoJob && cones_available(jobs_[last_job_[wid]])) {
-      return claim_cone(last_job_[wid], wid);
-    }
-    if (next_setup_ < jobs_.size()) {
-      const std::size_t j = next_setup_++;
-      jobs_[j].state = Job::State::SettingUp;
-      // The worker adopts the job it opens — claiming its cones next is
-      // affinity, not a steal.
-      last_job_[wid] = j;
-      Task task;
-      task.kind = Task::Kind::Setup;
-      task.job = j;
-      return task;
-    }
-    std::size_t best = kNoJob;
-    std::size_t best_backlog = 0;
-    for (std::size_t j = 0; j < jobs_.size(); ++j) {
-      const std::size_t backlog = cones_available(jobs_[j]);
-      if (backlog > best_backlog) {
-        best = j;
-        best_backlog = backlog;
-      }
-    }
-    if (best != kNoJob) return claim_cone(best, wid);
-    return Task{};
-  }
-
-  void run_setup(std::size_t j) {
-    Job& job = jobs_[j];
-    // File jobs are read ONCE: the content hash and the parse below both
-    // see these bytes, so a file rewritten mid-batch cannot cache a
-    // report under the wrong hash — and duplicates dedup before paying
-    // for a parse.
-    std::string text;
-    if (!job.spec.netlist.has_value()) {
-      try {
-        text = read_file_bytes(job.spec.path);
-      } catch (const Error& e) {
-        complete_with_error(j, e.what());
-        return;
-      }
-    }
-
-    if (options_.memoize) {
-      Mixer mix;
-      if (job.spec.netlist.has_value()) {
-        mix_netlist(mix, *job.spec.netlist);
-        mix.u64(1);  // domain tag: structural
-      } else {
-        mix.bytes(text.data(), text.size());
-        mix.u64(2);  // domain tag: file bytes
-      }
-      mix_options(mix, job.spec.options);
-      const CacheKey key{mix.a, mix.b};
-      std::unique_lock<std::mutex> lock(mu_);
-      job.key = key;
-      const auto cached = cache_.find(key);
-      if (cached != cache_.end()) {
-        job.result.report = cached->second.report;
-        job.result.error = cached->second.error;
-        job.result.cache_hit = true;
-        ++stats_.cache_hits;
-        finish_locked(j);
-        return;
-      }
-      const auto inflight = inflight_.find(key);
-      if (inflight != inflight_.end()) {
-        jobs_[inflight->second].followers.push_back(j);
-        job.state = Job::State::AwaitingPrimary;
-        return;
-      }
-      inflight_.emplace(key, j);
-    }
-
-    try {
-      if (!job.spec.netlist.has_value()) {
-        job.loaded = parse_netlist_text(text, job.spec.path);
-        job.net = &*job.loaded;
-      } else {
-        job.net = &*job.spec.netlist;
-      }
-    } catch (const Error& e) {
-      // Parse failures after inflight registration still resolve any
-      // followers (complete_with_error caches the error and unregisters).
-      complete_with_error(j, e.what());
-      return;
-    }
-
-    FlowReport port_failure;
-    job.ports = resolve_flow_ports(*job.net, job.spec.options, &port_failure);
-    if (!job.ports.has_value()) {
-      complete_with_report(j, std::move(port_failure));
-      return;
-    }
-
-    const std::size_t bits = job.ports->z.bits.size();
-    job.extraction.anfs.resize(bits);
-    job.extraction.per_bit.resize(bits);
-    job.extraction.threads = options_.threads;
-
-    std::lock_guard<std::mutex> lock(mu_);
-    job.extract_started = clock_.seconds();
-    // A multiplier interface always has >= 1 output bit (m >= 1), so the
-    // job cannot be born ReadyToFinalize here.
-    job.state = Job::State::Extracting;
-    cv_.notify_all();
-  }
-
-  void run_cone(std::size_t j, std::size_t cone) {
-    Job& job = jobs_[j];
-    RewriteOptions options;
-    options.strategy = job.spec.options.strategy;
-    options.max_terms = job.spec.options.max_terms;
-    std::exception_ptr failure;
-    try {
-      // Each slot is claimed by exactly one worker — no lock needed for
-      // the write.
-      job.extraction.anfs[cone] =
-          extract_output_anf(*job.net, job.ports->z.bits[cone], options,
-                             &job.extraction.per_bit[cone]);
-    } catch (const Error&) {
-      // Same exception surface reverse_engineer converts to a diagnosed
-      // failure; anything else is an engine bug and propagates.
-      failure = std::current_exception();
-    }
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.cones_extracted;
-    ++job.cones_done;
-    if (failure && (!job.abort || cone < job.abort_cone)) {
-      job.abort = failure;
-      job.abort_cone = cone;
-    }
-    // On abort, cones_available() stops further claims; the job finalizes
-    // once the already-claimed cones drain.
-    if (job.cones_done == job.cones_claimed &&
-        (job.abort || job.cones_claimed == job.extraction.anfs.size())) {
-      job.state = Job::State::ReadyToFinalize;
-      finalize_ready_.push_back(j);
-    }
-    cv_.notify_all();
-  }
-
-  void run_finalize(std::size_t j) {
-    Job& job = jobs_[j];
-    FlowReport report;
-    if (job.abort) {
-      std::string what;
-      try {
-        std::rethrow_exception(job.abort);
-      } catch (const Error& e) {
-        what = e.what();
-      }
-      report = extraction_failure_report(*job.net, *job.ports, what);
-    } else {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        job.extraction.wall_seconds = clock_.seconds() - job.extract_started;
-      }
-      for (const auto& stats : job.extraction.per_bit) {
-        job.extraction.total_peak_terms += stats.peak_terms;
-      }
-      // Same guard reverse_engineer wraps around this call: an analysis
-      // Error is this job's diagnosed failure, never a dead worker (which
-      // would deadlock the batch).
-      try {
-        report = analyze_extraction(*job.net, *job.ports,
-                                    std::move(job.extraction),
-                                    job.spec.options);
-      } catch (const Error& e) {
-        report = extraction_failure_report(*job.net, *job.ports, e.what());
-      }
-    }
-    report.rss_peak_bytes = peak_rss_bytes();
-    report.rss_after_bytes = current_rss_bytes();
-    complete_with_report(j, std::move(report));
-  }
-
-  void complete_with_report(std::size_t j, FlowReport&& report) {
-    Job& job = jobs_[j];
-    job.result.report = std::move(report);
-    std::lock_guard<std::mutex> lock(mu_);
-    if (options_.memoize) {
-      cache_.emplace(job.key, CacheEntry{job.result.report, ""});
-    }
-    finish_locked(j);
-  }
-
-  void complete_with_error(std::size_t j, const std::string& error) {
-    Job& job = jobs_[j];
-    job.result.error = error;
-    std::lock_guard<std::mutex> lock(mu_);
-    if (options_.memoize && !job.key.empty()) {
-      cache_.emplace(job.key, CacheEntry{FlowReport{}, error});
-    }
-    finish_locked(j);
-  }
-
-  /// Marks job j done, resolves its duplicates from the freshly cached
-  /// result and releases the per-job working set.  Requires mu_.
-  void finish_locked(std::size_t j) {
-    Job& job = jobs_[j];
-    job.result.name = job.spec.name;
-    job.result.path = job.spec.path;
-    job.result.ok = job.result.error.empty() && job.result.report.success;
-    job.result.seconds = clock_.seconds();
-    job.state = Job::State::Done;
-    ++jobs_done_;
-    if (options_.memoize) {
-      // Only this job's own registration: a job that failed before keying
-      // never registered and must not evict someone else's entry.
-      const auto it = inflight_.find(job.key);
-      if (it != inflight_.end() && it->second == j) inflight_.erase(it);
-    }
-    for (std::size_t f : job.followers) {
-      Job& dup = jobs_[f];
-      dup.result.report = job.result.report;
-      dup.result.error = job.result.error;
-      dup.result.cache_hit = true;
-      ++stats_.cache_hits;
-      dup.result.name = dup.spec.name;
-      dup.result.path = dup.spec.path;
-      dup.result.ok = dup.result.error.empty() && dup.result.report.success;
-      dup.result.seconds = clock_.seconds();
-      dup.state = Job::State::Done;
-      ++jobs_done_;
-    }
-    job.followers.clear();
-    job.loaded.reset();
-    job.spec.netlist.reset();
-    job.net = nullptr;
-    cv_.notify_all();
-  }
-
-  BatchOptions options_;
-  std::vector<Job> jobs_;
-  std::vector<std::size_t> last_job_;  // per-worker affinity
-  std::unordered_map<CacheKey, std::size_t, CacheKeyHash> inflight_;
-  std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
-  BatchStats stats_;
-  std::size_t jobs_done_ = 0;
-  std::size_t next_setup_ = 0;               ///< jobs below are past setup
-  std::vector<std::size_t> finalize_ready_;  ///< awaiting a Finalize claim
-  bool fatal_ = false;  ///< a worker died on a non-job exception
-  Timer clock_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-};
-
-}  // namespace
-
+// The submit-all-then-wait entry point, reimplemented as a thin wrapper
+// over the long-lived scheduler: submit every job, drain, collect the
+// futures in submission order.  All scheduling behavior (state machine,
+// memoization, in-flight dedup, affinity, cone stealing) lives in
+// core/scheduler.cpp — there is exactly one engine, so the differential
+// guarantees proven for run_batch hold for the async path by construction.
 BatchReport run_batch(std::vector<BatchJob> jobs,
                       const BatchOptions& options) {
   GFRE_ASSERT(options.threads >= 1, "batch needs at least one worker");
-  Scheduler scheduler(std::move(jobs), options);
+  Timer clock;
+  BatchReport out;
+  out.threads = options.threads;
+  std::vector<std::future<BatchJobResult>> futures;
+  futures.reserve(jobs.size());
   {
-    ThreadPool pool(options.threads);
-    pool.parallel_for(options.threads,
-                      [&](std::size_t wid) { scheduler.worker(wid); });
+    BatchScheduler scheduler(options);
+    for (auto& job : jobs) {
+      futures.push_back(scheduler.submit(std::move(job)).result);
+    }
+    scheduler.drain();
+    out.stats = scheduler.stats();
   }
-  return scheduler.collect();
+  out.results.reserve(futures.size());
+  // get() rethrows only for engine bugs (per-job failures are results) —
+  // the same surface the old in-place scheduler exposed via parallel_for.
+  for (auto& future : futures) out.results.push_back(future.get());
+  out.wall_seconds = clock.seconds();
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -585,90 +61,112 @@ bool parse_bool(const std::string& value) {
 
 }  // namespace
 
+std::optional<BatchJob> parse_manifest_line(const std::string& line,
+                                            int lineno,
+                                            const std::string& manifest_path,
+                                            const std::string& base_dir,
+                                            const FlowOptions& defaults) {
+  std::string text = line;
+  // Manifests written on Windows (or fetched through a CRLF-normalizing
+  // transport) end lines in \r\n; getline leaves the \r attached.
+  if (!text.empty() && text.back() == '\r') text.pop_back();
+
+  const std::filesystem::path base(base_dir);
+  std::istringstream tokens(text);
+  std::string token;
+  BatchJob job;
+  job.options = defaults;
+  bool have_path = false;
+  bool have_options = false;
+  while (tokens >> token) {
+    if (token[0] == '#') break;
+    const auto eq = token.find('=');
+    if (!have_path && eq == std::string::npos) {
+      std::filesystem::path p(token);
+      job.path = p.is_absolute() ? p.string() : (base / p).string();
+      have_path = true;
+      continue;
+    }
+    if (eq == std::string::npos) {
+      throw ParseError(manifest_path, lineno,
+                       "expected key=value, got '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    have_options = true;
+    try {
+      if (key == "name") {
+        job.name = value;
+      } else if (key == "ports") {
+        const auto c1 = value.find(',');
+        const auto c2 = value.find(',', c1 + 1);
+        if (c1 == std::string::npos || c2 == std::string::npos) {
+          throw InvalidArgument("want ports=a,b,z");
+        }
+        // 'ports=a,b,z,extra' must not silently fold ",extra" into the
+        // z base name — that is a job analyzing the wrong port.
+        if (value.find(',', c2 + 1) != std::string::npos) {
+          throw InvalidArgument("want exactly three ports=a,b,z, got '" +
+                                value + "'");
+        }
+        job.options.a_base = value.substr(0, c1);
+        job.options.b_base = value.substr(c1 + 1, c2 - c1 - 1);
+        job.options.z_base = value.substr(c2 + 1);
+      } else if (key == "strategy") {
+        const auto strategy = strategy_from_name(value);
+        if (!strategy.has_value()) {
+          throw InvalidArgument("unknown strategy '" + value + "'");
+        }
+        job.options.strategy = *strategy;
+      } else if (key == "infer") {
+        job.options.infer_ports = parse_bool(value);
+      } else if (key == "verify") {
+        job.options.verify_with_golden = parse_bool(value);
+      } else if (key == "permute") {
+        job.options.try_output_permutation = parse_bool(value);
+      } else if (key == "max_terms") {
+        // stoull would silently wrap "-1" to 2^64-1, disabling the very
+        // budget the key sets.
+        if (value.empty() || value[0] == '-') {
+          throw InvalidArgument("max_terms wants a non-negative integer, "
+                                "got '" + value + "'");
+        }
+        job.options.max_terms = std::stoull(value);
+      } else {
+        throw InvalidArgument("unknown manifest key '" + key + "'");
+      }
+    } catch (const std::exception& e) {
+      throw ParseError(manifest_path, lineno, e.what());
+    }
+  }
+  if (!have_path) {
+    // Blank and comment-only lines are fine; a line that parsed options
+    // but no path is a dropped job waiting to go unnoticed.
+    if (have_options) {
+      throw ParseError(manifest_path, lineno,
+                       "job line has key=value options but no netlist "
+                       "path");
+    }
+    return std::nullopt;
+  }
+  return job;
+}
+
 std::vector<BatchJob> parse_manifest(const std::string& path,
                                      const FlowOptions& defaults) {
   std::ifstream in(path);
   if (!in) throw Error("cannot open manifest '" + path + "'");
-  const std::filesystem::path base =
-      std::filesystem::path(path).parent_path();
+  const std::string base =
+      std::filesystem::path(path).parent_path().string();
 
   std::vector<BatchJob> jobs;
   std::string line;
   int lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
-    std::istringstream tokens(line);
-    std::string token;
-    BatchJob job;
-    job.options = defaults;
-    bool have_path = false;
-    bool have_options = false;
-    while (tokens >> token) {
-      if (token[0] == '#') break;
-      const auto eq = token.find('=');
-      if (!have_path && eq == std::string::npos) {
-        std::filesystem::path p(token);
-        job.path = p.is_absolute() ? p.string() : (base / p).string();
-        have_path = true;
-        continue;
-      }
-      if (eq == std::string::npos) {
-        throw ParseError(path, lineno, "expected key=value, got '" + token +
-                                           "'");
-      }
-      const std::string key = token.substr(0, eq);
-      const std::string value = token.substr(eq + 1);
-      have_options = true;
-      try {
-        if (key == "name") {
-          job.name = value;
-        } else if (key == "ports") {
-          const auto c1 = value.find(',');
-          const auto c2 = value.find(',', c1 + 1);
-          if (c1 == std::string::npos || c2 == std::string::npos) {
-            throw InvalidArgument("want ports=a,b,z");
-          }
-          job.options.a_base = value.substr(0, c1);
-          job.options.b_base = value.substr(c1 + 1, c2 - c1 - 1);
-          job.options.z_base = value.substr(c2 + 1);
-        } else if (key == "strategy") {
-          const auto strategy = strategy_from_name(value);
-          if (!strategy.has_value()) {
-            throw InvalidArgument("unknown strategy '" + value + "'");
-          }
-          job.options.strategy = *strategy;
-        } else if (key == "infer") {
-          job.options.infer_ports = parse_bool(value);
-        } else if (key == "verify") {
-          job.options.verify_with_golden = parse_bool(value);
-        } else if (key == "permute") {
-          job.options.try_output_permutation = parse_bool(value);
-        } else if (key == "max_terms") {
-          // stoull would silently wrap "-1" to 2^64-1, disabling the very
-          // budget the key sets.
-          if (value.empty() || value[0] == '-') {
-            throw InvalidArgument("max_terms wants a non-negative integer, "
-                                  "got '" + value + "'");
-          }
-          job.options.max_terms = std::stoull(value);
-        } else {
-          throw InvalidArgument("unknown manifest key '" + key + "'");
-        }
-      } catch (const std::exception& e) {
-        throw ParseError(path, lineno, e.what());
-      }
+    if (auto job = parse_manifest_line(line, lineno, path, base, defaults)) {
+      jobs.push_back(std::move(*job));
     }
-    if (!have_path) {
-      // Blank and comment-only lines are fine; a line that parsed options
-      // but no path is a dropped job waiting to go unnoticed.
-      if (have_options) {
-        throw ParseError(path, lineno,
-                         "job line has key=value options but no netlist "
-                         "path");
-      }
-      continue;
-    }
-    jobs.push_back(std::move(job));
   }
   return jobs;
 }

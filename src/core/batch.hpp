@@ -4,7 +4,7 @@
 // circuit (Theorem 2); a production verification workload has many circuits
 // in flight at once.  This engine accepts N jobs (netlist file or in-memory
 // netlist, each with its own FlowOptions) and executes them over ONE shared
-// util::ThreadPool at cone granularity: output-bit extraction tasks from
+// worker fleet at cone granularity: output-bit extraction tasks from
 // different circuits interleave on the same workers, so a straggler cone in
 // one job never idles the pool the way per-job `parallel_extract` ownership
 // would.  Workers keep affinity with the job they last served (the netlist
@@ -16,17 +16,24 @@
 // parsed, so a file rewritten mid-batch cannot poison the cache), a
 // structural hash for in-memory jobs.  Submitting the same netlist twice
 // costs one read and one extraction; the duplicate returns the cached
-// FlowReport and is marked cache_hit.  Failures are isolated per job — a corrupt file, a missing
-// port or a term-budget blowup fails that job's result and nothing else.
+// FlowReport and is marked cache_hit.  Failures are isolated per job — a
+// corrupt file, a missing port or a term-budget blowup fails that job's
+// result and nothing else.
+//
+// `run_batch` below is the submit-all-then-wait entry point; it is a thin
+// wrapper over the long-lived core::BatchScheduler (core/scheduler.hpp),
+// which additionally offers incremental submission, per-job futures,
+// completion callbacks and cancellation.
 //
 // Every job's FlowReport is identical to what a standalone
 // core::reverse_engineer of the same input would produce (timing/RSS fields
 // aside): both entry points share resolve_flow_ports / analyze_extraction /
-// extraction_failure_report, which tests/test_batch.cpp enforces
-// differentially.
+// extraction_failure_report, which tests/test_batch.cpp and
+// tests/test_scheduler.cpp enforce differentially.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
@@ -53,25 +60,30 @@ struct BatchJobResult {
   /// file).  Empty when the flow ran — then `report` tells the story.
   std::string error;
   bool cache_hit = false;
-  /// error.empty() && report.success.
+  /// The job was revoked (BatchScheduler::cancel or scheduler teardown)
+  /// before any of it executed; `error` is empty and `report` is blank.
+  bool cancelled = false;
+  /// !cancelled && error.empty() && report.success.
   bool ok = false;
   FlowReport report;
-  /// Wall clock from batch start to this job's completion.
+  /// Wall clock from batch/scheduler start to this job's completion.
   double seconds = 0.0;
 };
 
 struct BatchOptions {
   /// Shared pool width (>= 1).
   unsigned threads = 1;
-  /// Content-hash result memoization (per run_batch call).
+  /// Content-hash result memoization.  Scoped to one run_batch call — or,
+  /// on a BatchScheduler, to the scheduler's whole lifetime.
   bool memoize = true;
 };
 
 struct BatchStats {
-  std::size_t jobs = 0;
+  std::size_t jobs = 0;          ///< submitted
   std::size_t succeeded = 0;     ///< results with ok
   std::size_t failed = 0;        ///< flow ran, success=false
   std::size_t load_errors = 0;   ///< file unreadable/unparseable
+  std::size_t cancelled = 0;     ///< revoked before running
   std::size_t cache_hits = 0;    ///< results served from memoization
   std::size_t cones_extracted = 0;  ///< output-bit tasks actually rewritten
   /// Cone tasks a worker claimed from a different job than the one it last
@@ -89,15 +101,28 @@ struct BatchReport {
   bool all_ok() const;
 };
 
-/// Executes the jobs over one shared pool; never throws for per-job
-/// failures (those land in the job's result).
+/// Executes the jobs over one shared pool and waits for all of them; never
+/// throws for per-job failures (those land in the job's result).
+/// Implemented as a thin wrapper over core::BatchScheduler — submit every
+/// job, drain, collect the futures in submission order.
 BatchReport run_batch(std::vector<BatchJob> jobs,
                       const BatchOptions& options);
 
-/// Structural content hash of a netlist (names, cells, wiring, outputs) —
-/// the memoization key domain for in-memory jobs (file jobs hash their
-/// raw bytes).  Exposed for tests.
-std::uint64_t netlist_content_hash(const nl::Netlist& netlist);
+/// 128-bit structural content hash of a netlist (names, cells, wiring,
+/// outputs) — the full memoization key domain for in-memory jobs (file
+/// jobs hash their raw bytes).  Both words matter: the scheduler memoizes
+/// on the pair, so tests asserting hash behavior must compare the pair,
+/// not one 64-bit half.
+struct NetlistHash {
+  std::uint64_t a = 0;  ///< FNV-1a stream
+  std::uint64_t b = 0;  ///< independent multiply-xor stream
+  bool operator==(const NetlistHash&) const = default;
+};
+
+/// Hex rendering ("a:b"), mainly so test failures print something legible.
+std::ostream& operator<<(std::ostream& os, const NetlistHash& hash);
+
+NetlistHash netlist_content_hash(const nl::Netlist& netlist);
 
 /// Loads a netlist by file extension (.eqn/.blif/.v); throws
 /// InvalidArgument on unknown extensions, ParseError/Error on bad content.
@@ -111,5 +136,17 @@ nl::Netlist load_netlist_file(const std::string& path);
 /// before the per-line overrides apply.  Throws ParseError on bad lines.
 std::vector<BatchJob> parse_manifest(const std::string& path,
                                      const FlowOptions& defaults = {});
+
+/// Parses ONE manifest line (the streaming building block parse_manifest
+/// loops over; examples/gfre_batch.cpp feeds lines straight into a
+/// BatchScheduler as they are read).  `lineno` and `manifest_path` shape
+/// ParseError locations; relative netlist paths resolve against
+/// `base_dir`.  Returns nullopt for blank/comment-only lines; tolerates a
+/// trailing '\r' (CRLF manifests).
+std::optional<BatchJob> parse_manifest_line(const std::string& line,
+                                            int lineno,
+                                            const std::string& manifest_path,
+                                            const std::string& base_dir,
+                                            const FlowOptions& defaults = {});
 
 }  // namespace gfre::core

@@ -1,0 +1,780 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <unordered_map>
+
+#include "core/parallel_extract.hpp"
+#include "core/rewriter.hpp"
+#include "netlist/io_blif.hpp"
+#include "netlist/io_eqn.hpp"
+#include "netlist/io_verilog.hpp"
+#include "util/error.hpp"
+#include "util/rss.hpp"
+#include "util/timer.hpp"
+
+namespace gfre::core {
+
+namespace {
+
+// -- Content hashing --------------------------------------------------------
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+// Second, independent multiply-xor stream (Murmur64's odd constant) so the
+// cache key is effectively 128 bits: an *accidental* simultaneous
+// collision is ~2^-128, i.e. never.  Neither stream is cryptographic — a
+// determined adversary could still construct a colliding pair, so a
+// hardened multi-tenant service should swap in a real cryptographic hash
+// (ROADMAP open item) before trusting cross-tenant memoization.
+constexpr std::uint64_t kAltOffset = 0x9e3779b97f4a7c15ull;
+constexpr std::uint64_t kAltPrime = 0xc6a4a7935bd1e995ull;
+
+/// Two independent 64-bit accumulators fed in one pass.
+struct Mixer {
+  std::uint64_t a = kFnvOffset;
+  std::uint64_t b = kAltOffset;
+
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      a = (a ^ p[i]) * kFnvPrime;
+      b = (b ^ p[i]) * kAltPrime;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, 8); }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+};
+
+/// 128-bit memoization key.  A job that has no key (memoization off, or
+/// failure before hashing) carries std::optional<CacheKey> == nullopt —
+/// there is deliberately no in-band "empty" sentinel, because the all-zero
+/// bit pattern is a legitimate (if astronomically unlikely) hash value and
+/// must memoize like any other.
+struct CacheKey {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const {
+    return static_cast<std::size_t>(k.a ^ (k.b * kFnvPrime));
+  }
+};
+
+void mix_netlist(Mixer& mix, const nl::Netlist& netlist) {
+  mix.str(netlist.name());
+  mix.u64(netlist.inputs().size());
+  for (nl::Var v : netlist.inputs()) mix.str(netlist.var_name(v));
+  mix.u64(netlist.num_gates());
+  for (const nl::Gate& gate : netlist.gates()) {
+    mix.u64(static_cast<std::uint64_t>(gate.type));
+    mix.str(netlist.var_name(gate.output));
+    mix.u64(gate.inputs.size());
+    for (nl::Var in : gate.inputs) mix.u64(in);
+  }
+  mix.u64(netlist.outputs().size());
+  for (nl::Var v : netlist.outputs()) mix.u64(v);
+}
+
+/// Flow options that change the report (everything but thread count).
+void mix_options(Mixer& mix, const FlowOptions& o) {
+  mix.u64(static_cast<std::uint64_t>(o.strategy));
+  mix.u64((o.verify_with_golden ? 1u : 0u) | (o.infer_ports ? 2u : 0u) |
+          (o.try_output_permutation ? 4u : 0u));
+  mix.str(o.a_base);
+  mix.str(o.b_base);
+  mix.str(o.z_base);
+  mix.u64(o.max_terms);
+}
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open netlist file '" + path + "'");
+  std::string bytes;
+  char buf[1 << 16];
+  while (in.read(buf, sizeof buf) || in.gcount() > 0) {
+    bytes.append(buf, static_cast<std::size_t>(in.gcount()));
+  }
+  return bytes;
+}
+
+/// Parses netlist text by the path's extension.  The batch engine hashes
+/// and parses the SAME byte buffer, so a file rewritten mid-batch can
+/// never cache a report under the wrong content hash.
+nl::Netlist parse_netlist_text(const std::string& text,
+                               const std::string& path) {
+  if (path.ends_with(".eqn")) return nl::read_eqn(text, path);
+  if (path.ends_with(".blif")) return nl::read_blif(text, path);
+  if (path.ends_with(".v")) return nl::read_verilog(text, path);
+  throw InvalidArgument("unknown netlist extension on '" + path +
+                        "' (want .eqn, .blif or .v)");
+}
+
+template <typename Container, typename T>
+void erase_value(Container& container, const T& value) {
+  const auto it = std::find(container.begin(), container.end(), value);
+  if (it != container.end()) container.erase(it);
+}
+
+}  // namespace
+
+NetlistHash netlist_content_hash(const nl::Netlist& netlist) {
+  Mixer mix;
+  mix_netlist(mix, netlist);
+  return NetlistHash{mix.a, mix.b};
+}
+
+std::ostream& operator<<(std::ostream& os, const NetlistHash& hash) {
+  const auto flags = os.flags();
+  os << std::hex << hash.a << ":" << hash.b;
+  os.flags(flags);
+  return os;
+}
+
+nl::Netlist load_netlist_file(const std::string& path) {
+  return parse_netlist_text(read_file_bytes(path), path);
+}
+
+// ---------------------------------------------------------------------------
+// BatchScheduler::Impl
+//
+// Per-job state machine:  Queued -> SettingUp -> Extracting (one task per
+// output cone) -> ReadyToFinalize -> Finalizing -> Done, with shortcuts to
+// Done for cache hits / load errors / port failures / cancellation, and
+// AwaitingPrimary for duplicates of an in-flight job.  `threads` worker
+// threads run Impl::worker for the scheduler's whole lifetime; all
+// bookkeeping is under one mutex (tasks are coarse — a whole cone rewrite
+// or a whole file parse — so the lock is cold).
+//
+// Job lifetime: a Job lives in jobs_ from submit until *delivery* (callback
+// run + promise fulfilled), then is erased — a long-lived scheduler does
+// not accumulate per-job state.  A worker only holds a raw Job* while that
+// job has a task mid-run, and a job with a running task is never erased
+// (only Done jobs are, and every transition to Done happens either in the
+// job's own task or for jobs with no task at all), so the pointer cannot
+// dangle.
+// ---------------------------------------------------------------------------
+
+struct BatchScheduler::Impl {
+  struct Job {
+    JobHandle handle = 0;
+    BatchJob spec;
+    Callback callback;
+    std::promise<BatchJobResult> promise;
+
+    enum class State {
+      Queued,
+      SettingUp,
+      Extracting,
+      AwaitingPrimary,  ///< duplicate of an in-flight job; primary resolves it
+      ReadyToFinalize,
+      Finalizing,
+      Done,
+    } state = State::Queued;
+
+    // Setup products.  `net` points at spec.netlist (in-memory job) or at
+    // `loaded` (file job); released on completion to bound live memory.
+    std::optional<nl::Netlist> loaded;
+    const nl::Netlist* net = nullptr;
+    std::optional<nl::MultiplierPorts> ports;
+    ExtractionResult extraction;
+    double extract_started = 0.0;
+
+    std::size_t cones_claimed = 0;
+    std::size_t cones_done = 0;
+    /// Lowest-index cone failure.  Lowest index — not first to complete —
+    /// because that is what both standalone paths deterministically report
+    /// (the sequential loop stops at the first throwing bit; parallel_for
+    /// rethrows the lowest-index exception), and scheduler reports must be
+    /// identical under any interleaving.
+    std::exception_ptr abort;
+    std::size_t abort_cone = 0;
+
+    std::optional<CacheKey> key;
+    bool inflight_registered = false;
+    Job* primary = nullptr;       ///< set while AwaitingPrimary
+    std::vector<Job*> followers;  ///< duplicates parked on this job
+
+    /// Non-Error exception that escaped a task runner (engine bug / OOM):
+    /// delivered through the promise instead of a result.
+    std::exception_ptr fatal;
+
+    BatchJobResult result;
+  };
+
+  struct Task {
+    enum class Kind { None, Setup, Cone, Finalize } kind = Kind::None;
+    Job* job = nullptr;
+    std::size_t cone = 0;
+  };
+
+  struct CacheEntry {
+    FlowReport report;
+    std::string error;
+  };
+
+  explicit Impl(const BatchOptions& options) : options_(options) {
+    GFRE_ASSERT(options_.threads >= 1,
+                "batch scheduler needs at least one worker");
+    last_job_.assign(options_.threads, JobHandle{0});
+    workers_.reserve(options_.threads);
+    for (unsigned wid = 0; wid < options_.threads; ++wid) {
+      workers_.emplace_back([this, wid] { worker(wid); });
+    }
+  }
+
+  ~Impl() {
+    std::vector<Job*> done;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutting_down_ = true;
+      // Revoke everything that has not started.  Jobs past Queued (in
+      // flight, or parked behind an in-flight primary) run to completion —
+      // their futures resolve with real results below.
+      for (Job* job : setup_queue_) {
+        job->result.cancelled = true;
+        finish_locked(*job, done);
+      }
+      setup_queue_.clear();
+    }
+    deliver(done);
+    retire(done);
+    drain();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  Submission submit(BatchJob spec, Callback on_complete) {
+    auto owned = std::make_unique<Job>();
+    Job* job = owned.get();
+    job->spec = std::move(spec);
+    if (job->spec.name.empty()) {
+      job->spec.name = !job->spec.path.empty()
+                           ? job->spec.path
+                           : (job->spec.netlist ? job->spec.netlist->name()
+                                                : "job");
+    }
+    job->callback = std::move(on_complete);
+    Submission out;
+    out.result = job->promise.get_future();
+    std::vector<Job*> done;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job->handle = next_handle_++;
+      out.handle = job->handle;
+      ++stats_.jobs;
+      ++unresolved_;
+      jobs_.emplace(job->handle, std::move(owned));
+      if (shutting_down_) {
+        // A submission racing teardown resolves like any other queued job
+        // at teardown: cancelled, on the submitting thread.
+        job->result.cancelled = true;
+        finish_locked(*job, done);
+      } else {
+        setup_queue_.push_back(job);
+        cv_work_.notify_one();
+      }
+    }
+    if (!done.empty()) {
+      deliver(done);
+      retire(done);
+    }
+    return out;
+  }
+
+  bool cancel(JobHandle handle) {
+    std::vector<Job*> done;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = jobs_.find(handle);
+      if (it == jobs_.end()) return false;
+      Job& job = *it->second;
+      if (job.state == Job::State::Queued) {
+        erase_value(setup_queue_, &job);
+      } else if (job.state == Job::State::AwaitingPrimary) {
+        erase_value(job.primary->followers, &job);
+        job.primary = nullptr;
+      } else {
+        // Already running (or finished): the job's own resolution stands.
+        return false;
+      }
+      job.result.cancelled = true;
+      finish_locked(job, done);
+    }
+    // By the time cancel() returns true the callback has run and the
+    // future is ready — the caller can rely on "nothing will ever run".
+    deliver(done);
+    retire(done);
+    return true;
+  }
+
+  void drain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_idle_.wait(lock, [&] { return unresolved_ == 0; });
+  }
+
+  BatchStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  void worker(std::size_t wid) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      const Task task = find_work(wid);
+      if (task.kind == Task::Kind::None) {
+        if (stop_) return;
+        cv_work_.wait(lock);
+        continue;
+      }
+      lock.unlock();
+      std::vector<Job*> done;
+      try {
+        switch (task.kind) {
+          case Task::Kind::Setup: run_setup(*task.job, done); break;
+          case Task::Kind::Cone: run_cone(*task.job, task.cone, done); break;
+          case Task::Kind::Finalize: run_finalize(*task.job, done); break;
+          case Task::Kind::None: break;
+        }
+      } catch (...) {
+        // Per-job failures are converted to results inside the task
+        // runners; anything reaching here is an engine bug (or OOM).
+        // Deliver it through the job's future instead of killing the
+        // worker — a long-lived scheduler must survive its own bugs.
+        std::lock_guard<std::mutex> guard(mu_);
+        fail_locked(*task.job, std::current_exception(), done);
+      }
+      deliver(done);
+      lock.lock();
+      retire_locked(done);
+    }
+  }
+
+  std::size_t cones_available(const Job& job) const {
+    if (job.state != Job::State::Extracting || job.abort) return 0;
+    return job.extraction.anfs.size() - job.cones_claimed;
+  }
+
+  Task claim_cone(Job* job, std::size_t wid) {
+    Task task;
+    task.kind = Task::Kind::Cone;
+    task.job = job;
+    task.cone = job->cones_claimed++;
+    if (last_job_[wid] != job->handle) {
+      if (last_job_[wid] != JobHandle{0}) ++stats_.cone_steals;
+      last_job_[wid] = job->handle;
+    }
+    return task;
+  }
+
+  /// Claims the next unit of work under mu_.  Priorities: retire finished
+  /// jobs (unblocks duplicates), stay on the worker's current job (the
+  /// netlist is cache-hot), open a new job, and only then steal a cone
+  /// from the deepest other backlog.  The first three claims are O(1) —
+  /// finalize-ready jobs queue in finalize_ready_, setups are claimed in
+  /// submission order from setup_queue_ — so only the rare steal path
+  /// (own job dry AND nothing left to open) scans the in-flight jobs.
+  Task find_work(std::size_t wid) {
+    if (!finalize_ready_.empty()) {
+      Job* job = finalize_ready_.back();
+      finalize_ready_.pop_back();
+      job->state = Job::State::Finalizing;
+      Task task;
+      task.kind = Task::Kind::Finalize;
+      task.job = job;
+      return task;
+    }
+    if (last_job_[wid] != JobHandle{0}) {
+      const auto it = jobs_.find(last_job_[wid]);
+      if (it != jobs_.end() && cones_available(*it->second)) {
+        return claim_cone(it->second.get(), wid);
+      }
+    }
+    if (!setup_queue_.empty()) {
+      Job* job = setup_queue_.front();
+      setup_queue_.pop_front();
+      job->state = Job::State::SettingUp;
+      // The worker adopts the job it opens — claiming its cones next is
+      // affinity, not a steal.
+      last_job_[wid] = job->handle;
+      Task task;
+      task.kind = Task::Kind::Setup;
+      task.job = job;
+      return task;
+    }
+    Job* best = nullptr;
+    std::size_t best_backlog = 0;
+    for (Job* job : extracting_) {
+      const std::size_t backlog = cones_available(*job);
+      if (backlog > best_backlog) {
+        best = job;
+        best_backlog = backlog;
+      }
+    }
+    if (best != nullptr) return claim_cone(best, wid);
+    return Task{};
+  }
+
+  void run_setup(Job& job, std::vector<Job*>& done) {
+    // File jobs are read ONCE: the content hash and the parse below both
+    // see these bytes, so a file rewritten mid-batch cannot cache a
+    // report under the wrong hash — and duplicates dedup before paying
+    // for a parse.
+    std::string text;
+    if (!job.spec.netlist.has_value()) {
+      try {
+        text = read_file_bytes(job.spec.path);
+      } catch (const Error& e) {
+        complete_with_error(job, e.what(), done);
+        return;
+      }
+    }
+
+    if (options_.memoize) {
+      Mixer mix;
+      if (job.spec.netlist.has_value()) {
+        mix_netlist(mix, *job.spec.netlist);
+        mix.u64(1);  // domain tag: structural
+      } else {
+        mix.bytes(text.data(), text.size());
+        mix.u64(2);  // domain tag: file bytes
+      }
+      mix_options(mix, job.spec.options);
+      const CacheKey key{mix.a, mix.b};
+      std::lock_guard<std::mutex> lock(mu_);
+      job.key = key;
+      const auto cached = cache_.find(key);
+      if (cached != cache_.end()) {
+        job.result.report = cached->second.report;
+        job.result.error = cached->second.error;
+        job.result.cache_hit = true;
+        ++stats_.cache_hits;
+        finish_locked(job, done);
+        return;
+      }
+      const auto inflight = inflight_.find(key);
+      if (inflight != inflight_.end()) {
+        job.primary = inflight->second;
+        job.primary->followers.push_back(&job);
+        job.state = Job::State::AwaitingPrimary;
+        return;
+      }
+      inflight_.emplace(key, &job);
+      job.inflight_registered = true;
+    }
+
+    try {
+      if (!job.spec.netlist.has_value()) {
+        job.loaded = parse_netlist_text(text, job.spec.path);
+        job.net = &*job.loaded;
+      } else {
+        job.net = &*job.spec.netlist;
+      }
+    } catch (const Error& e) {
+      // Parse failures after inflight registration still resolve any
+      // followers (complete_with_error caches the error and unregisters).
+      complete_with_error(job, e.what(), done);
+      return;
+    }
+
+    FlowReport port_failure;
+    job.ports = resolve_flow_ports(*job.net, job.spec.options, &port_failure);
+    if (!job.ports.has_value()) {
+      complete_with_report(job, std::move(port_failure), done);
+      return;
+    }
+
+    const std::size_t bits = job.ports->z.bits.size();
+    job.extraction.anfs.resize(bits);
+    job.extraction.per_bit.resize(bits);
+    job.extraction.threads = options_.threads;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    job.extract_started = clock_.seconds();
+    // A multiplier interface always has >= 1 output bit (m >= 1), so the
+    // job cannot be born ReadyToFinalize here.
+    job.state = Job::State::Extracting;
+    extracting_.push_back(&job);
+    cv_work_.notify_all();
+  }
+
+  void run_cone(Job& job, std::size_t cone, std::vector<Job*>& done) {
+    RewriteOptions options;
+    options.strategy = job.spec.options.strategy;
+    options.max_terms = job.spec.options.max_terms;
+    std::exception_ptr failure;
+    try {
+      // Each slot is claimed by exactly one worker — no lock needed for
+      // the write.
+      job.extraction.anfs[cone] =
+          extract_output_anf(*job.net, job.ports->z.bits[cone], options,
+                             &job.extraction.per_bit[cone]);
+    } catch (...) {
+      // Error-derived failures become this job's diagnosed result in
+      // run_finalize; anything else resolves the job's future with the
+      // exception there.
+      failure = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.cones_extracted;
+    ++job.cones_done;
+    if (failure && (!job.abort || cone < job.abort_cone)) {
+      job.abort = failure;
+      job.abort_cone = cone;
+    }
+    // On abort, cones_available() stops further claims; the job finalizes
+    // once the already-claimed cones drain.
+    if (job.cones_done == job.cones_claimed &&
+        (job.abort || job.cones_claimed == job.extraction.anfs.size())) {
+      job.state = Job::State::ReadyToFinalize;
+      erase_value(extracting_, &job);
+      finalize_ready_.push_back(&job);
+      cv_work_.notify_one();
+    }
+    (void)done;
+  }
+
+  void run_finalize(Job& job, std::vector<Job*>& done) {
+    FlowReport report;
+    if (job.abort) {
+      std::string what;
+      try {
+        std::rethrow_exception(job.abort);
+      } catch (const Error& e) {
+        what = e.what();
+      } catch (...) {
+        // A non-Error escaped a cone task: engine bug, not a diagnosis.
+        std::lock_guard<std::mutex> lock(mu_);
+        fail_locked(job, job.abort, done);
+        return;
+      }
+      report = extraction_failure_report(*job.net, *job.ports, what);
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        job.extraction.wall_seconds = clock_.seconds() - job.extract_started;
+      }
+      for (const auto& stats : job.extraction.per_bit) {
+        job.extraction.total_peak_terms += stats.peak_terms;
+      }
+      // Same guard reverse_engineer wraps around this call: an analysis
+      // Error is this job's diagnosed failure, never a dead worker.
+      try {
+        report = analyze_extraction(*job.net, *job.ports,
+                                    std::move(job.extraction),
+                                    job.spec.options);
+      } catch (const Error& e) {
+        report = extraction_failure_report(*job.net, *job.ports, e.what());
+      }
+    }
+    report.rss_peak_bytes = peak_rss_bytes();
+    report.rss_after_bytes = current_rss_bytes();
+    complete_with_report(job, std::move(report), done);
+  }
+
+  void complete_with_report(Job& job, FlowReport&& report,
+                            std::vector<Job*>& done) {
+    job.result.report = std::move(report);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (job.key.has_value()) {
+      cache_.emplace(*job.key, CacheEntry{job.result.report, ""});
+    }
+    finish_locked(job, done);
+  }
+
+  void complete_with_error(Job& job, const std::string& error,
+                           std::vector<Job*>& done) {
+    job.result.error = error;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (job.key.has_value()) {
+      cache_.emplace(*job.key, CacheEntry{FlowReport{}, error});
+    }
+    finish_locked(job, done);
+  }
+
+  /// Backstop for exceptions that escape a task runner.  Requires mu_.
+  void fail_locked(Job& job, std::exception_ptr error,
+                   std::vector<Job*>& done) {
+    if (job.state == Job::State::Done) return;  // result already stands
+    if (job.state == Job::State::Extracting &&
+        job.cones_done < job.cones_claimed) {
+      // Other workers still run this job's cones — poison it and let the
+      // last cone route it to run_finalize, which delivers the exception.
+      if (!job.abort) {
+        job.abort = error;
+        job.abort_cone = 0;
+      }
+      return;
+    }
+    // No task references the job anymore; scrub it from whichever claim
+    // structure holds it and resolve its future exceptionally.
+    if (job.state == Job::State::Queued) erase_value(setup_queue_, &job);
+    if (job.state == Job::State::Extracting) erase_value(extracting_, &job);
+    if (job.state == Job::State::ReadyToFinalize) {
+      erase_value(finalize_ready_, &job);
+    }
+    job.fatal = error;
+    // The callback still fires for engine-fatal jobs (the "exactly once"
+    // contract is what serving tiers count completions with), so give it
+    // a legible result while the future carries the real exception.
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      job.result.error = std::string("engine failure: ") + e.what();
+    } catch (...) {
+      job.result.error = "engine failure: unknown exception";
+    }
+    finish_locked(job, done);
+  }
+
+  void count_locked(const Job& job) {
+    if (job.fatal) {
+      ++stats_.failed;
+    } else if (job.result.cancelled) {
+      ++stats_.cancelled;
+    } else if (!job.result.error.empty()) {
+      ++stats_.load_errors;
+    } else if (job.result.report.success) {
+      ++stats_.succeeded;
+    } else {
+      ++stats_.failed;
+    }
+  }
+
+  /// Marks job Done, resolves its duplicates from the freshly cached
+  /// result, releases the per-job working set and queues everything for
+  /// delivery (callback + promise, which the caller performs WITHOUT the
+  /// lock).  Requires mu_.
+  void finish_locked(Job& job, std::vector<Job*>& done) {
+    job.result.name = job.spec.name;
+    job.result.path = job.spec.path;
+    job.result.ok = !job.result.cancelled && job.result.error.empty() &&
+                    job.result.report.success;
+    job.result.seconds = clock_.seconds();
+    job.state = Job::State::Done;
+    count_locked(job);
+    if (job.inflight_registered) {
+      // Only this job's own registration: a job that failed before keying
+      // never registered and must not evict someone else's entry.
+      const auto it = inflight_.find(*job.key);
+      if (it != inflight_.end() && it->second == &job) inflight_.erase(it);
+      job.inflight_registered = false;
+    }
+    done.push_back(&job);
+    for (Job* dup : job.followers) {
+      dup->result.report = job.result.report;
+      dup->result.error = job.result.error;
+      dup->result.cache_hit = true;
+      ++stats_.cache_hits;
+      dup->result.name = dup->spec.name;
+      dup->result.path = dup->spec.path;
+      dup->result.ok = dup->result.error.empty() &&
+                       dup->result.report.success;
+      dup->result.seconds = clock_.seconds();
+      dup->fatal = job.fatal;
+      dup->primary = nullptr;
+      dup->state = Job::State::Done;
+      count_locked(*dup);
+      done.push_back(dup);
+    }
+    job.followers.clear();
+    job.loaded.reset();
+    job.spec.netlist.reset();
+    job.net = nullptr;
+  }
+
+  /// Runs callbacks and fulfills promises for finished jobs.  MUST be
+  /// called without mu_: callbacks may re-enter submit()/cancel()/stats(),
+  /// and promise fulfillment wakes arbitrary waiters.
+  void deliver(const std::vector<Job*>& done) {
+    for (Job* job : done) {
+      if (job->callback) {
+        try {
+          job->callback(job->result);
+        } catch (...) {
+          // The callback contract forbids throwing; a violation must not
+          // take down a worker (or the canceller) mid-delivery.
+        }
+      }
+      if (job->fatal) {
+        // The callback above saw a result with `error` filled in; the
+        // future carries the actual exception.
+        job->promise.set_exception(job->fatal);
+      } else {
+        job->promise.set_value(std::move(job->result));
+      }
+    }
+  }
+
+  /// Erases delivered jobs and publishes quiescence.  Requires mu_.
+  void retire_locked(const std::vector<Job*>& done) {
+    for (Job* job : done) jobs_.erase(job->handle);
+    unresolved_ -= done.size();
+    if (unresolved_ == 0) cv_idle_.notify_all();
+  }
+
+  void retire(const std::vector<Job*>& done) {
+    if (done.empty()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    retire_locked(done);
+  }
+
+ public:
+  BatchOptions options_;
+  Timer clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;  ///< workers wait for claimable tasks
+  std::condition_variable cv_idle_;  ///< drain()/teardown wait for quiescence
+  std::unordered_map<JobHandle, std::unique_ptr<Job>> jobs_;
+  std::deque<Job*> setup_queue_;     ///< Queued jobs, submission order
+  std::vector<Job*> extracting_;     ///< steal-scan candidates
+  std::vector<Job*> finalize_ready_; ///< awaiting a Finalize claim
+  std::vector<JobHandle> last_job_;  ///< per-worker affinity
+  std::unordered_map<CacheKey, Job*, CacheKeyHash> inflight_;
+  std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
+  BatchStats stats_;
+  JobHandle next_handle_ = 1;
+  std::size_t unresolved_ = 0;  ///< submitted minus delivered
+  bool shutting_down_ = false;  ///< teardown started: new submits cancel
+  bool stop_ = false;           ///< workers may exit
+  std::vector<std::thread> workers_;
+};
+
+BatchScheduler::BatchScheduler(const BatchOptions& options)
+    : impl_(std::make_unique<Impl>(options)) {}
+
+BatchScheduler::~BatchScheduler() = default;
+
+BatchScheduler::Submission BatchScheduler::submit(BatchJob job,
+                                                  Callback on_complete) {
+  return impl_->submit(std::move(job), std::move(on_complete));
+}
+
+bool BatchScheduler::cancel(JobHandle handle) {
+  return impl_->cancel(handle);
+}
+
+void BatchScheduler::drain() { impl_->drain(); }
+
+BatchStats BatchScheduler::stats() const { return impl_->stats(); }
+
+unsigned BatchScheduler::threads() const { return impl_->options_.threads; }
+
+}  // namespace gfre::core

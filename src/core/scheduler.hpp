@@ -1,0 +1,109 @@
+// Long-lived asynchronous batch scheduler — the serving front end's engine.
+//
+// core/batch.hpp's run_batch is submit-all-then-wait: one pool per call,
+// memoization scoped to that call.  A serving tier ingests jobs
+// incrementally instead, so this class keeps the batch engine's worker
+// fleet, per-job state machine, content-hash memoization, in-flight
+// deduplication, worker/job affinity and cone stealing alive across an
+// arbitrary stream of submissions:
+//
+//   BatchScheduler scheduler(options);            // workers start here
+//   auto ticket = scheduler.submit(std::move(job),
+//       [](const BatchJobResult& r) { ... });     // optional callback
+//   ...submit more, from any thread...
+//   BatchJobResult result = ticket.result.get();  // per-job future
+//   scheduler.cancel(ticket.handle);              // queued jobs only
+//   scheduler.drain();                            // barrier: all resolved
+//
+// Guarantees:
+//  - Every submitted job's future is eventually fulfilled — with a result
+//    (cache hit, success, diagnosed failure or load error), with
+//    `cancelled` set, or (engine bug only) with the escaped exception.
+//  - The completion callback, when provided, runs exactly once — for
+//    results, cancellations and even engine-bug jobs (those see a result
+//    with `error` set to "engine failure: ..." while the future carries
+//    the exception) — on the thread that resolved the job (a worker, or
+//    the caller of cancel()), *before* the future becomes ready.
+//    Callbacks must not block on the scheduler (submit/cancel/stats are
+//    safe; drain() would deadlock) and must not throw (escaped
+//    exceptions are swallowed).
+//  - Memoization and in-flight dedup span the scheduler's whole lifetime:
+//    a job submitted while its duplicate is mid-extraction attaches to
+//    that extraction; one submitted after it completes is a cache hit.
+//    The cache is unbounded — a service that runs for months should
+//    recycle the scheduler or wait for the persistent-cache ROADMAP item.
+//  - cancel(handle) succeeds only for jobs that have not started running
+//    (queued, or parked behind an in-flight duplicate).  When it returns
+//    true, the job's callback has run, its future is ready with
+//    `cancelled == true`, and no part of the job will ever execute.
+//  - The destructor is safe with work in flight: queued jobs are
+//    cancelled (futures fulfilled, callbacks run), jobs that already
+//    started run to completion, then the workers shut down.
+//
+// Reports are bit-identical to standalone core::reverse_engineer — the
+// scheduler drives the same flow phases, and tests/test_scheduler.cpp
+// enforces the equivalence differentially (tests/test_batch.cpp does the
+// same for the run_batch wrapper, which is now a thin shim over this
+// class).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+
+#include "core/batch.hpp"
+
+namespace gfre::core {
+
+class BatchScheduler {
+ public:
+  /// Identifies a submission for cancel(); never reused within one
+  /// scheduler.  0 is not a valid handle.
+  using JobHandle = std::uint64_t;
+
+  /// Per-job completion hook; see the header comment for the contract.
+  using Callback = std::function<void(const BatchJobResult&)>;
+
+  struct Submission {
+    JobHandle handle = 0;
+    std::future<BatchJobResult> result;
+  };
+
+  /// Starts `options.threads` workers (>= 1) immediately.
+  explicit BatchScheduler(const BatchOptions& options = {});
+
+  /// Cancels every job that has not started, waits for in-flight jobs to
+  /// resolve, then joins the workers.  Every future is fulfilled first.
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Enqueues one job; thread-safe.  The future is fulfilled exactly once
+  /// (see the guarantees above).  Jobs submitted during/after destruction
+  /// resolve immediately as cancelled.
+  Submission submit(BatchJob job, Callback on_complete = nullptr);
+
+  /// Cancels a not-yet-started job.  True: the job never ran and its
+  /// future is already fulfilled with `cancelled` set.  False: the job is
+  /// running, finished, or the handle is unknown — its future resolves
+  /// (or resolved) with a real result.
+  bool cancel(JobHandle handle);
+
+  /// Blocks until every job submitted so far is resolved (futures
+  /// fulfilled, callbacks done).  Jobs submitted concurrently with the
+  /// call may or may not be waited on.
+  void drain();
+
+  /// Snapshot of the lifetime counters (jobs, cache_hits, cones, ...).
+  BatchStats stats() const;
+
+  unsigned threads() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gfre::core

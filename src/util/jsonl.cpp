@@ -1,5 +1,7 @@
 #include "util/jsonl.hpp"
 
+#include <charconv>
+
 #include "util/error.hpp"
 
 namespace gfre {
@@ -32,14 +34,26 @@ std::string escape(const std::string& text) {
 }  // namespace
 
 JsonLine& JsonLine::add(const std::string& key, const std::string& value) {
-  fields_.emplace_back(key, "\"" + escape(value) + "\"");
+  // Built with += (not operator+ chains): gcc 12's -Wrestrict false-fires
+  // on `"lit" + std::string&&` at -O2 (PR 105651).
+  std::string quoted;
+  quoted.reserve(value.size() + 2);
+  quoted += '"';
+  quoted += escape(value);
+  quoted += '"';
+  fields_.emplace_back(key, std::move(quoted));
   return *this;
 }
 
 JsonLine& JsonLine::add(const std::string& key, double value) {
+  // Shortest round-trip-exact rendering: strtod(render()) == value bit for
+  // bit.  The previous "%.9g" silently dropped up to 24 mantissa bits, so
+  // timings re-read from a JSONL report disagreed with the run that wrote
+  // them.  (Like %g, this emits "inf"/"nan" for non-finite values — not
+  // JSON, but the engine never reports those.)
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%.9g", value);
-  fields_.emplace_back(key, buf);
+  const auto out = std::to_chars(buf, buf + sizeof buf, value);
+  fields_.emplace_back(key, std::string(buf, out.ptr));
   return *this;
 }
 
@@ -57,7 +71,10 @@ std::string JsonLine::render() const {
   std::string out = "{";
   for (std::size_t i = 0; i < fields_.size(); ++i) {
     if (i != 0) out += ", ";
-    out += "\"" + escape(fields_[i].first) + "\": " + fields_[i].second;
+    out += '"';
+    out += escape(fields_[i].first);
+    out += "\": ";
+    out += fields_[i].second;
   }
   out += "}";
   return out;

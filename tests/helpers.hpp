@@ -1,16 +1,63 @@
 // Shared test utilities: random netlist generation and semantic-equality
-// checks used across the I/O, optimization and extraction suites.
+// checks used across the I/O, optimization, extraction and batch suites.
 #pragma once
+
+#include <gtest/gtest.h>
 
 #include <string>
 #include <vector>
 
+#include "core/flow.hpp"
 #include "netlist/cell.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/simulator.hpp"
 #include "util/prng.hpp"
 
 namespace gfre::test {
+
+/// Semantic FlowReport equality: every deterministic field must match bit
+/// for bit; wall-clock and RSS fields are inherently run-dependent and
+/// excluded.  The batch/scheduler differential suites lean on this to
+/// prove pooled execution reports exactly what standalone
+/// core::reverse_engineer reports.
+inline void expect_reports_equal(const core::FlowReport& got,
+                                 const core::FlowReport& want,
+                                 const std::string& label) {
+  EXPECT_EQ(got.m, want.m) << label;
+  EXPECT_EQ(got.equations, want.equations) << label;
+  EXPECT_EQ(got.success, want.success) << label;
+  EXPECT_EQ(got.algorithm2_p, want.algorithm2_p) << label;
+  EXPECT_EQ(got.recovery.p, want.recovery.p) << label;
+  EXPECT_EQ(got.recovery.p_is_irreducible, want.recovery.p_is_irreducible)
+      << label;
+  EXPECT_EQ(got.recovery.circuit_class, want.recovery.circuit_class) << label;
+  EXPECT_EQ(got.recovery.rows, want.recovery.rows) << label;
+  EXPECT_EQ(got.recovery.rows_consistent, want.recovery.rows_consistent)
+      << label;
+  EXPECT_EQ(got.recovery.diagnosis, want.recovery.diagnosis) << label;
+  EXPECT_EQ(got.output_permutation, want.output_permutation) << label;
+  EXPECT_EQ(got.verification.equivalent, want.verification.equivalent)
+      << label;
+  EXPECT_EQ(got.verification.mismatch_bit, want.verification.mismatch_bit)
+      << label;
+  EXPECT_EQ(got.verification.detail, want.verification.detail) << label;
+  ASSERT_EQ(got.extraction.anfs.size(), want.extraction.anfs.size()) << label;
+  for (std::size_t i = 0; i < got.extraction.anfs.size(); ++i) {
+    EXPECT_EQ(got.extraction.anfs[i], want.extraction.anfs[i])
+        << label << " bit " << i;
+  }
+  ASSERT_EQ(got.extraction.per_bit.size(), want.extraction.per_bit.size())
+      << label;
+  for (std::size_t i = 0; i < got.extraction.per_bit.size(); ++i) {
+    const auto& g = got.extraction.per_bit[i];
+    const auto& w = want.extraction.per_bit[i];
+    EXPECT_EQ(g.cone_gates, w.cone_gates) << label << " bit " << i;
+    EXPECT_EQ(g.substitutions, w.substitutions) << label << " bit " << i;
+    EXPECT_EQ(g.cancellations, w.cancellations) << label << " bit " << i;
+    EXPECT_EQ(g.peak_terms, w.peak_terms) << label << " bit " << i;
+    EXPECT_EQ(g.final_terms, w.final_terms) << label << " bit " << i;
+  }
+}
 
 /// Builds a random combinational DAG over `num_inputs` inputs with
 /// `num_gates` gates drawn from the full cell library, with every declared

@@ -37,46 +37,7 @@ std::string data_path(const std::string& file) {
   return std::string(GFRE_SOURCE_DIR) + "/data/" + file;
 }
 
-/// Semantic report equality: every deterministic field must match bit for
-/// bit; wall-clock and RSS fields are inherently run-dependent and
-/// excluded.
-void expect_reports_equal(const FlowReport& got, const FlowReport& want,
-                          const std::string& label) {
-  EXPECT_EQ(got.m, want.m) << label;
-  EXPECT_EQ(got.equations, want.equations) << label;
-  EXPECT_EQ(got.success, want.success) << label;
-  EXPECT_EQ(got.algorithm2_p, want.algorithm2_p) << label;
-  EXPECT_EQ(got.recovery.p, want.recovery.p) << label;
-  EXPECT_EQ(got.recovery.p_is_irreducible, want.recovery.p_is_irreducible)
-      << label;
-  EXPECT_EQ(got.recovery.circuit_class, want.recovery.circuit_class) << label;
-  EXPECT_EQ(got.recovery.rows, want.recovery.rows) << label;
-  EXPECT_EQ(got.recovery.rows_consistent, want.recovery.rows_consistent)
-      << label;
-  EXPECT_EQ(got.recovery.diagnosis, want.recovery.diagnosis) << label;
-  EXPECT_EQ(got.output_permutation, want.output_permutation) << label;
-  EXPECT_EQ(got.verification.equivalent, want.verification.equivalent)
-      << label;
-  EXPECT_EQ(got.verification.mismatch_bit, want.verification.mismatch_bit)
-      << label;
-  EXPECT_EQ(got.verification.detail, want.verification.detail) << label;
-  ASSERT_EQ(got.extraction.anfs.size(), want.extraction.anfs.size()) << label;
-  for (std::size_t i = 0; i < got.extraction.anfs.size(); ++i) {
-    EXPECT_EQ(got.extraction.anfs[i], want.extraction.anfs[i])
-        << label << " bit " << i;
-  }
-  ASSERT_EQ(got.extraction.per_bit.size(), want.extraction.per_bit.size())
-      << label;
-  for (std::size_t i = 0; i < got.extraction.per_bit.size(); ++i) {
-    const auto& g = got.extraction.per_bit[i];
-    const auto& w = want.extraction.per_bit[i];
-    EXPECT_EQ(g.cone_gates, w.cone_gates) << label << " bit " << i;
-    EXPECT_EQ(g.substitutions, w.substitutions) << label << " bit " << i;
-    EXPECT_EQ(g.cancellations, w.cancellations) << label << " bit " << i;
-    EXPECT_EQ(g.peak_terms, w.peak_terms) << label << " bit " << i;
-    EXPECT_EQ(g.final_terms, w.final_terms) << label << " bit " << i;
-  }
-}
+using test::expect_reports_equal;
 
 /// The mixed workload: all five generator families in memory, frozen
 /// fixtures from disk in every format, a scrambled-output bus, a
@@ -334,6 +295,22 @@ TEST(BatchHash, StructuralHashSeesGateChanges) {
   EXPECT_NE(netlist_content_hash(a), netlist_content_hash(other));
 }
 
+TEST(BatchHash, BothKeyWordsParticipate) {
+  // The scheduler memoizes on the full 128-bit pair; the public hash must
+  // expose the same domain (it used to return only the low word, so a
+  // test could pass while half the real key was garbage).  Both streams
+  // start from non-zero offset bases and must independently see a gate
+  // change.
+  const gf2m::Field field(Poly{4, 1, 0});
+  const NetlistHash mast = netlist_content_hash(gen::generate_mastrovito(field));
+  const NetlistHash kara = netlist_content_hash(gen::generate_karatsuba(field));
+  EXPECT_NE(mast.a, 0u);
+  EXPECT_NE(mast.b, 0u);
+  EXPECT_NE(mast.a, kara.a) << "FNV stream blind to a different netlist";
+  EXPECT_NE(mast.b, kara.b) << "alt stream blind to a different netlist";
+  EXPECT_NE(mast.a, mast.b) << "streams must be independent";
+}
+
 // -- Manifest parsing -------------------------------------------------------
 
 TEST(BatchManifest, ParsesJobsWithOverrides) {
@@ -380,6 +357,79 @@ TEST(BatchManifest, RejectsBadLinesWithLocation) {
   }
   std::remove(path.c_str());
   EXPECT_THROW(parse_manifest("/no/such/manifest"), Error);
+}
+
+TEST(BatchManifest, RejectsExtraPortCommas) {
+  // 'ports=a,b,z,extra' used to fold ",extra" into z_base — a job that
+  // silently analyzes the wrong output word.
+  const std::string path = ::testing::TempDir() + "/ports.manifest";
+  for (const char* spec : {"ports=a,b,z,extra", "ports=a,b,z,"}) {
+    {
+      std::ofstream out(path);
+      out << "good.eqn " << spec << "\n";
+    }
+    try {
+      parse_manifest(path);
+      FAIL() << "expected ParseError for '" << spec << "'";
+    } catch (const ParseError& e) {
+      EXPECT_EQ(e.line(), 1) << spec;
+      EXPECT_NE(std::string(e.what()).find("ports"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    // The exact three-port form still parses.
+    std::ofstream out(path);
+    out << "good.eqn ports=x,y,p\n";
+  }
+  const auto jobs = parse_manifest(path);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].options.z_base, "p");
+  std::remove(path.c_str());
+}
+
+TEST(BatchManifest, ParsesCrlfTerminatedLines) {
+  // A manifest written on Windows ends every line in \r\n; no token (path,
+  // name, port base) may come back with a stray '\r' attached.
+  std::string dir = ::testing::TempDir();
+  while (!dir.empty() && dir.back() == '/') dir.pop_back();
+  const std::string path = dir + "/crlf.manifest";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "# comment\r\n"
+        << "\r\n"
+        << "mastrovito_m8.eqn\r\n"
+        << "monty.blif name=monty ports=x,y,p\r\n";
+  }
+  const auto jobs = parse_manifest(path);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].path, dir + "/mastrovito_m8.eqn");
+  EXPECT_EQ(jobs[1].name, "monty");
+  EXPECT_EQ(jobs[1].options.z_base, "p");
+  for (const auto& job : jobs) {
+    EXPECT_EQ(job.path.find('\r'), std::string::npos) << job.path;
+    EXPECT_EQ(job.name.find('\r'), std::string::npos) << job.name;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BatchManifest, SingleLineParserStreams) {
+  // The streaming building block gfre_batch feeds: blank/comment lines are
+  // nullopt, real lines are jobs, relative paths resolve against base_dir.
+  FlowOptions defaults;
+  defaults.max_terms = 77;
+  EXPECT_FALSE(parse_manifest_line("", 1, "m", "/base", defaults).has_value());
+  EXPECT_FALSE(
+      parse_manifest_line("  # note", 2, "m", "/base", defaults).has_value());
+  const auto job =
+      parse_manifest_line("x.eqn strategy=indexed", 3, "m", "/base", defaults);
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->path, "/base/x.eqn");
+  EXPECT_EQ(job->options.strategy, RewriteStrategy::Indexed);
+  EXPECT_EQ(job->options.max_terms, 77u) << "defaults must seed each line";
+  EXPECT_THROW(
+      parse_manifest_line("strategy=indexed", 4, "m", "/base", defaults),
+      ParseError);
 }
 
 TEST(BatchManifest, RejectsSilentJobDrops) {

@@ -247,7 +247,7 @@ TEST_P(FuzzFamilies, MutantsRecoverOrDiagnoseM4To12) {
   for (unsigned m : {4u, 5u, 7u, 9u, 12u}) {
     const gf2m::Field field(gf2::default_irreducible(m));
     const auto base = family.generate(field);
-    const std::uint64_t base_hash = netlist_content_hash(base);
+    const auto base_hash = netlist_content_hash(base);
     const FlowReport base_report = reverse_engineer(base, fuzz_options());
     for (const Mutation kind : kMutations) {
       for (std::uint64_t seed = 1; seed <= 2; ++seed) {

@@ -1,0 +1,481 @@
+// BatchScheduler suite — the async ingest path.
+//
+// The differential core: jobs submitted INCREMENTALLY (interleaved with
+// waits on earlier futures) at 1/2/8 workers on the Packed and Indexed
+// backends must produce FlowReports bit-identical to standalone
+// core::reverse_engineer.  Around it: callback contract (runs exactly
+// once, before the future is ready), deterministic cancellation through a
+// FIFO-gated worker, in-flight dedup and cross-wave memoization on one
+// long-lived instance, teardown with hundreds of queued jobs (the
+// ASan/UBSan CI leg runs this suite too), and re-entrant submission from a
+// completion callback.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/scheduler.hpp"
+#include "gen/karatsuba.hpp"
+#include "gen/mastrovito.hpp"
+#include "gen/montgomery_gate.hpp"
+#include "gen/squarer.hpp"
+#include "gf2m/field.hpp"
+#include "gf2poly/irreducible.hpp"
+#include "helpers.hpp"
+#include "util/error.hpp"
+
+#ifndef GFRE_SOURCE_DIR
+#define GFRE_SOURCE_DIR "."
+#endif
+
+namespace gfre::core {
+namespace {
+
+using gf2::Poly;
+using test::expect_reports_equal;
+
+std::string data_path(const std::string& file) {
+  return std::string(GFRE_SOURCE_DIR) + "/data/" + file;
+}
+
+BatchJob memory_job(std::string name, nl::Netlist netlist,
+                    RewriteStrategy strategy) {
+  BatchJob job;
+  job.name = std::move(name);
+  job.netlist = std::move(netlist);
+  job.options.strategy = strategy;
+  return job;
+}
+
+BatchJob file_job(const std::string& file, RewriteStrategy strategy) {
+  BatchJob job;
+  job.path = data_path(file);
+  job.options.strategy = strategy;
+  return job;
+}
+
+/// Standalone ground truth; nullopt for jobs that cannot load.
+std::optional<FlowReport> baseline_report(const BatchJob& job) {
+  nl::Netlist netlist("x");
+  if (job.netlist.has_value()) {
+    netlist = *job.netlist;
+  } else {
+    try {
+      netlist = load_netlist_file(job.path);
+    } catch (const Error&) {
+      return std::nullopt;
+    }
+  }
+  FlowOptions options = job.options;
+  options.threads = 1;
+  return reverse_engineer(netlist, options);
+}
+
+// -- Differential: interleaved submit/wait ----------------------------------
+
+class SchedulerDifferential
+    : public ::testing::TestWithParam<std::tuple<RewriteStrategy, unsigned>> {
+};
+
+TEST_P(SchedulerDifferential, InterleavedSubmissionsMatchStandalone) {
+  const RewriteStrategy strategy = std::get<0>(GetParam());
+  const unsigned threads = std::get<1>(GetParam());
+
+  std::vector<BatchJob> jobs;
+  for (unsigned m : {4u, 7u}) {
+    const gf2m::Field field(gf2::default_irreducible(m));
+    const std::string suffix = "_m" + std::to_string(m);
+    jobs.push_back(memory_job("mastrovito" + suffix,
+                              gen::generate_mastrovito(field), strategy));
+    jobs.push_back(memory_job("montgomery" + suffix,
+                              gen::generate_montgomery(field), strategy));
+    // One-operand interface: port resolution must fail it with the same
+    // diagnosed report as a standalone run.
+    jobs.push_back(memory_job("squarer" + suffix,
+                              gen::generate_squarer(field), strategy));
+  }
+  {
+    const gf2m::Field field(Poly{8, 4, 3, 1, 0});
+    jobs.push_back(memory_job(
+        "scrambled_mastrovito_m8",
+        test::scramble_outputs(gen::generate_mastrovito(field),
+                               {3, 1, 4, 7, 6, 0, 2, 5}),
+        strategy));
+  }
+  jobs.push_back(file_job("mastrovito_m8.eqn", strategy));
+  jobs.push_back(file_job("corrupt_gf4.eqn", strategy));
+  jobs.push_back(file_job("does_not_exist.eqn", strategy));
+
+  std::vector<std::optional<FlowReport>> baselines;
+  for (const auto& job : jobs) baselines.push_back(baseline_report(job));
+
+  BatchOptions options;
+  options.threads = threads;
+  BatchScheduler scheduler(options);
+  EXPECT_EQ(scheduler.threads(), threads);
+
+  // Interleave submission with waiting: the first half's futures are
+  // consumed BEFORE the second half is submitted — the scheduler must keep
+  // serving a long-lived instance, not one frozen wave.
+  std::vector<std::future<BatchJobResult>> futures;
+  const std::size_t half = jobs.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    futures.push_back(scheduler.submit(jobs[i]).result);
+  }
+  std::vector<BatchJobResult> results;
+  for (auto& future : futures) results.push_back(future.get());
+  futures.clear();
+  for (std::size_t i = half; i < jobs.size(); ++i) {
+    futures.push_back(scheduler.submit(jobs[i]).result);
+  }
+  scheduler.drain();
+  for (auto& future : futures) results.push_back(future.get());
+
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& result = results[i];
+    const std::string label = result.name + " @" + std::to_string(threads) +
+                              "T/" + to_string(strategy);
+    EXPECT_FALSE(result.cancelled) << label;
+    if (!baselines[i].has_value()) {
+      EXPECT_FALSE(result.error.empty()) << label;
+      EXPECT_FALSE(result.ok) << label;
+      continue;
+    }
+    EXPECT_TRUE(result.error.empty()) << label << ": " << result.error;
+    expect_reports_equal(result.report, *baselines[i], label);
+    EXPECT_EQ(result.ok, baselines[i]->success) << label;
+  }
+
+  const BatchStats stats = scheduler.stats();
+  EXPECT_EQ(stats.jobs, jobs.size());
+  EXPECT_EQ(stats.load_errors, 1u) << "only the missing file fails to load";
+  EXPECT_EQ(stats.cancelled, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, SchedulerDifferential,
+    ::testing::Combine(::testing::Values(RewriteStrategy::Packed,
+                                         RewriteStrategy::Indexed),
+                       ::testing::Values(1u, 2u, 8u)),
+    [](const ::testing::TestParamInfo<std::tuple<RewriteStrategy, unsigned>>&
+           info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param)) + "threads";
+    });
+
+// -- Callback contract ------------------------------------------------------
+
+TEST(SchedulerCallback, RunsExactlyOnceBeforeFutureIsReady) {
+  const gf2m::Field field(Poly{5, 2, 0});
+  BatchOptions options;
+  options.threads = 2;
+  BatchScheduler scheduler(options);
+
+  constexpr int kJobs = 12;
+  struct PerJob {
+    std::atomic<int> calls{0};
+    std::string seen_name;
+    bool seen_ok = false;
+  };
+  std::vector<PerJob> states(kJobs);
+  std::vector<std::future<BatchJobResult>> futures;
+  for (int i = 0; i < kJobs; ++i) {
+    auto netlist = i % 2 == 0 ? gen::generate_mastrovito(field)
+                              : gen::generate_karatsuba(field);
+    BatchJob job;
+    job.name = "job" + std::to_string(i);
+    job.netlist = std::move(netlist);
+    // Half the jobs get a fresh netlist name so memoized and extracted
+    // completions both exercise the callback.
+    PerJob* state = &states[static_cast<std::size_t>(i)];
+    futures.push_back(scheduler
+                          .submit(std::move(job),
+                                  [state](const BatchJobResult& r) {
+                                    ++state->calls;
+                                    state->seen_name = r.name;
+                                    state->seen_ok = r.ok;
+                                  })
+                          .result);
+  }
+  for (int i = 0; i < kJobs; ++i) {
+    const BatchJobResult result = futures[static_cast<std::size_t>(i)].get();
+    // The callback runs strictly before the promise is fulfilled on the
+    // same thread, so by the time get() returns it MUST have happened.
+    EXPECT_EQ(states[static_cast<std::size_t>(i)].calls.load(), 1)
+        << result.name;
+    EXPECT_EQ(states[static_cast<std::size_t>(i)].seen_name, result.name);
+    EXPECT_EQ(states[static_cast<std::size_t>(i)].seen_ok, result.ok);
+    EXPECT_TRUE(result.ok) << result.name;
+  }
+}
+
+TEST(SchedulerCallback, SubmitFromCallbackIsSafe) {
+  const gf2m::Field field(Poly{4, 1, 0});
+  BatchOptions options;
+  options.threads = 2;
+  BatchScheduler scheduler(options);
+
+  // The completion callback submits a follow-up job into the same
+  // scheduler — the serving pattern (finish one request, enqueue the
+  // next).  Deliveries run outside the scheduler lock, so this must not
+  // deadlock.
+  std::promise<std::future<BatchJobResult>> chained;
+  auto chained_future = chained.get_future();
+  BatchJob first;
+  first.name = "first";
+  first.netlist = gen::generate_mastrovito(field);
+  auto ticket = scheduler.submit(
+      std::move(first), [&](const BatchJobResult&) {
+        BatchJob next;
+        next.name = "chained";
+        next.netlist = gen::generate_karatsuba(field);
+        chained.set_value(scheduler.submit(std::move(next)).result);
+      });
+  EXPECT_TRUE(ticket.result.get().ok);
+  ASSERT_EQ(chained_future.wait_for(std::chrono::seconds(60)),
+            std::future_status::ready);
+  EXPECT_TRUE(chained_future.get().get().ok);
+}
+
+// -- Cancellation -----------------------------------------------------------
+
+/// Parks the scheduler's single worker deterministically: a FIFO-backed
+/// "netlist file" blocks the worker inside the setup read (opening a FIFO
+/// for reading blocks until a writer appears) until the test opens the
+/// write end.  While it is parked, everything submitted after it is
+/// provably still queued — cancellation is exact, not racy.
+class FifoGate {
+ public:
+  FifoGate() : path_(::testing::TempDir() + "gate_fifo.eqn") {
+    std::remove(path_.c_str());
+    if (::mkfifo(path_.c_str(), 0600) != 0) {
+      ADD_FAILURE() << "mkfifo failed for " << path_;
+    }
+  }
+  ~FifoGate() { std::remove(path_.c_str()); }
+
+  const std::string& path() const { return path_; }
+
+  /// Unblocks the parked worker: a non-blocking write-open succeeds only
+  /// once the reader is waiting (retrying until then), the content is not
+  /// a netlist, so the gate job resolves as a load error.  Idempotent so
+  /// the scope guard below can call it unconditionally.
+  void open_gate() {
+    if (opened_) return;
+    opened_ = true;
+    for (int attempt = 0; attempt < 60000; ++attempt) {
+      const int fd = ::open(path_.c_str(), O_WRONLY | O_NONBLOCK);
+      if (fd >= 0) {
+        const char text[] = "not a netlist\n";
+        [[maybe_unused]] const auto n = ::write(fd, text, sizeof text - 1);
+        ::close(fd);
+        return;
+      }
+      // ENXIO: the worker has not reached its blocking read-open yet.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ADD_FAILURE() << "no reader ever parked on " << path_;
+  }
+
+ private:
+  std::string path_;
+  bool opened_ = false;
+};
+
+/// Opens the gate on scope exit — an early test failure must not leave the
+/// worker parked forever (the scheduler destructor would wait on it).
+class FifoGateGuard {
+ public:
+  explicit FifoGateGuard(FifoGate& gate) : gate_(gate) {}
+  ~FifoGateGuard() { gate_.open_gate(); }
+
+ private:
+  FifoGate& gate_;
+};
+
+/// Out-of-range handle that no submission can own.
+BatchScheduler::JobHandle unknown_handle() { return ~0ull; }
+
+TEST(SchedulerCancel, QueuedJobNeverRunsAndResolvesImmediately) {
+  const gf2m::Field field(Poly{4, 1, 0});
+  FifoGate gate;
+
+  BatchOptions options;
+  options.threads = 1;
+  BatchScheduler scheduler(options);
+  // Constructed after the scheduler: if an assertion bails out of the
+  // test, the guard opens the gate BEFORE the scheduler destructor waits
+  // on the parked worker.
+  FifoGateGuard guard(gate);
+
+  BatchJob gate_job;
+  gate_job.name = "gate";
+  gate_job.path = gate.path();
+  auto gate_ticket = scheduler.submit(std::move(gate_job));
+
+  BatchJob keep;
+  keep.name = "keep";
+  keep.netlist = gen::generate_mastrovito(field);
+  auto keep_ticket = scheduler.submit(std::move(keep));
+
+  std::atomic<int> cancelled_callbacks{0};
+  bool callback_saw_cancelled = false;
+  BatchJob victim;
+  victim.name = "victim";
+  victim.netlist = gen::generate_karatsuba(field);
+  auto victim_ticket = scheduler.submit(
+      std::move(victim), [&](const BatchJobResult& r) {
+        ++cancelled_callbacks;
+        callback_saw_cancelled = r.cancelled;
+      });
+
+  // The only worker is parked in the gate's blocking open, so "keep" and
+  // "victim" are still queued — cancel is deterministic.
+  EXPECT_TRUE(scheduler.cancel(victim_ticket.handle));
+  // When cancel() returns true the future is ALREADY fulfilled and the
+  // callback has run: nothing of the job will ever execute.
+  ASSERT_EQ(victim_ticket.result.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const BatchJobResult victim_result = victim_ticket.result.get();
+  EXPECT_TRUE(victim_result.cancelled);
+  EXPECT_FALSE(victim_result.ok);
+  EXPECT_TRUE(victim_result.error.empty());
+  EXPECT_EQ(victim_result.name, "victim");
+  EXPECT_EQ(cancelled_callbacks.load(), 1);
+  EXPECT_TRUE(callback_saw_cancelled);
+
+  // Double-cancel and unknown handles are a clean false.
+  EXPECT_FALSE(scheduler.cancel(victim_ticket.handle));
+  EXPECT_FALSE(scheduler.cancel(unknown_handle()));
+
+  gate.open_gate();
+  scheduler.drain();
+
+  EXPECT_FALSE(gate_ticket.result.get().error.empty())
+      << "the gate file is not a parseable netlist";
+  EXPECT_TRUE(keep_ticket.result.get().ok);
+  // A completed job cannot be cancelled.
+  EXPECT_FALSE(scheduler.cancel(keep_ticket.handle));
+
+  const BatchStats stats = scheduler.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.cones_extracted, 4u)
+      << "only 'keep' (m=4) may extract — the cancelled job must not "
+         "contribute a single cone";
+}
+
+// -- Dedup and memoization on one long-lived instance -----------------------
+
+TEST(SchedulerDedup, DuplicateSubmissionsCostOneExtraction) {
+  const gf2m::Field field(Poly{5, 2, 0});
+  const auto netlist = gen::generate_montgomery(field);
+
+  BatchOptions options;
+  options.threads = 2;
+  BatchScheduler scheduler(options);
+
+  // Wave 1: the duplicate either parks behind the in-flight primary
+  // (AwaitingPrimary) or hits the fresh cache entry — under every
+  // interleaving, exactly one extraction happens.
+  auto first = scheduler.submit(memory_job("first", netlist,
+                                           RewriteStrategy::Packed));
+  auto dup = scheduler.submit(memory_job("dup", netlist,
+                                         RewriteStrategy::Packed));
+  scheduler.drain();
+  const BatchJobResult first_result = first.result.get();
+  const BatchJobResult dup_result = dup.result.get();
+  EXPECT_TRUE(first_result.ok);
+  EXPECT_TRUE(dup_result.ok);
+  expect_reports_equal(dup_result.report, first_result.report, "wave-1 dup");
+  EXPECT_EQ(scheduler.stats().cones_extracted, 5u);
+  EXPECT_EQ(scheduler.stats().cache_hits, 1u);
+
+  // Wave 2: memoization survives across waves on a long-lived scheduler —
+  // run_batch could never do this.
+  auto later = scheduler.submit(memory_job("later", netlist,
+                                           RewriteStrategy::Packed));
+  const BatchJobResult later_result = later.result.get();
+  EXPECT_TRUE(later_result.ok);
+  EXPECT_TRUE(later_result.cache_hit);
+  expect_reports_equal(later_result.report, first_result.report,
+                       "wave-2 cache hit");
+  EXPECT_EQ(scheduler.stats().cones_extracted, 5u)
+      << "the second wave must be served from the cache";
+  EXPECT_EQ(scheduler.stats().cache_hits, 2u);
+}
+
+// -- Teardown with work in flight -------------------------------------------
+
+TEST(SchedulerTeardown, HundredsOfQueuedJobsEveryFutureFulfilled) {
+  // The satellite stress case: destroy a scheduler with hundreds of queued
+  // jobs.  Every future must be fulfilled (real result or cancelled), the
+  // callback must run exactly once per job, and nothing may leak or race —
+  // the ASan/UBSan CI leg runs this test under sanitizers.
+  const gf2m::Field field(Poly{4, 1, 0});
+  const auto mastrovito = gen::generate_mastrovito(field);
+  const auto karatsuba = gen::generate_karatsuba(field);
+
+  constexpr int kJobs = 300;
+  std::atomic<int> callbacks{0};
+  std::vector<BatchScheduler::Submission> tickets;
+  tickets.reserve(kJobs);
+  {
+    BatchOptions options;
+    options.threads = 2;
+    BatchScheduler scheduler(options);
+    for (int i = 0; i < kJobs; ++i) {
+      BatchJob job;
+      job.name = "stress" + std::to_string(i);
+      job.netlist = i % 2 == 0 ? mastrovito : karatsuba;
+      tickets.push_back(scheduler.submit(
+          std::move(job),
+          [&callbacks](const BatchJobResult&) { ++callbacks; }));
+    }
+    // Destructor runs here with almost everything still queued.
+  }
+
+  int cancelled = 0;
+  int completed = 0;
+  for (auto& ticket : tickets) {
+    ASSERT_EQ(ticket.result.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "teardown left a future unfulfilled";
+    const BatchJobResult result = ticket.result.get();
+    if (result.cancelled) {
+      ++cancelled;
+      EXPECT_FALSE(result.ok);
+    } else {
+      ++completed;
+      EXPECT_TRUE(result.ok) << result.name;
+    }
+  }
+  EXPECT_EQ(cancelled + completed, kJobs);
+  EXPECT_EQ(callbacks.load(), kJobs)
+      << "every job's callback must run exactly once, cancelled or not";
+}
+
+TEST(SchedulerTeardown, IdleSchedulerShutsDownClean) {
+  for (unsigned threads : {1u, 4u}) {
+    BatchOptions options;
+    options.threads = threads;
+    BatchScheduler scheduler(options);
+    scheduler.drain();  // no jobs: immediate
+    EXPECT_EQ(scheduler.stats().jobs, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace gfre::core

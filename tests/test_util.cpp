@@ -3,10 +3,15 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <set>
 #include <thread>
 
 #include "util/error.hpp"
+#include "util/jsonl.hpp"
 #include "util/options.hpp"
 #include "util/prng.hpp"
 #include "util/rss.hpp"
@@ -198,6 +203,82 @@ TEST(Rss, CurrentRssIsPositiveOnLinux) {
   if (rss != 0) {
     EXPECT_GT(rss, 1024u * 1024u) << "a running process uses > 1 MB";
   }
+}
+
+// -- JSONL ------------------------------------------------------------------
+
+/// Extracts the rendered value of a single-field JsonLine: '{"k": VALUE}'.
+std::string rendered_value(const JsonLine& line) {
+  const std::string text = line.render();
+  const auto colon = text.find(": ");
+  EXPECT_NE(colon, std::string::npos) << text;
+  return text.substr(colon + 2, text.size() - colon - 3);
+}
+
+TEST(Jsonl, DoublesRoundTripBitExact) {
+  // The writer used "%.9g", which drops up to 24 mantissa bits — a timing
+  // re-read from a JSONL report disagreed with the run that wrote it.
+  // Shortest-round-trip formatting must reproduce every value exactly.
+  const double cases[] = {
+      0.0,
+      1.0 / 3.0,
+      0.1,
+      6.62607015e-34,
+      -1.7976931348623157e308,  // DBL_MAX, negated
+      5e-324,                   // smallest denormal
+      9007199254740991.0,       // 2^53 - 1
+      123456.78901234567,
+      1.0000000000000002,       // 1 + ulp
+  };
+  for (const double value : cases) {
+    JsonLine line;
+    line.add("v", value);
+    const std::string text = rendered_value(line);
+    char* end = nullptr;
+    const double parsed = std::strtod(text.c_str(), &end);
+    EXPECT_EQ(end, text.c_str() + text.size()) << "'" << text << "'";
+    EXPECT_EQ(parsed, value) << "'" << text << "' is not round-trip exact";
+  }
+}
+
+TEST(Jsonl, EscapesControlAndQuoteCharacters) {
+  JsonLine line;
+  line.add("v", std::string("a\"b\\c\n\t\r\x01\x1f") + '\0' + "z");
+  EXPECT_EQ(rendered_value(line),
+            "\"a\\\"b\\\\c\\n\\t\\r\\u0001\\u001f\\u0000z\"");
+  // Keys are escaped with the same rules.
+  JsonLine key_line;
+  key_line.add("k\n", std::size_t{1});
+  EXPECT_EQ(key_line.render(), "{\"k\\n\": 1}");
+}
+
+TEST(Jsonl, WriterRoundTripsThroughAFile) {
+  const std::string path = ::testing::TempDir() + "jsonl_roundtrip.jsonl";
+  const double wall = 0.12345678901234567;
+  {
+    JsonlWriter writer(path);
+    JsonLine line;
+    line.add("name", "job \"quoted\"\n");
+    line.add("ok", true);
+    line.add("wall_s", wall);
+    writer.write(line);
+    writer.close();
+    EXPECT_TRUE(writer.ok());
+    EXPECT_EQ(writer.lines_written(), 1u);
+  }
+  std::ifstream in(path);
+  std::string text;
+  ASSERT_TRUE(std::getline(in, text));
+  EXPECT_EQ(text.find('\n'), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"job \\\"quoted\\\"\\n\""),
+            std::string::npos)
+      << text;
+  // The written double parses back to the identical value.
+  const auto key = text.find("\"wall_s\": ");
+  ASSERT_NE(key, std::string::npos);
+  EXPECT_EQ(std::strtod(text.c_str() + key + 10, nullptr), wall);
+  std::remove(path.c_str());
+  EXPECT_THROW(JsonlWriter("/no/such/dir/report.jsonl"), Error);
 }
 
 TEST(Options, EnvParsing) {
