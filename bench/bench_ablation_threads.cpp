@@ -9,9 +9,12 @@
 // run (a) sequentially — load + run_flow one job at a time, the
 // pre-batch-engine baseline — and (b) through core::run_batch at growing
 // worker counts, plus (c) a duplicate-heavy manifest exercising the
-// content-hash cache and (d) the same 100 jobs streamed incrementally
+// content-hash cache, (d) the same 100 jobs streamed incrementally
 // through a long-lived core::BatchScheduler (submit -> future per job, the
-// serving-tier ingest path) against the submit-all-then-wait run_batch.
+// serving-tier ingest path) against the submit-all-then-wait run_batch,
+// and (e) a cold/warm pair through the persistent disk cache
+// (core/result_cache.hpp) — the warm leg must replay every report with
+// zero extractions.
 // Every batch/scheduler report must agree with the sequential baseline;
 // results land in BENCH_batch.json for CI trend tracking.
 //
@@ -22,12 +25,14 @@
 #include <cstdio>
 #include <filesystem>
 #include <future>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "bench_json.hpp"
 #include "core/batch.hpp"
+#include "core/result_cache.hpp"
 #include "core/scheduler.hpp"
 #include "gen/karatsuba.hpp"
 #include "gen/mastrovito.hpp"
@@ -302,6 +307,62 @@ int main() {
         .add("cone_steals", stats.cone_steals);
   }
 
+  // (e) Persistent disk cache (core/result_cache.hpp): a cold run extracts
+  // and stores every outcome; a warm run — a fresh scheduler whose
+  // in-memory memo is empty, i.e. the next CI invocation — replays all 100
+  // reports from disk with ZERO extractions.  This is the cross-process
+  // layer the in-memory cache of section (c) cannot provide.
+  double disk_cold_rate = 0, disk_warm_rate = 0;
+  std::size_t disk_warm_cones = 0;
+  {
+    const auto cache_dir = dir / "result_cache";
+    std::filesystem::remove_all(cache_dir);
+    core::BatchOptions disk_options;
+    disk_options.threads = cache_width;
+    disk_options.result_cache =
+        std::make_shared<core::ResultCache>(cache_dir.string());
+
+    Timer cold_timer;
+    const auto cold = core::run_batch(jobs, disk_options);
+    const double cold_wall = cold_timer.seconds();
+    disk_cold_rate = static_cast<double>(cold.stats.jobs) / cold_wall;
+
+    Timer warm_timer;
+    const auto warm = core::run_batch(jobs, disk_options);
+    const double warm_wall = warm_timer.seconds();
+    disk_warm_rate = static_cast<double>(warm.stats.jobs) / warm_wall;
+    disk_warm_cones = warm.stats.cones_extracted;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (!warm.results[i].error.empty() ||
+          !same_outcome(warm.results[i].report, baseline[i])) {
+        std::printf("MISMATCH vs sequential baseline: %s @disk-warm\n",
+                    warm.results[i].name.c_str());
+        outcomes_match = false;
+      }
+    }
+    std::printf(
+        "persistent cache: cold %.2f s (%.1f jobs/s, %zu stores) -> warm "
+        "%.2f s (%.1f jobs/s, %zu disk hits, %zu cones extracted)\n",
+        cold_wall, disk_cold_rate, cold.stats.disk_stores, warm_wall,
+        disk_warm_rate, warm.stats.disk_hits, warm.stats.cones_extracted);
+    json.add_record()
+        .add("mode", "batch_disk_cold")
+        .add("jobs", cold.stats.jobs)
+        .add("threads", disk_options.threads)
+        .add("wall_s", cold_wall)
+        .add("jobs_per_sec", disk_cold_rate)
+        .add("disk_stores", cold.stats.disk_stores);
+    json.add_record()
+        .add("mode", "batch_disk_warm")
+        .add("jobs", warm.stats.jobs)
+        .add("threads", disk_options.threads)
+        .add("wall_s", warm_wall)
+        .add("jobs_per_sec", disk_warm_rate)
+        .add("speedup_vs_cold", disk_warm_rate / disk_cold_rate)
+        .add("disk_hits", warm.stats.disk_hits)
+        .add("cones", warm.stats.cones_extracted);
+  }
+
   json.add_record()
       .add("mode", "host")
       .add("hardware_threads", hw);
@@ -342,6 +403,18 @@ int main() {
               cache_width, scheduler_ok ? "PASS" : "FAIL",
               scheduler_rate / batch_rate_at_cache_width);
   pass = pass && scheduler_ok;
+
+  // The warm disk run replays serialized reports: any extraction at all
+  // means the persistent key or the store path broke, and a warm run
+  // slower than cold means deserialization costs more than extraction —
+  // both are defects, not noise.
+  const bool disk_ok =
+      disk_warm_cones == 0 && disk_warm_rate > disk_cold_rate;
+  std::printf("shape check: warm persistent-cache run extracts 0 cones and "
+              "beats the cold run: %s (%zu cones, %.2fx)\n",
+              disk_ok ? "PASS" : "FAIL", disk_warm_cones,
+              disk_warm_rate / disk_cold_rate);
+  pass = pass && disk_ok;
 
   const bool scaling_ok = hw < 2 || wall_2t < wall_1t;
   if (hw >= 2) {

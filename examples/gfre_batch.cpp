@@ -20,28 +20,25 @@
 // submissions are served from the content-hash cache or attach to the
 // in-flight extraction.
 //
-// Options:
-//   --jobs FILE        job manifest (required)
-//   --threads N        shared pool width (default: hardware)
-//   --strategy NAME    default rewriting backend: packed|indexed|naive
-//   --ports a,b,z      default operand/result port base names
-//   --max-terms N      default per-bit term budget (0 = unlimited)
-//   --no-verify        skip golden-model comparison by default
-//   --no-cache         disable content-hash memoization
-//   --out FILE         write per-job results as JSON lines
-//   --quiet            suppress per-job lines (summary only)
+// Options: see usage() below (or run `gfre_batch --help`) — that listing
+// is the single source of truth, and the CI docs job keeps it in sync
+// with README.md's flag table.
 //
 // Exit code 0 iff every job succeeded.
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/batch.hpp"
+#include "core/result_cache.hpp"
 #include "core/scheduler.hpp"
 #include "gf2poly/gf2_poly.hpp"
 #include "util/error.hpp"
@@ -51,12 +48,32 @@
 
 namespace {
 
-void usage() {
-  std::cerr << "usage: gfre_batch --jobs <manifest> [--threads N]\n"
-            << "                  [--strategy packed|indexed|naive]\n"
-            << "                  [--ports a,b,z] [--max-terms N]\n"
-            << "                  [--no-verify] [--no-cache]\n"
-            << "                  [--out report.jsonl] [--quiet]\n";
+void usage(std::ostream& os) {
+  os << "usage: gfre_batch --jobs <manifest> [--threads N]\n"
+     << "                  [--strategy packed|indexed|naive]\n"
+     << "                  [--ports a,b,z] [--max-terms N]\n"
+     << "                  [--no-verify] [--no-cache]\n"
+     << "                  [--cache DIR] [--cache-prune BYTES]\n"
+     << "                  [--out report.jsonl] [--quiet] [--help]\n"
+     << "\n"
+     << "  --jobs FILE        job manifest (required): one netlist per\n"
+     << "                     line with optional key=value overrides\n"
+     << "                     (name=, ports=a,b,z, strategy=, infer=,\n"
+     << "                     verify=, permute=, max_terms=)\n"
+     << "  --threads N        shared pool width (default: hardware)\n"
+     << "  --strategy NAME    default backend: packed|indexed|naive\n"
+     << "  --ports a,b,z      default operand/result port base names\n"
+     << "  --max-terms N      default per-bit term budget (0 = unlimited)\n"
+     << "  --no-verify        skip golden-model comparison by default\n"
+     << "  --no-cache         disable content-hash memoization\n"
+     << "  --cache DIR        persistent cross-run result cache keyed by\n"
+     << "                     SHA-256 content hash (created if absent)\n"
+     << "  --cache-prune N    after the run, evict oldest cache entries\n"
+     << "                     down to N bytes total (0 empties the\n"
+     << "                     cache); requires --cache\n"
+     << "  --out FILE         write per-job results as JSON lines\n"
+     << "  --quiet            suppress per-job lines (summary only)\n"
+     << "  --help             print this message and exit\n";
 }
 
 /// Progress line for one completed job; runs on scheduler worker threads
@@ -118,7 +135,10 @@ int main(int argc, char** argv) {
 
   std::string manifest;
   std::string out_path;
+  std::string cache_dir;
+  std::optional<std::uint64_t> cache_prune;
   bool quiet = false;
+  bool no_cache = false;
   core::BatchOptions batch_options;
   batch_options.threads = static_cast<unsigned>(configured_threads());
   core::FlowOptions defaults;
@@ -133,13 +153,13 @@ int main(int argc, char** argv) {
         if (value.empty() || value[0] == '-') {
           // stoul wraps "-1" to ~4 billion workers.
           std::cerr << "--threads wants a positive integer\n";
-          usage();
+          usage(std::cerr);
           return 2;
         }
         const unsigned long threads = std::stoul(value);
         if (threads == 0 || threads > 4096) {
           std::cerr << "--threads wants 1..4096\n";
-          usage();
+          usage(std::cerr);
           return 2;
         }
         batch_options.threads = static_cast<unsigned>(threads);
@@ -147,7 +167,7 @@ int main(int argc, char** argv) {
         const auto strategy = core::strategy_from_name(argv[++i]);
         if (!strategy.has_value()) {
           std::cerr << "unknown strategy '" << argv[i] << "'\n";
-          usage();
+          usage(std::cerr);
           return 2;
         }
         defaults.strategy = *strategy;
@@ -157,7 +177,7 @@ int main(int argc, char** argv) {
         const auto c2 = spec.find(',', c1 + 1);
         if (c1 == std::string::npos || c2 == std::string::npos ||
             spec.find(',', c2 + 1) != std::string::npos) {
-          usage();
+          usage(std::cerr);
           return 2;
         }
         defaults.a_base = spec.substr(0, c1);
@@ -168,31 +188,55 @@ int main(int argc, char** argv) {
         if (value.empty() || value[0] == '-') {
           // stoull silently wraps negatives to huge budgets.
           std::cerr << "--max-terms wants a non-negative integer\n";
-          usage();
+          usage(std::cerr);
           return 2;
         }
         defaults.max_terms = std::stoull(value);
       } else if (arg == "--no-verify") {
         defaults.verify_with_golden = false;
       } else if (arg == "--no-cache") {
+        no_cache = true;
         batch_options.memoize = false;
+      } else if (arg == "--cache" && i + 1 < argc) {
+        cache_dir = argv[++i];
+      } else if (arg == "--cache-prune" && i + 1 < argc) {
+        const std::string value = argv[++i];
+        if (value.empty() || value[0] == '-') {
+          std::cerr << "--cache-prune wants a non-negative byte count\n";
+          usage(std::cerr);
+          return 2;
+        }
+        cache_prune = std::stoull(value);
       } else if (arg == "--out" && i + 1 < argc) {
         out_path = argv[++i];
       } else if (arg == "--quiet") {
         quiet = true;
+      } else if (arg == "--help") {
+        usage(std::cout);
+        return 0;
       } else {
-        usage();
+        usage(std::cerr);
         return 2;
       }
     }
   } catch (const std::exception& e) {
     // std::stoul/std::stoull reject non-numeric or overflowing values.
     std::cerr << "bad numeric argument: " << e.what() << "\n";
-    usage();
+    usage(std::cerr);
     return 2;
   }
   if (manifest.empty() || batch_options.threads == 0) {
-    usage();
+    usage(std::cerr);
+    return 2;
+  }
+  // The disk layer sits behind the in-memory memo; silently attaching it
+  // while memoization is off would promise hits that can never happen.
+  if (!cache_dir.empty() && no_cache) {
+    std::cerr << "--cache requires memoization; drop --no-cache\n";
+    return 2;
+  }
+  if (cache_prune.has_value() && cache_dir.empty()) {
+    std::cerr << "--cache-prune needs --cache DIR\n";
     return 2;
   }
 
@@ -201,10 +245,16 @@ int main(int argc, char** argv) {
     if (!in) throw Error("cannot open manifest '" + manifest + "'");
     const std::string base =
         std::filesystem::path(manifest).parent_path().string();
+    if (!cache_dir.empty()) {
+      batch_options.result_cache =
+          std::make_shared<core::ResultCache>(cache_dir);
+    }
     std::printf("gfre_batch: streaming '%s' onto %u shared workers "
-                "(cache %s)\n",
+                "(memo %s%s%s)\n",
                 manifest.c_str(), batch_options.threads,
-                batch_options.memoize ? "on" : "off");
+                batch_options.memoize ? "on" : "off",
+                cache_dir.empty() ? "" : ", disk cache ",
+                cache_dir.c_str());
 
     Timer clock;
     core::BatchScheduler scheduler(batch_options);
@@ -286,6 +336,24 @@ int main(int argc, char** argv) {
         wall > 0 ? static_cast<double>(stats.jobs) / wall : 0.0,
         stats.succeeded, stats.failed, stats.load_errors, stats.cache_hits,
         stats.cones_extracted, stats.cone_steals);
+    if (batch_options.result_cache) {
+      // The warm-run CI leg greps this line: an unchanged manifest's
+      // second run must show every job as a disk hit and zero misses.
+      std::printf("disk cache: %zu disk hits, %zu disk misses, %zu stores "
+                  "(%s)\n",
+                  stats.disk_hits, stats.disk_misses, stats.disk_stores,
+                  batch_options.result_cache->dir().c_str());
+      if (cache_prune.has_value()) {
+        const auto pruned = batch_options.result_cache->prune(*cache_prune);
+        std::printf("cache prune: removed %zu entries (%llu bytes), kept "
+                    "%zu (%llu bytes <= budget %llu)\n",
+                    pruned.entries_removed,
+                    static_cast<unsigned long long>(pruned.bytes_removed),
+                    pruned.entries_kept,
+                    static_cast<unsigned long long>(pruned.bytes_kept),
+                    static_cast<unsigned long long>(*cache_prune));
+      }
+    }
     // A truncated --out report or an unparseable manifest is a tool
     // failure even when every submitted job succeeded — downstream
     // pipelines consume that file / assume full manifest coverage.

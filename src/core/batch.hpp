@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,6 +43,8 @@
 #include "netlist/netlist.hpp"
 
 namespace gfre::core {
+
+class ResultCache;
 
 /// One reverse-engineering job: a netlist file path (.eqn/.blif/.v) or an
 /// in-memory netlist (which takes precedence), plus per-job flow options.
@@ -76,6 +79,15 @@ struct BatchOptions {
   /// Content-hash result memoization.  Scoped to one run_batch call — or,
   /// on a BatchScheduler, to the scheduler's whole lifetime.
   bool memoize = true;
+  /// Optional persistent cross-process cache (core/result_cache.hpp).
+  /// When set (and memoize is on — the disk layer sits behind the
+  /// in-memory one), every in-memory miss consults the disk store before
+  /// extracting, and every completed outcome is written back, keyed by
+  /// SHA-256 of the netlist content + option signature.  Shared_ptr so
+  /// several schedulers — even in different threads — can share one cache
+  /// object; distinct processes coordinate through the directory itself
+  /// (atomic renames), so pointing two runs at one dir is also safe.
+  std::shared_ptr<ResultCache> result_cache;
 };
 
 struct BatchStats {
@@ -84,7 +96,16 @@ struct BatchStats {
   std::size_t failed = 0;        ///< flow ran, success=false
   std::size_t load_errors = 0;   ///< file unreadable/unparseable
   std::size_t cancelled = 0;     ///< revoked before running
-  std::size_t cache_hits = 0;    ///< results served from memoization
+  std::size_t cache_hits = 0;    ///< results served from in-memory memoization
+  /// Persistent-cache traffic (zero unless BatchOptions::result_cache is
+  /// set).  disk_hits counts jobs whose outcome was replayed from disk;
+  /// disk_misses counts extractions that went ahead after consulting the
+  /// store; disk_stores counts outcomes written back.  A fully warm run
+  /// over an unchanged manifest shows cones_extracted == 0 and
+  /// disk_hits == every non-duplicate job.
+  std::size_t disk_hits = 0;
+  std::size_t disk_misses = 0;
+  std::size_t disk_stores = 0;
   std::size_t cones_extracted = 0;  ///< output-bit tasks actually rewritten
   /// Cone tasks a worker claimed from a different job than the one it last
   /// served — the cross-circuit interleaving this engine exists for.
@@ -105,6 +126,12 @@ struct BatchReport {
 /// throws for per-job failures (those land in the job's result).
 /// Implemented as a thin wrapper over core::BatchScheduler — submit every
 /// job, drain, collect the futures in submission order.
+///
+/// Thread safety: safe to call concurrently from several threads — each
+/// call owns a private scheduler (workers join before return).  The
+/// in-memory memo dies with the call; only options.result_cache persists
+/// anything, and that object may be shared freely between concurrent
+/// calls (see core/result_cache.hpp).
 BatchReport run_batch(std::vector<BatchJob> jobs,
                       const BatchOptions& options);
 

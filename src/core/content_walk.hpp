@@ -1,0 +1,59 @@
+// The canonical content walk behind every cache key.
+//
+// Two keyspaces hash the same semantic content: the scheduler's fast
+// in-memory 128-bit memoization key (core/scheduler.cpp's Mixer) and the
+// persistent SHA-256 key (core/result_cache.cpp).  If their walks were
+// written twice, a FlowOptions field added to one but not the other would
+// make the disk cache replay WRONG reports for jobs that differ in the
+// missed field — a silent correctness bug no digest check can catch.  So
+// the walk exists exactly once, templated over the sink.
+//
+// Sink concept: `void u64(std::uint64_t)` and `void str(const
+// std::string&)` (length-prefixed — the sink must frame strings so
+// adjacent fields cannot alias).  Domain tags and framing *around* these
+// walks (e.g. file-bytes vs structural, tag position) belong to each
+// keyspace's call site; the field lists below are the shared truth.
+#pragma once
+
+#include <cstdint>
+
+#include "core/flow.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gfre::core {
+
+/// Everything that identifies a netlist structurally: names, cells,
+/// wiring, output order.
+template <typename Sink>
+void walk_netlist_content(Sink& sink, const nl::Netlist& netlist) {
+  sink.str(netlist.name());
+  sink.u64(netlist.inputs().size());
+  for (const nl::Var v : netlist.inputs()) sink.str(netlist.var_name(v));
+  sink.u64(netlist.num_gates());
+  for (const nl::Gate& gate : netlist.gates()) {
+    sink.u64(static_cast<std::uint64_t>(gate.type));
+    sink.str(netlist.var_name(gate.output));
+    sink.u64(gate.inputs.size());
+    for (const nl::Var in : gate.inputs) sink.u64(in);
+  }
+  sink.u64(netlist.outputs().size());
+  for (const nl::Var v : netlist.outputs()) sink.u64(v);
+}
+
+/// Every FlowOptions field that changes the report — and nothing else.
+/// `threads` is deliberately excluded: reports are bit-identical at any
+/// worker count (Theorem 2), which is what lets a 1-thread run warm an
+/// 8-thread one.  A new option that affects the report MUST be added
+/// here (both keyspaces pick it up automatically).
+template <typename Sink>
+void walk_report_options(Sink& sink, const FlowOptions& o) {
+  sink.u64(static_cast<std::uint64_t>(o.strategy));
+  sink.u64((o.verify_with_golden ? 1u : 0u) | (o.infer_ports ? 2u : 0u) |
+           (o.try_output_permutation ? 4u : 0u));
+  sink.str(o.a_base);
+  sink.str(o.b_base);
+  sink.str(o.z_base);
+  sink.u64(o.max_terms);
+}
+
+}  // namespace gfre::core

@@ -86,6 +86,15 @@ struct FlowReport {
 };
 
 /// Runs the full flow on a multiplier netlist.
+///
+/// Thread safety: reentrant — concurrent calls on distinct (or even the
+/// same, never-mutated) netlists are safe; all parallelism is internal
+/// (`options.threads` worker threads per call, joined before return).
+/// The returned FlowReport is a self-contained value: serialize it with
+/// core/report_io.hpp, persist it with core/result_cache.hpp.  For many
+/// netlists prefer core::run_batch / core::BatchScheduler, which share
+/// one pool across jobs and reproduce this function's reports bit for
+/// bit.
 FlowReport reverse_engineer(const nl::Netlist& netlist,
                             const FlowOptions& options = {});
 

@@ -1,0 +1,359 @@
+#include "core/result_cache.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <vector>
+
+#if defined(_WIN32)
+#include <process.h>
+#define GFRE_GETPID _getpid
+#else
+#include <unistd.h>
+#define GFRE_GETPID getpid
+#endif
+
+#include "core/content_walk.hpp"
+#include "core/report_io.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/sha256.hpp"
+
+namespace fs = std::filesystem;
+
+namespace gfre::core {
+
+namespace {
+
+// Entry header: magic, entry schema version, payload length, SHA-256 of
+// the payload.  The payload is (u64 error length, error bytes, report
+// blob) — the report blob carries its own magic/version from report_io.
+constexpr char kEntryMagic[4] = {'G', 'F', 'R', 'C'};
+// Entry schema = header layout + report schema: either changing bumps the
+// version a reader accepts, so one check covers both.
+constexpr std::uint32_t kEntryVersion = 100 + kReportSchemaVersion;
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 32;
+constexpr const char* kEntrySuffix = ".rpt";
+constexpr const char* kQuarantineDir = "quarantine";
+
+using util::get_u32;
+using util::get_u64;
+using util::put_u32;
+using util::put_u64;
+
+/// Adapts util::Sha256 to the content-walk Sink concept, so the
+/// persistent keys hash the exact field lists core/content_walk.hpp
+/// shares with the in-memory keyspace.
+struct ShaSink {
+  util::Sha256& h;
+  void u64(std::uint64_t v) { h.update_u64(v); }
+  void str(const std::string& s) { h.update_str(s); }
+};
+
+/// Why a read entry is unusable — quarantine only genuine corruption.
+enum class EntryVerdict { Ok, Corrupt, StaleVersion };
+
+EntryVerdict parse_entry(const std::string& bytes, CachedOutcome* out) {
+  if (bytes.size() < kHeaderBytes) return EntryVerdict::Corrupt;
+  if (std::memcmp(bytes.data(), kEntryMagic, sizeof kEntryMagic) != 0) {
+    return EntryVerdict::Corrupt;
+  }
+  const std::uint32_t version = get_u32(bytes.data() + 4);
+  if (version != kEntryVersion) return EntryVerdict::StaleVersion;
+  const std::uint64_t payload_size = get_u64(bytes.data() + 8);
+  if (payload_size != bytes.size() - kHeaderBytes) {
+    return EntryVerdict::Corrupt;
+  }
+  const std::string_view payload(bytes.data() + kHeaderBytes,
+                                 static_cast<std::size_t>(payload_size));
+  const util::Sha256::Digest digest = util::Sha256::of(payload);
+  if (std::memcmp(bytes.data() + 16, digest.data(), digest.size()) != 0) {
+    return EntryVerdict::Corrupt;
+  }
+  // The digest matched, so the payload is exactly what store() wrote; a
+  // deserialize failure past this point would be an entry written by a
+  // buggy build — surface it as corruption, not a crash.
+  try {
+    if (payload.size() < 8) return EntryVerdict::Corrupt;
+    const std::uint64_t error_len = get_u64(payload.data());
+    if (error_len > payload.size() - 8) return EntryVerdict::Corrupt;
+    out->error.assign(payload.data() + 8,
+                      static_cast<std::size_t>(error_len));
+    out->report = deserialize_report(payload.substr(8 + error_len));
+  } catch (const Error&) {
+    return EntryVerdict::Corrupt;
+  }
+  return EntryVerdict::Ok;
+}
+
+std::string render_entry(const FlowReport& report, const std::string& error) {
+  std::string payload;
+  put_u64(payload, error.size());
+  payload.append(error);
+  payload.append(serialize_report(report));
+
+  std::string entry;
+  entry.reserve(kHeaderBytes + payload.size());
+  entry.append(kEntryMagic, sizeof kEntryMagic);
+  put_u32(entry, kEntryVersion);
+  put_u64(entry, payload.size());
+  const util::Sha256::Digest digest = util::Sha256::of(payload);
+  entry.append(reinterpret_cast<const char*>(digest.data()), digest.size());
+  entry.append(payload);
+  return entry;
+}
+
+/// Header-only verdict: enough to tell live from stale/garbled without
+/// reading or hashing the payload (prune's classification; a lookup still
+/// authenticates the full payload digest).
+EntryVerdict classify_entry_header(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  char header[kHeaderBytes];
+  if (!in.read(header, sizeof header)) return EntryVerdict::Corrupt;
+  if (std::memcmp(header, kEntryMagic, sizeof kEntryMagic) != 0) {
+    return EntryVerdict::Corrupt;
+  }
+  if (get_u32(header + 4) != kEntryVersion) return EntryVerdict::StaleVersion;
+  std::error_code ec;
+  const std::uintmax_t size = fs::file_size(path, ec);
+  if (ec || get_u64(header + 8) != size - kHeaderBytes) {
+    return EntryVerdict::Corrupt;
+  }
+  return EntryVerdict::Ok;
+}
+
+bool is_entry_name(const std::string& name) {
+  if (name.size() != 64 + std::strlen(kEntrySuffix)) return false;
+  if (!name.ends_with(kEntrySuffix)) return false;
+  return name.find_first_not_of("0123456789abcdef") == 64;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_)) {
+    throw Error("cannot create result cache directory '" + dir_ +
+                "': " + (ec ? ec.message() : "not a directory"));
+  }
+  // Fail now, legibly, if the directory is read-only — not later from a
+  // worker thread where store() deliberately swallows write failures.
+  const fs::path probe = fs::path(dir_) / ".gfre_cache_probe";
+  std::ofstream out(probe, std::ios::binary);
+  if (!out) {
+    throw Error("result cache directory '" + dir_ + "' is not writable");
+  }
+  out.close();
+  fs::remove(probe, ec);
+}
+
+std::string ResultCache::key_for_file(std::string_view netlist_bytes,
+                                      const FlowOptions& options) {
+  util::Sha256 h;
+  h.update_u64(1);  // domain tag: raw file bytes
+  h.update_str(netlist_bytes);
+  ShaSink sink{h};
+  walk_report_options(sink, options);
+  return util::Sha256::hex(h.digest());
+}
+
+std::string ResultCache::key_for_netlist(const nl::Netlist& netlist,
+                                         const FlowOptions& options) {
+  util::Sha256 h;
+  h.update_u64(2);  // domain tag: structural walk
+  ShaSink sink{h};
+  walk_netlist_content(sink, netlist);
+  walk_report_options(sink, options);
+  return util::Sha256::hex(h.digest());
+}
+
+std::string ResultCache::entry_path(const std::string& key) const {
+  return (fs::path(dir_) / (key + kEntrySuffix)).string();
+}
+
+void ResultCache::quarantine(const std::string& path) {
+  std::error_code ec;
+  const fs::path qdir = fs::path(dir_) / kQuarantineDir;
+  fs::create_directories(qdir, ec);
+  // Readers of the same key race to quarantine the same file; the unique
+  // suffix keeps the second mover from clobbering the first's evidence,
+  // and a rename failure (other process won) still means the bad entry is
+  // out of the lookup path.
+  static std::atomic<std::uint64_t> seq{0};
+  const fs::path target =
+      qdir / (fs::path(path).filename().string() + "." +
+              std::to_string(static_cast<unsigned long long>(GFRE_GETPID())) +
+              "." + std::to_string(seq.fetch_add(1)));
+  fs::rename(path, target, ec);
+  if (ec) fs::remove(path, ec);
+}
+
+std::optional<CachedOutcome> ResultCache::lookup(const std::string& key) {
+  const std::string path = entry_path(key);
+  std::string bytes;
+  if (!util::read_file_to_string(path, &bytes)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  CachedOutcome outcome;
+  switch (parse_entry(bytes, &outcome)) {
+    case EntryVerdict::Ok: {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.hits;
+      return outcome;
+    }
+    case EntryVerdict::StaleVersion: {
+      // Left in place: store() will overwrite it with the fresh result,
+      // and prune() collects the ones that never get re-stored.
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.stale;
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    case EntryVerdict::Corrupt: {
+      quarantine(path);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.quarantined;
+      ++stats_.misses;
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;  // unreachable
+}
+
+bool ResultCache::store(const std::string& key, const FlowReport& report,
+                        const std::string& error) {
+  const std::string entry = render_entry(report, error);
+  // Unique temp name per writer, then one atomic rename: a reader (or a
+  // concurrent writer of the same key) never observes a half-written
+  // entry, and a crash leaves only a .tmp file for prune() to sweep.
+  static std::atomic<std::uint64_t> seq{0};
+  const fs::path tmp =
+      fs::path(dir_) /
+      (key + ".tmp." +
+       std::to_string(static_cast<unsigned long long>(GFRE_GETPID())) + "." +
+       std::to_string(seq.fetch_add(1)));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(entry.data(), static_cast<std::streamsize>(entry.size()));
+    // close() flushes; only a stream that is still good after it has the
+    // bytes on the filesystem.  Publishing an unchecked buffered write
+    // would let ENOSPC atomically replace a VALID old entry with a
+    // truncated one — the rename below must stay behind this check.
+    out.close();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, entry_path(key), ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.stores;
+  return true;
+}
+
+ResultCache::PruneReport ResultCache::prune(std::uint64_t max_total_bytes) {
+  PruneReport report;
+  std::error_code ec;
+
+  const auto remove_counted = [&](const fs::path& path) {
+    std::error_code size_ec;
+    const std::uint64_t size = fs::file_size(path, size_ec);
+    std::error_code remove_ec;
+    if (!fs::remove(path, remove_ec)) return false;
+    ++report.entries_removed;
+    report.bytes_removed += size_ec ? 0 : size;
+    return true;
+  };
+
+  // Quarantined evidence goes first — it serves no lookup and exists only
+  // until an operator (or this prune) collects it.
+  const fs::path qdir = fs::path(dir_) / kQuarantineDir;
+  if (fs::is_directory(qdir, ec)) {
+    for (const auto& file : fs::directory_iterator(qdir, ec)) {
+      remove_counted(file.path());
+    }
+    fs::remove(qdir, ec);  // succeeds only when emptied
+  }
+
+  struct LiveEntry {
+    fs::path path;
+    std::uint64_t size = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<LiveEntry> live;
+  for (const auto& file : fs::directory_iterator(dir_, ec)) {
+    if (!file.is_regular_file(ec)) continue;
+    const std::string name = file.path().filename().string();
+    if (!is_entry_name(name)) {
+      if (name.find(".tmp.") != std::string::npos) {
+        // A crashed writer's leftover — but a YOUNG tmp may belong to a
+        // concurrent store() that is between write and rename (the
+        // public contract allows prune racing stores, even from other
+        // processes).  The grace window only needs to exceed one
+        // write+rename, so a generous margin costs nothing.
+        const auto mtime = fs::last_write_time(file.path(), ec);
+        if (!ec && fs::file_time_type::clock::now() - mtime >
+                       std::chrono::minutes(10)) {
+          remove_counted(file.path());
+        }
+      }
+      continue;
+    }
+    // Header-only classification: stale/garbled headers are dead weight
+    // under every budget, and checking them is O(1) per entry — prune
+    // never reads or re-hashes payloads (lookup authenticates those on
+    // access and quarantines failures).
+    if (classify_entry_header(file.path()) != EntryVerdict::Ok) {
+      remove_counted(file.path());
+      continue;
+    }
+    LiveEntry entry;
+    entry.path = file.path();
+    entry.size = fs::file_size(file.path(), ec);
+    if (ec) continue;  // vanished under a concurrent prune
+    entry.mtime = fs::last_write_time(file.path(), ec);
+    live.push_back(std::move(entry));
+  }
+
+  // Oldest-first eviction until the live set fits the budget.  An entry
+  // that refuses to delete (permissions, platform locks) stays counted
+  // in bytes_kept — the report must describe the directory as it IS, not
+  // as the budget wished it were.
+  std::sort(live.begin(), live.end(),
+            [](const LiveEntry& a, const LiveEntry& b) {
+              return a.mtime < b.mtime;
+            });
+  std::uint64_t total = 0;
+  for (const auto& entry : live) total += entry.size;
+  std::size_t victims = 0;
+  for (const auto& entry : live) {
+    if (total <= max_total_bytes) break;
+    if (remove_counted(entry.path)) {
+      total -= entry.size;
+      ++victims;
+    }
+  }
+  report.entries_kept = live.size() - victims;
+  report.bytes_kept = total;
+  return report;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace gfre::core

@@ -4,17 +4,19 @@
 #include <condition_variable>
 #include <deque>
 #include <exception>
-#include <fstream>
 #include <mutex>
 #include <ostream>
 #include <thread>
 #include <unordered_map>
 
+#include "core/content_walk.hpp"
 #include "core/parallel_extract.hpp"
+#include "core/result_cache.hpp"
 #include "core/rewriter.hpp"
 #include "netlist/io_blif.hpp"
 #include "netlist/io_eqn.hpp"
 #include "netlist/io_verilog.hpp"
+#include "util/bytes.hpp"
 #include "util/error.hpp"
 #include "util/rss.hpp"
 #include "util/timer.hpp"
@@ -72,39 +74,11 @@ struct CacheKeyHash {
   }
 };
 
-void mix_netlist(Mixer& mix, const nl::Netlist& netlist) {
-  mix.str(netlist.name());
-  mix.u64(netlist.inputs().size());
-  for (nl::Var v : netlist.inputs()) mix.str(netlist.var_name(v));
-  mix.u64(netlist.num_gates());
-  for (const nl::Gate& gate : netlist.gates()) {
-    mix.u64(static_cast<std::uint64_t>(gate.type));
-    mix.str(netlist.var_name(gate.output));
-    mix.u64(gate.inputs.size());
-    for (nl::Var in : gate.inputs) mix.u64(in);
-  }
-  mix.u64(netlist.outputs().size());
-  for (nl::Var v : netlist.outputs()) mix.u64(v);
-}
-
-/// Flow options that change the report (everything but thread count).
-void mix_options(Mixer& mix, const FlowOptions& o) {
-  mix.u64(static_cast<std::uint64_t>(o.strategy));
-  mix.u64((o.verify_with_golden ? 1u : 0u) | (o.infer_ports ? 2u : 0u) |
-          (o.try_output_permutation ? 4u : 0u));
-  mix.str(o.a_base);
-  mix.str(o.b_base);
-  mix.str(o.z_base);
-  mix.u64(o.max_terms);
-}
 
 std::string read_file_bytes(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot open netlist file '" + path + "'");
   std::string bytes;
-  char buf[1 << 16];
-  while (in.read(buf, sizeof buf) || in.gcount() > 0) {
-    bytes.append(buf, static_cast<std::size_t>(in.gcount()));
+  if (!util::read_file_to_string(path, &bytes)) {
+    throw Error("cannot open netlist file '" + path + "'");
   }
   return bytes;
 }
@@ -131,7 +105,7 @@ void erase_value(Container& container, const T& value) {
 
 NetlistHash netlist_content_hash(const nl::Netlist& netlist) {
   Mixer mix;
-  mix_netlist(mix, netlist);
+  walk_netlist_content(mix, netlist);
   return NetlistHash{mix.a, mix.b};
 }
 
@@ -202,6 +176,9 @@ struct BatchScheduler::Impl {
     std::size_t abort_cone = 0;
 
     std::optional<CacheKey> key;
+    /// SHA-256 persistent-cache key (64 hex chars; empty = no disk cache
+    /// attached or keying never happened).
+    std::string disk_key;
     bool inflight_registered = false;
     Job* primary = nullptr;       ///< set while AwaitingPrimary
     std::vector<Job*> followers;  ///< duplicates parked on this job
@@ -449,34 +426,64 @@ struct BatchScheduler::Impl {
     if (options_.memoize) {
       Mixer mix;
       if (job.spec.netlist.has_value()) {
-        mix_netlist(mix, *job.spec.netlist);
+        walk_netlist_content(mix, *job.spec.netlist);
         mix.u64(1);  // domain tag: structural
       } else {
         mix.bytes(text.data(), text.size());
         mix.u64(2);  // domain tag: file bytes
       }
-      mix_options(mix, job.spec.options);
+      walk_report_options(mix, job.spec.options);
       const CacheKey key{mix.a, mix.b};
-      std::lock_guard<std::mutex> lock(mu_);
-      job.key = key;
-      const auto cached = cache_.find(key);
-      if (cached != cache_.end()) {
-        job.result.report = cached->second.report;
-        job.result.error = cached->second.error;
-        job.result.cache_hit = true;
-        ++stats_.cache_hits;
-        finish_locked(job, done);
-        return;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        job.key = key;
+        const auto cached = cache_.find(key);
+        if (cached != cache_.end()) {
+          job.result.report = cached->second.report;
+          job.result.error = cached->second.error;
+          job.result.cache_hit = true;
+          ++stats_.cache_hits;
+          finish_locked(job, done);
+          return;
+        }
+        const auto inflight = inflight_.find(key);
+        if (inflight != inflight_.end()) {
+          job.primary = inflight->second;
+          job.primary->followers.push_back(&job);
+          job.state = Job::State::AwaitingPrimary;
+          return;
+        }
+        inflight_.emplace(key, &job);
+        job.inflight_registered = true;
       }
-      const auto inflight = inflight_.find(key);
-      if (inflight != inflight_.end()) {
-        job.primary = inflight->second;
-        job.primary->followers.push_back(&job);
-        job.state = Job::State::AwaitingPrimary;
-        return;
+      // In-memory miss, and this task now owns the in-flight slot for the
+      // key: only NOW derive the cryptographic persistent key (SHA-256 of
+      // the full content — deliberately lazy, so the hot duplicate path
+      // above never pays more than the cheap 128-bit mix) and consult the
+      // disk store (file I/O, so outside mu_).  A hit replays the cold
+      // run's outcome verbatim, seeds the in-memory memo and resolves any
+      // followers that parked meanwhile — the whole job costs one read,
+      // zero extractions.
+      if (options_.result_cache) {
+        job.disk_key =
+            job.spec.netlist.has_value()
+                ? ResultCache::key_for_netlist(*job.spec.netlist,
+                                               job.spec.options)
+                : ResultCache::key_for_file(text, job.spec.options);
+        if (auto cached = options_.result_cache->lookup(job.disk_key)) {
+          job.result.report = std::move(cached->report);
+          job.result.error = std::move(cached->error);
+          job.result.cache_hit = true;
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.disk_hits;
+          cache_.emplace(*job.key,
+                         CacheEntry{job.result.report, job.result.error});
+          finish_locked(job, done);
+          return;
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.disk_misses;
       }
-      inflight_.emplace(key, &job);
-      job.inflight_registered = true;
     }
 
     try {
@@ -591,7 +598,11 @@ struct BatchScheduler::Impl {
   void complete_with_report(Job& job, FlowReport&& report,
                             std::vector<Job*>& done) {
     job.result.report = std::move(report);
+    // Disk write-back happens before mu_ (serialization + file I/O must
+    // not stall other workers); a failed store is invisible to the job.
+    const bool stored = write_back(job, job.result.report, "");
     std::lock_guard<std::mutex> lock(mu_);
+    if (stored) ++stats_.disk_stores;
     if (job.key.has_value()) {
       cache_.emplace(*job.key, CacheEntry{job.result.report, ""});
     }
@@ -601,11 +612,25 @@ struct BatchScheduler::Impl {
   void complete_with_error(Job& job, const std::string& error,
                            std::vector<Job*>& done) {
     job.result.error = error;
+    // Parse/port errors are as deterministic in the netlist bytes as
+    // reports are, so they persist too — a warm run replays the same
+    // diagnosed failure without re-reading the broken design.
+    const bool stored = write_back(job, FlowReport{}, error);
     std::lock_guard<std::mutex> lock(mu_);
+    if (stored) ++stats_.disk_stores;
     if (job.key.has_value()) {
       cache_.emplace(*job.key, CacheEntry{FlowReport{}, error});
     }
     finish_locked(job, done);
+  }
+
+  /// Persists a completed outcome under the job's SHA-256 key, if a disk
+  /// cache is attached and this job was keyed.  Never throws, never
+  /// blocks on mu_.
+  bool write_back(const Job& job, const FlowReport& report,
+                  const std::string& error) {
+    if (!options_.result_cache || job.disk_key.empty()) return false;
+    return options_.result_cache->store(job.disk_key, report, error);
   }
 
   /// Backstop for exceptions that escape a task runner.  Requires mu_.

@@ -30,8 +30,11 @@
 //  - Memoization and in-flight dedup span the scheduler's whole lifetime:
 //    a job submitted while its duplicate is mid-extraction attaches to
 //    that extraction; one submitted after it completes is a cache hit.
-//    The cache is unbounded — a service that runs for months should
-//    recycle the scheduler or wait for the persistent-cache ROADMAP item.
+//    The in-memory cache is unbounded — a service that runs for months
+//    should recycle the scheduler and lean on the persistent disk cache
+//    (BatchOptions::result_cache -> core/result_cache.hpp), which
+//    survives recycling, is shared between scheduler instances and is
+//    consulted on every in-memory miss before an extraction is paid for.
 //  - cancel(handle) succeeds only for jobs that have not started running
 //    (queued, or parked behind an in-flight duplicate).  When it returns
 //    true, the job's callback has run, its future is ready with
@@ -39,6 +42,15 @@
 //  - The destructor is safe with work in flight: queued jobs are
 //    cancelled (futures fulfilled, callbacks run), jobs that already
 //    started run to completion, then the workers shut down.
+//
+// Thread safety: submit/cancel/stats/threads are safe from any thread,
+// including from inside completion callbacks (drain() is the one
+// callback-forbidden call — it would self-deadlock).  The scheduler owns
+// its workers; the caller owns the futures.  Destruction follows the
+// usual C++ object rule — the caller must ensure no thread is inside (or
+// about to enter) a method when the destructor starts.  Within that
+// rule, teardown is graceful: submissions arriving from completion
+// callbacks while the destructor drains resolve as cancelled.
 //
 // Reports are bit-identical to standalone core::reverse_engineer — the
 // scheduler drives the same flow phases, and tests/test_scheduler.cpp
@@ -81,8 +93,10 @@ class BatchScheduler {
   BatchScheduler& operator=(const BatchScheduler&) = delete;
 
   /// Enqueues one job; thread-safe.  The future is fulfilled exactly once
-  /// (see the guarantees above).  Jobs submitted during/after destruction
-  /// resolve immediately as cancelled.
+  /// (see the guarantees above).  Jobs submitted while teardown is
+  /// draining (only possible from completion callbacks — see the
+  /// destruction rule in the header comment) resolve immediately as
+  /// cancelled.
   Submission submit(BatchJob job, Callback on_complete = nullptr);
 
   /// Cancels a not-yet-started job.  True: the job never ran and its

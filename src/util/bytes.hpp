@@ -1,0 +1,56 @@
+// Byte-level helpers shared by the report serializer (core/report_io.cpp),
+// the persistent result cache (core/result_cache.cpp) and the batch
+// netlist loader (core/scheduler.cpp): little-endian fixed-width wire
+// encoding, and a whole-file slurp.
+//
+// The wire helpers exist in exactly one place so the on-disk formats that
+// embed them (docs/CACHE_FORMAT.md) cannot drift between writers and
+// readers.  All are pure; thread-safe trivially.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+namespace gfre::util {
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+/// Callers guarantee at least 4/8 readable bytes at `p`.
+inline std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= std::uint32_t{static_cast<std::uint8_t>(p[i])} << (8 * i);
+  }
+  return v;
+}
+
+inline std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= std::uint64_t{static_cast<std::uint8_t>(p[i])} << (8 * i);
+  }
+  return v;
+}
+
+/// Reads a whole file into `*out` (binary).  Returns false — rather than
+/// throwing — when the file cannot be opened or a read fails; callers
+/// with a throwing contract wrap it.
+inline bool read_file_to_string(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->clear();
+  char buf[1 << 16];
+  while (in.read(buf, sizeof buf) || in.gcount() > 0) {
+    out->append(buf, static_cast<std::size_t>(in.gcount()));
+  }
+  return !in.bad();
+}
+
+}  // namespace gfre::util

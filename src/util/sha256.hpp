@@ -1,0 +1,68 @@
+// SHA-256 (FIPS 180-4), vendored.
+//
+// The batch engine's in-memory memoization key is a fast 128-bit
+// multiply-xor pair — accident-proof, not adversary-proof (an attacker who
+// can choose netlist bytes could construct a colliding pair and poison a
+// shared cache with another tenant's report).  Anything that persists
+// results across processes therefore keys on SHA-256 instead
+// (core/result_cache.hpp), and the same digest authenticates each cache
+// entry's payload against on-disk corruption.
+//
+// This is a from-scratch implementation of the public FIPS 180-4
+// specification — no external dependency, no platform intrinsics — small
+// enough to audit in one sitting.  Throughput is irrelevant here: the
+// cache hashes kilobyte netlists in front of second-long extractions.
+// Thread safety: distinct Sha256 instances are independent; one instance
+// must not be shared across threads without external synchronization.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gfre::util {
+
+/// Streaming SHA-256: update() any number of times, then digest() once.
+class Sha256 {
+ public:
+  using Digest = std::array<std::uint8_t, 32>;
+
+  Sha256() { reset(); }
+
+  /// Restores the initial state; the instance is reusable afterwards.
+  void reset();
+
+  /// Absorbs `n` bytes.  Must not be called after digest().
+  void update(const void* data, std::size_t n);
+  void update(std::string_view bytes) { update(bytes.data(), bytes.size()); }
+
+  /// Appends a 64-bit value in little-endian framing — the convenience the
+  /// cache-key derivation uses for length prefixes and integer fields.
+  void update_u64(std::uint64_t v);
+
+  /// Length-prefixed string framing (u64 length, then the bytes), so
+  /// adjacent fields can never alias ("ab"+"c" vs "a"+"bc").
+  void update_str(std::string_view s);
+
+  /// Finalizes (pads, appends the bit length) and returns the 32-byte
+  /// digest.  The instance is spent until reset().
+  Digest digest();
+
+  /// One-shot digest of a byte buffer.
+  static Digest of(std::string_view bytes);
+
+  /// Lower-case hex rendering (64 characters).
+  static std::string hex(const Digest& digest);
+
+ private:
+  void compress(const std::uint8_t block[64]);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace gfre::util
