@@ -14,7 +14,9 @@
 // serving-tier ingest path) against the submit-all-then-wait run_batch,
 // and (e) a cold/warm pair through the persistent disk cache
 // (core/result_cache.hpp) — the warm leg must replay every report with
-// zero extractions.
+// zero extractions — and (f) the same manifest through a bounded
+// admission queue (max_queued=8): backpressure must cap the queue's
+// high-water mark without costing throughput.
 // Every batch/scheduler report must agree with the sequential baseline;
 // results land in BENCH_batch.json for CI trend tracking.
 //
@@ -363,6 +365,48 @@ int main() {
         .add("cones", warm.stats.cones_extracted);
   }
 
+  // (f) Bounded admission queue: the serving tier never holds more than
+  // max_queued unresolved jobs — the submitting thread blocks for room
+  // instead.  Same engine, same jobs; the cost of backpressure is the
+  // submitter occasionally sleeping, so throughput must stay within noise
+  // of the unbounded run while the high-water mark respects the cap.
+  double bounded_rate = 0;
+  std::size_t bounded_peak = 0;
+  {
+    constexpr std::size_t kQueueCap = 8;
+    core::BatchOptions bounded_options;
+    bounded_options.threads = cache_width;
+    bounded_options.max_queued = kQueueCap;
+    Timer bounded_timer;
+    const auto bounded = core::run_batch(jobs, bounded_options);
+    const double bounded_wall = bounded_timer.seconds();
+    bounded_rate = static_cast<double>(bounded.stats.jobs) / bounded_wall;
+    bounded_peak = bounded.stats.queue_peak;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (!bounded.results[i].error.empty() ||
+          !same_outcome(bounded.results[i].report, baseline[i])) {
+        std::printf("MISMATCH vs sequential baseline: %s @bounded\n",
+                    bounded.results[i].name.c_str());
+        outcomes_match = false;
+      }
+    }
+    std::printf("bounded queue (cap %zu): %zu jobs in %.2f s  (%.1f jobs/s, "
+                "%.2fx sequential, queue peak %zu, %zu rejected)\n",
+                kQueueCap, bounded.stats.jobs, bounded_wall, bounded_rate,
+                bounded_rate / seq_rate, bounded.stats.queue_peak,
+                bounded.stats.rejected);
+    json.add_record()
+        .add("mode", "batch_bounded")
+        .add("jobs", bounded.stats.jobs)
+        .add("threads", bounded_options.threads)
+        .add("queue_cap", kQueueCap)
+        .add("queue_peak", bounded.stats.queue_peak)
+        .add("rejected", bounded.stats.rejected)
+        .add("wall_s", bounded_wall)
+        .add("jobs_per_sec", bounded_rate)
+        .add("speedup_vs_sequential", bounded_rate / seq_rate);
+  }
+
   json.add_record()
       .add("mode", "host")
       .add("hardware_threads", hw);
@@ -415,6 +459,18 @@ int main() {
               disk_ok ? "PASS" : "FAIL", disk_warm_cones,
               disk_warm_rate / disk_cold_rate);
   pass = pass && disk_ok;
+
+  // Backpressure is pacing, not a slow path: the cap bounds the queue's
+  // high-water mark exactly, and with cap >> worker count the workers
+  // never starve, so the rate stays within noise of the unbounded run.
+  const bool bounded_ok =
+      bounded_peak <= 8 && bounded_rate > 0.6 * batch_rate_at_cache_width;
+  std::printf("shape check: bounded queue caps the high-water mark (peak "
+              "%zu <= 8) without losing throughput: %s (%.2fx of "
+              "unbounded)\n",
+              bounded_peak, bounded_ok ? "PASS" : "FAIL",
+              bounded_rate / batch_rate_at_cache_width);
+  pass = pass && bounded_ok;
 
   const bool scaling_ok = hw < 2 || wall_2t < wall_1t;
   if (hw >= 2) {

@@ -52,18 +52,30 @@ void usage(std::ostream& os) {
   os << "usage: gfre_batch --jobs <manifest> [--threads N]\n"
      << "                  [--strategy packed|indexed|naive]\n"
      << "                  [--ports a,b,z] [--max-terms N]\n"
+     << "                  [--queue-cap N] [--deadline-ms N]\n"
+     << "                  [--admission block|reject]\n"
      << "                  [--no-verify] [--no-cache]\n"
      << "                  [--cache DIR] [--cache-prune BYTES]\n"
+     << "                  [--cache-cap BYTES]\n"
      << "                  [--out report.jsonl] [--quiet] [--help]\n"
      << "\n"
      << "  --jobs FILE        job manifest (required): one netlist per\n"
      << "                     line with optional key=value overrides\n"
      << "                     (name=, ports=a,b,z, strategy=, infer=,\n"
-     << "                     verify=, permute=, max_terms=)\n"
+     << "                     verify=, permute=, max_terms=,\n"
+     << "                     deadline_ms=, priority=high|normal|low)\n"
      << "  --threads N        shared pool width (default: hardware)\n"
      << "  --strategy NAME    default backend: packed|indexed|naive\n"
      << "  --ports a,b,z      default operand/result port base names\n"
      << "  --max-terms N      default per-bit term budget (0 = unlimited)\n"
+     << "  --queue-cap N      bound on admitted-but-unresolved jobs\n"
+     << "                     (0 = unbounded); submission backpressures\n"
+     << "                     at the cap per --admission\n"
+     << "  --deadline-ms N    default per-job wall-clock budget in ms\n"
+     << "                     (0 = none); per-line deadline_ms= overrides\n"
+     << "  --admission MODE   at a full queue: 'block' the stream until a\n"
+     << "                     job resolves (default) or 'reject' the\n"
+     << "                     submission immediately\n"
      << "  --no-verify        skip golden-model comparison by default\n"
      << "  --no-cache         disable content-hash memoization\n"
      << "  --cache DIR        persistent cross-run result cache keyed by\n"
@@ -71,6 +83,8 @@ void usage(std::ostream& os) {
      << "  --cache-prune N    after the run, evict oldest cache entries\n"
      << "                     down to N bytes total (0 empties the\n"
      << "                     cache); requires --cache\n"
+     << "  --cache-cap N      enforce an N-byte cache budget at store\n"
+     << "                     time (auto-prune); requires --cache\n"
      << "  --out FILE         write per-job results as JSON lines\n"
      << "  --quiet            suppress per-job lines (summary only)\n"
      << "  --help             print this message and exit\n";
@@ -79,7 +93,17 @@ void usage(std::ostream& os) {
 /// Progress line for one completed job; runs on scheduler worker threads
 /// under a caller-held mutex.
 void print_result(const gfre::core::BatchJobResult& result) {
-  if (result.cancelled) {
+  if (result.rejected) {
+    std::printf("  [REJECTED] %-40s %s\n", result.name.c_str(),
+                result.error.c_str());
+  } else if (result.deadline_exceeded) {
+    // Queued expiry carries the diagnosis in `error`; a mid-extraction
+    // soft abort carries it in the report.
+    std::printf("  [DEADLINE] %-40s %s\n", result.name.c_str(),
+                !result.error.empty()
+                    ? result.error.c_str()
+                    : result.report.recovery.diagnosis.c_str());
+  } else if (result.cancelled) {
     std::printf("  [CANCELLED] %-40s\n", result.name.c_str());
   } else if (!result.error.empty()) {
     std::printf("  [LOAD-ERROR] %-40s %s\n", result.name.c_str(),
@@ -102,6 +126,12 @@ gfre::JsonLine result_line(const gfre::core::BatchJobResult& result) {
   if (!result.path.empty()) line.add("path", result.path);
   line.add("ok", result.ok);
   line.add("cache_hit", result.cache_hit);
+  if (result.rejected) {
+    line.add("rejected", true);
+    line.add("error", result.error);
+    return line;
+  }
+  if (result.deadline_exceeded) line.add("deadline_exceeded", true);
   if (result.cancelled) {
     line.add("cancelled", true);
     return line;
@@ -137,6 +167,9 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string cache_dir;
   std::optional<std::uint64_t> cache_prune;
+  std::uint64_t cache_cap = 0;
+  std::uint64_t default_deadline_ms = 0;
+  bool admission_reject = false;
   bool quiet = false;
   bool no_cache = false;
   core::BatchOptions batch_options;
@@ -192,6 +225,33 @@ int main(int argc, char** argv) {
           return 2;
         }
         defaults.max_terms = std::stoull(value);
+      } else if (arg == "--queue-cap" && i + 1 < argc) {
+        const std::string value = argv[++i];
+        if (value.empty() || value[0] == '-') {
+          std::cerr << "--queue-cap wants a non-negative integer\n";
+          usage(std::cerr);
+          return 2;
+        }
+        batch_options.max_queued = std::stoull(value);
+      } else if (arg == "--deadline-ms" && i + 1 < argc) {
+        const std::string value = argv[++i];
+        if (value.empty() || value[0] == '-') {
+          std::cerr << "--deadline-ms wants a non-negative integer\n";
+          usage(std::cerr);
+          return 2;
+        }
+        default_deadline_ms = std::stoull(value);
+      } else if (arg == "--admission" && i + 1 < argc) {
+        const std::string mode = argv[++i];
+        if (mode == "block") {
+          admission_reject = false;
+        } else if (mode == "reject") {
+          admission_reject = true;
+        } else {
+          std::cerr << "--admission wants 'block' or 'reject'\n";
+          usage(std::cerr);
+          return 2;
+        }
       } else if (arg == "--no-verify") {
         defaults.verify_with_golden = false;
       } else if (arg == "--no-cache") {
@@ -207,6 +267,14 @@ int main(int argc, char** argv) {
           return 2;
         }
         cache_prune = std::stoull(value);
+      } else if (arg == "--cache-cap" && i + 1 < argc) {
+        const std::string value = argv[++i];
+        if (value.empty() || value[0] == '-') {
+          std::cerr << "--cache-cap wants a positive byte count\n";
+          usage(std::cerr);
+          return 2;
+        }
+        cache_cap = std::stoull(value);
       } else if (arg == "--out" && i + 1 < argc) {
         out_path = argv[++i];
       } else if (arg == "--quiet") {
@@ -239,6 +307,14 @@ int main(int argc, char** argv) {
     std::cerr << "--cache-prune needs --cache DIR\n";
     return 2;
   }
+  if (cache_cap != 0 && cache_dir.empty()) {
+    std::cerr << "--cache-cap needs --cache DIR\n";
+    return 2;
+  }
+  if (admission_reject && batch_options.max_queued == 0) {
+    std::cerr << "--admission reject needs --queue-cap N\n";
+    return 2;
+  }
 
   try {
     std::ifstream in(manifest);
@@ -247,7 +323,7 @@ int main(int argc, char** argv) {
         std::filesystem::path(manifest).parent_path().string();
     if (!cache_dir.empty()) {
       batch_options.result_cache =
-          std::make_shared<core::ResultCache>(cache_dir);
+          std::make_shared<core::ResultCache>(cache_dir, cache_cap);
     }
     std::printf("gfre_batch: streaming '%s' onto %u shared workers "
                 "(memo %s%s%s)\n",
@@ -288,11 +364,16 @@ int main(int argc, char** argv) {
         break;
       }
       if (!job.has_value()) continue;
-      pending.push_back(
-          scheduler
-              .submit(std::move(*job),
-                      quiet ? core::BatchScheduler::Callback{} : on_complete)
-              .result);
+      if (job->deadline_ms == 0) job->deadline_ms = default_deadline_ms;
+      const auto callback =
+          quiet ? core::BatchScheduler::Callback{} : on_complete;
+      // Reject mode resolves over-cap submissions immediately (the future
+      // is already fulfilled), so the stream never stalls; block mode
+      // backpressures the manifest read itself.
+      auto submission =
+          admission_reject ? scheduler.try_submit(std::move(*job), callback)
+                           : scheduler.submit(std::move(*job), callback);
+      pending.push_back(std::move(submission.result));
     }
     if (pending.empty() && !manifest_error.empty()) return 2;
     if (pending.empty()) {
@@ -336,6 +417,12 @@ int main(int argc, char** argv) {
         wall > 0 ? static_cast<double>(stats.jobs) / wall : 0.0,
         stats.succeeded, stats.failed, stats.load_errors, stats.cache_hits,
         stats.cones_extracted, stats.cone_steals);
+    // The admission-control CI smoke greps this line for exact
+    // rejected/deadline-exceeded counts.
+    std::printf("admission: queue peak %zu, %zu rejected, %zu "
+                "deadline-exceeded, %zu memo evictions\n",
+                stats.queue_peak, stats.rejected, stats.deadline_exceeded,
+                stats.memo_evictions);
     if (batch_options.result_cache) {
       // The warm-run CI leg greps this line: an unchanged manifest's
       // second run must show every job as a disk hit and zero misses.

@@ -1,6 +1,7 @@
 #include "core/batch.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <future>
@@ -15,6 +16,28 @@ namespace gfre::core {
 bool BatchReport::all_ok() const {
   return std::all_of(results.begin(), results.end(),
                      [](const BatchJobResult& r) { return r.ok; });
+}
+
+const char* to_string(JobPriority priority) {
+  switch (priority) {
+    case JobPriority::High:
+      return "high";
+    case JobPriority::Normal:
+      return "normal";
+    case JobPriority::Low:
+      return "low";
+  }
+  return "normal";
+}
+
+std::optional<JobPriority> priority_from_name(std::string_view name) {
+  std::string lowered(name);
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lowered == "high") return JobPriority::High;
+  if (lowered == "normal") return JobPriority::Normal;
+  if (lowered == "low") return JobPriority::Low;
+  return std::nullopt;
 }
 
 // The submit-all-then-wait entry point, reimplemented as a thin wrapper
@@ -132,6 +155,21 @@ std::optional<BatchJob> parse_manifest_line(const std::string& line,
                                 "got '" + value + "'");
         }
         job.options.max_terms = std::stoull(value);
+      } else if (key == "deadline_ms") {
+        // Same wrap hazard as max_terms: "-1" must not become a 2^64-1 ms
+        // deadline (i.e. no deadline at all).
+        if (value.empty() || value[0] == '-') {
+          throw InvalidArgument("deadline_ms wants a non-negative integer, "
+                                "got '" + value + "'");
+        }
+        job.deadline_ms = std::stoull(value);
+      } else if (key == "priority") {
+        const auto priority = priority_from_name(value);
+        if (!priority.has_value()) {
+          throw InvalidArgument("unknown priority '" + value +
+                                "' (want high|normal|low)");
+        }
+        job.priority = *priority;
       } else {
         throw InvalidArgument("unknown manifest key '" + key + "'");
       }

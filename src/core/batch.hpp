@@ -37,6 +37,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/flow.hpp"
@@ -46,6 +47,24 @@ namespace gfre::core {
 
 class ResultCache;
 
+/// Admission class of a job.  The scheduler serves classes strictly in
+/// order (High before Normal before Low) at every claim point — setup,
+/// affinity, stealing — and FIFO within a class; priority never preempts a
+/// cone that already started.  Priority is scheduling metadata only: it is
+/// NOT part of the memoization key, so a High and a Low submission of the
+/// same netlist still deduplicate.
+enum class JobPriority {
+  High,
+  Normal,
+  Low,
+};
+
+/// Canonical lower-case name ("high", "normal", "low").
+const char* to_string(JobPriority priority);
+
+/// Inverse of to_string (case-insensitive).
+std::optional<JobPriority> priority_from_name(std::string_view name);
+
 /// One reverse-engineering job: a netlist file path (.eqn/.blif/.v) or an
 /// in-memory netlist (which takes precedence), plus per-job flow options.
 /// FlowOptions::threads is ignored — parallelism belongs to the batch pool.
@@ -54,6 +73,17 @@ struct BatchJob {
   std::string path;                    ///< file-backed job
   std::optional<nl::Netlist> netlist;  ///< in-memory job
   FlowOptions options;
+  /// Wall-clock budget from submission to resolution, in milliseconds;
+  /// 0 = no deadline.  A job past its deadline while still queued is
+  /// cancelled without running; one past it mid-extraction is soft-aborted
+  /// at the next substitution checkpoint (the same checkpoint max_terms
+  /// uses) and resolves as a diagnosed deadline_exceeded failure.  Like
+  /// priority, the deadline is scheduling metadata — it does not enter the
+  /// memoization key, and deadline-exceeded outcomes are never cached (in
+  /// memory or on disk): they describe the resource budget, not the
+  /// netlist.
+  std::uint64_t deadline_ms = 0;
+  JobPriority priority = JobPriority::Normal;
 };
 
 struct BatchJobResult {
@@ -66,11 +96,31 @@ struct BatchJobResult {
   /// The job was revoked (BatchScheduler::cancel or scheduler teardown)
   /// before any of it executed; `error` is empty and `report` is blank.
   bool cancelled = false;
+  /// try_submit found the bounded queue full; nothing executed, `error`
+  /// says so, and the future was fulfilled before try_submit returned.
+  bool rejected = false;
+  /// The job blew past BatchJob::deadline_ms.  Queued expiry resolves like
+  /// a cancellation with a diagnosis in `error`; running expiry resolves
+  /// with a diagnosed failure `report` (success=false) identical at any
+  /// worker count.  Never stored in either cache.
+  bool deadline_exceeded = false;
   /// !cancelled && error.empty() && report.success.
   bool ok = false;
   FlowReport report;
   /// Wall clock from batch/scheduler start to this job's completion.
   double seconds = 0.0;
+};
+
+/// The latency-vs-throughput knob for the worker claim loop (within each
+/// priority class — class order always comes first).
+enum class SchedulingPolicy {
+  /// Default.  Maximize pool utilization: keep worker/job affinity, start
+  /// queued setups before stealing, steal from the deepest cone backlog.
+  Throughput,
+  /// Minimize time-to-first-result: finish the oldest in-flight job first
+  /// (workers converge on it, ignoring affinity), only then start new
+  /// setups.
+  Latency,
 };
 
 struct BatchOptions {
@@ -79,6 +129,19 @@ struct BatchOptions {
   /// Content-hash result memoization.  Scoped to one run_batch call — or,
   /// on a BatchScheduler, to the scheduler's whole lifetime.
   bool memoize = true;
+  /// Upper bound on jobs admitted but not yet resolved (queued + running);
+  /// 0 = unbounded.  At the bound, BatchScheduler::submit blocks until a
+  /// job resolves and try_submit rejects immediately — so a flood of
+  /// submissions is backpressured instead of growing the queue without
+  /// limit.  Cache hits and duplicates count while unresolved like any
+  /// other job.
+  std::size_t max_queued = 0;
+  /// Entry cap for the in-memory memoization cache, evicted LRU; 0 =
+  /// unbounded (the pre-admission-control behavior).  An evicted entry is
+  /// not a lost result: the persistent disk layer (result_cache below) is
+  /// consulted on every memo miss, including eviction-induced ones.
+  std::size_t memo_max_entries = 4096;
+  SchedulingPolicy policy = SchedulingPolicy::Throughput;
   /// Optional persistent cross-process cache (core/result_cache.hpp).
   /// When set (and memoize is on — the disk layer sits behind the
   /// in-memory one), every in-memory miss consults the disk store before
@@ -96,6 +159,10 @@ struct BatchStats {
   std::size_t failed = 0;        ///< flow ran, success=false
   std::size_t load_errors = 0;   ///< file unreadable/unparseable
   std::size_t cancelled = 0;     ///< revoked before running
+  std::size_t rejected = 0;      ///< try_submit bounced off a full queue
+  /// Jobs resolved by their BatchJob::deadline_ms budget — expired while
+  /// queued or soft-aborted mid-extraction.  Disjoint from `cancelled`.
+  std::size_t deadline_exceeded = 0;
   std::size_t cache_hits = 0;    ///< results served from in-memory memoization
   /// Persistent-cache traffic (zero unless BatchOptions::result_cache is
   /// set).  disk_hits counts jobs whose outcome was replayed from disk;
@@ -110,6 +177,10 @@ struct BatchStats {
   /// Cone tasks a worker claimed from a different job than the one it last
   /// served — the cross-circuit interleaving this engine exists for.
   std::size_t cone_steals = 0;
+  /// Memo entries evicted by the BatchOptions::memo_max_entries LRU cap.
+  std::size_t memo_evictions = 0;
+  /// High-water mark of unresolved admitted jobs — what max_queued bounds.
+  std::size_t queue_peak = 0;
 };
 
 struct BatchReport {
@@ -158,6 +229,7 @@ nl::Netlist load_netlist_file(const std::string& path);
 /// Parses a batch manifest: one job per line,
 ///   <netlist-path> [name=X] [ports=a,b,z] [strategy=packed|indexed|naive]
 ///                  [infer=0|1] [verify=0|1] [permute=0|1] [max_terms=N]
+///                  [deadline_ms=N] [priority=high|normal|low]
 /// with '#' comments and blank lines ignored.  Relative paths resolve
 /// against the manifest's directory.  `defaults` seeds every job's options
 /// before the per-line overrides apply.  Throws ParseError on bad lines.

@@ -134,7 +134,8 @@ bool is_entry_name(const std::string& name) {
 
 }  // namespace
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+ResultCache::ResultCache(std::string dir, std::uint64_t max_bytes)
+    : dir_(std::move(dir)), max_bytes_(max_bytes) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec || !fs::is_directory(dir_)) {
@@ -150,6 +151,17 @@ ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
   }
   out.close();
   fs::remove(probe, ec);
+  if (max_bytes_ != 0) {
+    // Seed the approximate total from what is already on disk, so a cap
+    // applies to a pre-existing directory from the first store on.
+    for (const auto& file : fs::directory_iterator(dir_, ec)) {
+      if (!file.is_regular_file(ec)) continue;
+      if (!is_entry_name(file.path().filename().string())) continue;
+      std::error_code size_ec;
+      const std::uint64_t size = fs::file_size(file.path(), size_ec);
+      if (!size_ec) approx_bytes_ += size;
+    }
+  }
 }
 
 std::string ResultCache::key_for_file(std::string_view netlist_bytes,
@@ -253,14 +265,43 @@ bool ResultCache::store(const std::string& key, const FlowReport& report,
       return false;
     }
   }
+  // Size of the entry this store may be replacing — the approximate
+  // total must not double-count overwrites.  Read before the rename so
+  // the old size is still observable.
+  std::error_code size_ec;
+  std::uint64_t old_size = 0;
+  if (max_bytes_ != 0) {
+    old_size = fs::file_size(entry_path(key), size_ec);
+    if (size_ec) old_size = 0;
+  }
   std::error_code ec;
   fs::rename(tmp, entry_path(key), ec);
   if (ec) {
     fs::remove(tmp, ec);
     return false;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.stores;
+  bool should_prune = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.stores;
+    if (max_bytes_ != 0) {
+      approx_bytes_ += entry.size();
+      approx_bytes_ -= std::min<std::uint64_t>(approx_bytes_, old_size);
+      if (approx_bytes_ > max_bytes_ && !pruning_) {
+        pruning_ = true;
+        should_prune = true;
+      }
+    }
+  }
+  if (should_prune) {
+    // The storing thread pays for the sweep (prune resyncs
+    // approx_bytes_); concurrent stores keep going — pruning_ stops them
+    // from piling onto the same directory walk.
+    prune(max_bytes_);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.autoprunes;
+    pruning_ = false;
+  }
   return true;
 }
 
@@ -348,6 +389,12 @@ ResultCache::PruneReport ResultCache::prune(std::uint64_t max_total_bytes) {
   }
   report.entries_kept = live.size() - victims;
   report.bytes_kept = total;
+  if (max_bytes_ != 0) {
+    // Every prune — explicit or store-triggered — resyncs the
+    // approximate total to the exact live size it just measured.
+    std::lock_guard<std::mutex> lock(mu_);
+    approx_bytes_ = report.bytes_kept;
+  }
   return report;
 }
 

@@ -30,10 +30,14 @@
 //    version lives in the entry header, so a build with a different
 //    kReportSchemaVersion treats every old entry as a stale miss and
 //    overwrites it on store.
-//  - Eviction is explicit: prune(max_total_bytes) deletes stale-version
-//    and quarantined entries first, then the oldest live entries (by
-//    last write time) until the directory fits the budget.  gfre_batch
-//    exposes it as --cache-prune.
+//  - Eviction: prune(max_total_bytes) deletes stale-version and
+//    quarantined entries first, then the oldest live entries (by last
+//    write time) until the directory fits the budget.  gfre_batch exposes
+//    it as --cache-prune.  Constructing with max_bytes > 0 additionally
+//    enforces the budget at store() time: when the (approximate, cheaply
+//    tracked) directory size crosses the cap, the storing thread runs the
+//    same prune — so a long-running service never overshoots the budget
+//    until someone remembers to prune explicitly.
 //
 // Thread safety: every public method is safe to call concurrently from
 // any thread (scheduler workers do).  lookup/store synchronize through
@@ -74,6 +78,7 @@ class ResultCache {
     std::size_t stores = 0;       ///< entries written
     std::size_t quarantined = 0;  ///< corrupt entries moved aside
     std::size_t stale = 0;        ///< entries rejected for schema version
+    std::size_t autoprunes = 0;   ///< store-time cap enforcements (prunes)
   };
 
   /// What prune() did.
@@ -86,7 +91,11 @@ class ResultCache {
 
   /// Opens (creating if needed) the cache directory.  Throws gfre::Error
   /// when the directory cannot be created or is not writable.
-  explicit ResultCache(std::string dir);
+  /// `max_bytes` > 0 arms store-time cap enforcement: the directory is
+  /// sized once here, the running total is tracked approximately across
+  /// stores, and a store that crosses the cap runs prune(max_bytes)
+  /// before returning.  0 keeps eviction explicit (prune() only).
+  explicit ResultCache(std::string dir, std::uint64_t max_bytes = 0);
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -135,8 +144,18 @@ class ResultCache {
   void quarantine(const std::string& path);
 
   std::string dir_;
+  /// Store-time budget; 0 = explicit prune only.
+  std::uint64_t max_bytes_ = 0;
   mutable std::mutex mu_;
   Stats stats_;
+  /// Approximate on-disk total (live entries), kept under mu_.  Seeded by
+  /// the constructor scan, advanced per store, resynced to the exact
+  /// bytes_kept after every prune — drift between prunes is bounded by
+  /// concurrent writers in other processes, which the next prune absorbs.
+  std::uint64_t approx_bytes_ = 0;
+  /// True while some thread runs a store-triggered prune, so concurrent
+  /// stores do not stack redundant directory sweeps.
+  bool pruning_ = false;
 };
 
 }  // namespace gfre::core

@@ -390,6 +390,18 @@ Anf run_backward_rewriting(const nl::Netlist& netlist, Var output,
       }
       throw TermBudgetExceeded(backend.size(), options.max_terms);
     }
+    if (options.deadline.has_value() &&
+        std::chrono::steady_clock::now() > *options.deadline) {
+      // Same checkpoint as the term budget: between substitutions, F is
+      // consistent, so the abort is clean.  One clock read per
+      // substitution is noise against the substitution itself.
+      if (stats != nullptr) {
+        stats->cancellations = backend.cancellations();
+        stats->peak_terms = peak;
+        stats->final_terms = backend.size();
+      }
+      throw DeadlineExceeded();
+    }
     if (options.trace != nullptr) {
       // Materializing value() per step costs O(|F|) for the handle-based
       // backends, but trace_step's sorted full-polynomial print is already

@@ -24,6 +24,7 @@
 //                reading of Algorithm 1; kept for the ablation benchmark).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
@@ -59,6 +60,19 @@ class TermBudgetExceeded : public Error {
   std::size_t budget_;
 };
 
+/// Thrown when a rewriting run crosses its wall-clock deadline
+/// (RewriteOptions::deadline) — the batch scheduler's soft-abort for jobs
+/// with a BatchJob::deadline_ms budget.  The message is deliberately fixed
+/// (no elapsed times, no term counts): the diagnosed report a deadline
+/// abort produces must be bit-identical at any worker count and under any
+/// cone interleaving.
+class DeadlineExceeded : public Error {
+ public:
+  DeadlineExceeded()
+      : Error("backward rewriting exceeded the job deadline; the cone was "
+              "abandoned at a substitution checkpoint") {}
+};
+
 enum class RewriteStrategy {
   Packed,
   Indexed,
@@ -92,6 +106,12 @@ struct RewriteOptions {
   /// substitutions, so the transient overshoot is at most one gate-ANF
   /// expansion).
   std::size_t max_terms = 0;
+  /// Wall-clock deadline for this extraction (monotonic clock); unset =
+  /// unlimited.  Checked at the same between-substitutions checkpoint as
+  /// max_terms, throwing DeadlineExceeded — so a cone already past its
+  /// deadline overshoots by at most one gate-ANF expansion before it is
+  /// abandoned, and the abort can never tear a substitution in half.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 /// Extracts the ANF of one output bit by backward rewriting.

@@ -1,9 +1,13 @@
 #include "core/scheduler.hpp"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <list>
+#include <map>
 #include <mutex>
 #include <ostream>
 #include <thread>
@@ -101,6 +105,16 @@ void erase_value(Container& container, const T& value) {
   if (it != container.end()) container.erase(it);
 }
 
+/// Diagnosis for a job whose deadline elapsed before any of it executed.
+/// Fixed text — the report must not depend on how late the reaper fired.
+constexpr const char* kQueuedDeadlineDiagnosis =
+    "deadline exceeded: the job's wall-clock budget elapsed before "
+    "extraction began";
+
+/// Rejection diagnosis for try_submit on a full bounded queue.
+constexpr const char* kRejectedDiagnosis =
+    "rejected: the scheduler's bounded submission queue is full";
+
 }  // namespace
 
 NetlistHash netlist_content_hash(const nl::Netlist& netlist) {
@@ -175,6 +189,15 @@ struct BatchScheduler::Impl {
     std::exception_ptr abort;
     std::size_t abort_cone = 0;
 
+    /// Absolute deadline (spec.deadline_ms past submission); nullopt = no
+    /// budget.  While the job is Queued/AwaitingPrimary the reaper owns
+    /// enforcement (deadline_it points into deadlines_); once extraction
+    /// starts, the substitution-checkpoint soft abort does.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    bool deadline_registered = false;
+    std::multimap<std::chrono::steady_clock::time_point, Job*>::iterator
+        deadline_it;
+
     std::optional<CacheKey> key;
     /// SHA-256 persistent-cache key (64 hex chars; empty = no disk cache
     /// attached or keying never happened).
@@ -200,6 +223,14 @@ struct BatchScheduler::Impl {
     FlowReport report;
     std::string error;
   };
+  /// LRU order for the bounded memo: front = most recently used.  cache_
+  /// indexes into this list, so lookups stay O(1) and eviction O(1).
+  using MemoList = std::list<std::pair<CacheKey, CacheEntry>>;
+
+  static constexpr std::size_t kPriorityClasses = 3;
+  static std::size_t class_of(const Job& job) {
+    return static_cast<std::size_t>(job.spec.priority);
+  }
 
   explicit Impl(const BatchOptions& options) : options_(options) {
     GFRE_ASSERT(options_.threads >= 1,
@@ -209,6 +240,7 @@ struct BatchScheduler::Impl {
     for (unsigned wid = 0; wid < options_.threads; ++wid) {
       workers_.emplace_back([this, wid] { worker(wid); });
     }
+    reaper_ = std::thread([this] { reaper(); });
   }
 
   ~Impl() {
@@ -219,12 +251,16 @@ struct BatchScheduler::Impl {
       // Revoke everything that has not started.  Jobs past Queued (in
       // flight, or parked behind an in-flight primary) run to completion —
       // their futures resolve with real results below.
-      for (Job* job : setup_queue_) {
-        job->result.cancelled = true;
-        finish_locked(*job, done);
+      for (auto& queue : setup_queues_) {
+        for (Job* job : queue) {
+          job->result.cancelled = true;
+          finish_locked(*job, done);
+        }
+        queue.clear();
       }
-      setup_queue_.clear();
     }
+    // Submitters blocked on admission resolve their jobs as cancelled.
+    cv_room_.notify_all();
     deliver(done);
     retire(done);
     drain();
@@ -233,10 +269,26 @@ struct BatchScheduler::Impl {
       stop_ = true;
     }
     cv_work_.notify_all();
+    cv_reaper_.notify_all();
+    cv_room_.notify_all();
     for (auto& w : workers_) w.join();
+    reaper_.join();
   }
 
   Submission submit(BatchJob spec, Callback on_complete) {
+    return submit_impl(std::move(spec), std::move(on_complete),
+                       /*blocking=*/true);
+  }
+
+  Submission try_submit(BatchJob spec, Callback on_complete) {
+    return submit_impl(std::move(spec), std::move(on_complete),
+                       /*blocking=*/false);
+  }
+
+  Submission submit_impl(BatchJob spec, Callback on_complete, bool blocking) {
+    // The deadline clock starts at arrival: time spent blocked on
+    // admission is the job's problem, not free.
+    const auto arrival = std::chrono::steady_clock::now();
     auto owned = std::make_unique<Job>();
     Job* job = owned.get();
     job->spec = std::move(spec);
@@ -250,22 +302,63 @@ struct BatchScheduler::Impl {
     Submission out;
     out.result = job->promise.get_future();
     std::vector<Job*> done;
+    bool rejected = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      job->handle = next_handle_++;
-      out.handle = job->handle;
-      ++stats_.jobs;
-      ++unresolved_;
-      jobs_.emplace(job->handle, std::move(owned));
-      if (shutting_down_) {
-        // A submission racing teardown resolves like any other queued job
-        // at teardown: cancelled, on the submitting thread.
-        job->result.cancelled = true;
-        finish_locked(*job, done);
-      } else {
-        setup_queue_.push_back(job);
-        cv_work_.notify_one();
+      std::unique_lock<std::mutex> lock(mu_);
+      const std::size_t cap = options_.max_queued;
+      if (cap != 0 && !shutting_down_ && unresolved_ >= cap) {
+        if (blocking) {
+          cv_room_.wait(lock, [&] {
+            return shutting_down_ || unresolved_ < cap;
+          });
+        } else {
+          ++stats_.jobs;
+          ++stats_.rejected;
+          rejected = true;
+        }
       }
+      if (!rejected) {
+        job->handle = next_handle_++;
+        out.handle = job->handle;
+        ++stats_.jobs;
+        ++unresolved_;
+        stats_.queue_peak = std::max(stats_.queue_peak, unresolved_);
+        jobs_.emplace(job->handle, std::move(owned));
+        if (shutting_down_) {
+          // A submission racing teardown resolves like any other queued
+          // job at teardown: cancelled, on the submitting thread.
+          job->result.cancelled = true;
+          finish_locked(*job, done);
+        } else {
+          if (job->spec.deadline_ms > 0) {
+            job->deadline =
+                arrival + std::chrono::milliseconds(job->spec.deadline_ms);
+            job->deadline_it = deadlines_.emplace(*job->deadline, job);
+            job->deadline_registered = true;
+            cv_reaper_.notify_one();
+          }
+          setup_queues_[class_of(*job)].push_back(job);
+          cv_work_.notify_one();
+        }
+      }
+    }
+    if (rejected) {
+      // The rejected ticket resolves on the submitting thread, before
+      // try_submit returns: handle stays 0, the callback runs, the future
+      // is already fulfilled.  `owned` was never handed to jobs_.
+      job->result.name = job->spec.name;
+      job->result.path = job->spec.path;
+      job->result.rejected = true;
+      job->result.error = kRejectedDiagnosis;
+      job->result.seconds = clock_.seconds();
+      if (job->callback) {
+        try {
+          job->callback(job->result);
+        } catch (...) {
+        }
+      }
+      job->promise.set_value(std::move(job->result));
+      return out;
     }
     if (!done.empty()) {
       deliver(done);
@@ -282,7 +375,7 @@ struct BatchScheduler::Impl {
       if (it == jobs_.end()) return false;
       Job& job = *it->second;
       if (job.state == Job::State::Queued) {
-        erase_value(setup_queue_, &job);
+        erase_value(setup_queues_[class_of(job)], &job);
       } else if (job.state == Job::State::AwaitingPrimary) {
         erase_value(job.primary->followers, &job);
         job.primary = nullptr;
@@ -303,6 +396,38 @@ struct BatchScheduler::Impl {
   void drain() {
     std::unique_lock<std::mutex> lock(mu_);
     cv_idle_.wait(lock, [&] { return unresolved_ == 0; });
+  }
+
+  bool drain_for(std::chrono::milliseconds timeout) {
+    std::vector<Job*> done;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (cv_idle_.wait_for(lock, timeout, [&] { return unresolved_ == 0; })) {
+        return true;
+      }
+      // Budget spent: convert everything that has not started into a
+      // terminal outcome — expired-deadline jobs resolve as
+      // deadline_exceeded, the rest as cancelled — then wait for the
+      // in-flight remainder (including duplicates parked behind running
+      // primaries, which those primaries resolve).
+      const auto now = std::chrono::steady_clock::now();
+      for (auto& queue : setup_queues_) {
+        for (Job* job : queue) {
+          if (job->deadline.has_value() && now > *job->deadline) {
+            job->result.deadline_exceeded = true;
+            job->result.error = kQueuedDeadlineDiagnosis;
+          } else {
+            job->result.cancelled = true;
+          }
+          finish_locked(*job, done);
+        }
+        queue.clear();
+      }
+    }
+    deliver(done);
+    retire(done);
+    drain();
+    return false;
   }
 
   BatchStats stats() const {
@@ -343,6 +468,62 @@ struct BatchScheduler::Impl {
     }
   }
 
+  /// Deadline enforcement for jobs that have not started: one background
+  /// thread sleeps until the earliest registered deadline and expires
+  /// whatever is still Queued or AwaitingPrimary at that instant.  Jobs
+  /// already extracting are left to the substitution-checkpoint soft
+  /// abort — a cone mid-rewrite cannot be revoked from outside without
+  /// tearing state, and the checkpoint bounds the overshoot to one
+  /// gate-ANF expansion.
+  void reaper() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (stop_) return;
+      if (deadlines_.empty()) {
+        cv_reaper_.wait(lock);
+        continue;
+      }
+      const auto next = deadlines_.begin()->first;
+      if (std::chrono::steady_clock::now() < next) {
+        // Re-evaluate after the wait: a nearer deadline may have been
+        // registered, or teardown may have started.
+        cv_reaper_.wait_until(lock, next);
+        continue;
+      }
+      std::vector<Job*> done;
+      const auto now = std::chrono::steady_clock::now();
+      while (!deadlines_.empty() && deadlines_.begin()->first <= now) {
+        Job* job = deadlines_.begin()->second;
+        deadlines_.erase(deadlines_.begin());
+        job->deadline_registered = false;
+        if (job->state == Job::State::Queued) {
+          erase_value(setup_queues_[class_of(*job)], job);
+          expire_locked(*job, done);
+        } else if (job->state == Job::State::AwaitingPrimary) {
+          erase_value(job->primary->followers, job);
+          job->primary = nullptr;
+          expire_locked(*job, done);
+        }
+        // Any other state: extraction owns enforcement from here on.
+      }
+      if (!done.empty()) {
+        lock.unlock();
+        deliver(done);
+        lock.lock();
+        retire_locked(done);
+      }
+    }
+  }
+
+  /// Resolves a not-yet-started job as deadline_exceeded.  Requires mu_;
+  /// the caller has already removed the job from its claim structure and
+  /// from deadlines_.
+  void expire_locked(Job& job, std::vector<Job*>& done) {
+    job.result.deadline_exceeded = true;
+    job.result.error = kQueuedDeadlineDiagnosis;
+    finish_locked(job, done);
+  }
+
   std::size_t cones_available(const Job& job) const {
     if (job.state != Job::State::Extracting || job.abort) return 0;
     return job.extraction.anfs.size() - job.cones_claimed;
@@ -360,13 +541,33 @@ struct BatchScheduler::Impl {
     return task;
   }
 
-  /// Claims the next unit of work under mu_.  Priorities: retire finished
-  /// jobs (unblocks duplicates), stay on the worker's current job (the
-  /// netlist is cache-hot), open a new job, and only then steal a cone
-  /// from the deepest other backlog.  The first three claims are O(1) —
-  /// finalize-ready jobs queue in finalize_ready_, setups are claimed in
-  /// submission order from setup_queue_ — so only the rare steal path
-  /// (own job dry AND nothing left to open) scans the in-flight jobs.
+  Task claim_setup(std::size_t cls, std::size_t wid) {
+    Job* job = setup_queues_[cls].front();
+    setup_queues_[cls].pop_front();
+    job->state = Job::State::SettingUp;
+    // The worker adopts the job it opens — claiming its cones next is
+    // affinity, not a steal.
+    last_job_[wid] = job->handle;
+    Task task;
+    task.kind = Task::Kind::Setup;
+    task.job = job;
+    return task;
+  }
+
+  /// Claims the next unit of work under mu_.  Finished jobs retire first
+  /// (unblocks duplicates); after that, priority classes are served
+  /// strictly in order — all claimable High work before any Normal before
+  /// any Low, FIFO within a class — and the BatchOptions::policy knob
+  /// picks the order WITHIN a class:
+  ///
+  ///  * Throughput (default): stay on the worker's current job (the
+  ///    netlist is cache-hot), open a new job in submission order, and
+  ///    only then steal a cone from the deepest same-class backlog — so
+  ///    only the rare steal path (own job dry AND nothing left to open)
+  ///    scans the in-flight jobs.
+  ///  * Latency: converge on the oldest in-flight job of the class
+  ///    (ignoring affinity) so it crosses the finish line soonest; open
+  ///    new jobs only when nothing of the class is extracting.
   Task find_work(std::size_t wid) {
     if (!finalize_ready_.empty()) {
       Job* job = finalize_ready_.back();
@@ -377,34 +578,38 @@ struct BatchScheduler::Impl {
       task.job = job;
       return task;
     }
-    if (last_job_[wid] != JobHandle{0}) {
-      const auto it = jobs_.find(last_job_[wid]);
-      if (it != jobs_.end() && cones_available(*it->second)) {
-        return claim_cone(it->second.get(), wid);
+    for (std::size_t cls = 0; cls < kPriorityClasses; ++cls) {
+      if (options_.policy == SchedulingPolicy::Latency) {
+        // extracting_ is in extraction-start order, so the first live
+        // entry of the class is the oldest.
+        for (Job* job : extracting_) {
+          if (class_of(*job) == cls && cones_available(*job) > 0) {
+            return claim_cone(job, wid);
+          }
+        }
+        if (!setup_queues_[cls].empty()) return claim_setup(cls, wid);
+        continue;
       }
-    }
-    if (!setup_queue_.empty()) {
-      Job* job = setup_queue_.front();
-      setup_queue_.pop_front();
-      job->state = Job::State::SettingUp;
-      // The worker adopts the job it opens — claiming its cones next is
-      // affinity, not a steal.
-      last_job_[wid] = job->handle;
-      Task task;
-      task.kind = Task::Kind::Setup;
-      task.job = job;
-      return task;
-    }
-    Job* best = nullptr;
-    std::size_t best_backlog = 0;
-    for (Job* job : extracting_) {
-      const std::size_t backlog = cones_available(*job);
-      if (backlog > best_backlog) {
-        best = job;
-        best_backlog = backlog;
+      if (last_job_[wid] != JobHandle{0}) {
+        const auto it = jobs_.find(last_job_[wid]);
+        if (it != jobs_.end() && class_of(*it->second) == cls &&
+            cones_available(*it->second) > 0) {
+          return claim_cone(it->second.get(), wid);
+        }
       }
+      if (!setup_queues_[cls].empty()) return claim_setup(cls, wid);
+      Job* best = nullptr;
+      std::size_t best_backlog = 0;
+      for (Job* job : extracting_) {
+        if (class_of(*job) != cls) continue;
+        const std::size_t backlog = cones_available(*job);
+        if (backlog > best_backlog) {
+          best = job;
+          best_backlog = backlog;
+        }
+      }
+      if (best != nullptr) return claim_cone(best, wid);
     }
-    if (best != nullptr) return claim_cone(best, wid);
     return Task{};
   }
 
@@ -437,10 +642,9 @@ struct BatchScheduler::Impl {
       {
         std::lock_guard<std::mutex> lock(mu_);
         job.key = key;
-        const auto cached = cache_.find(key);
-        if (cached != cache_.end()) {
-          job.result.report = cached->second.report;
-          job.result.error = cached->second.error;
+        if (const CacheEntry* cached = memo_find_locked(key)) {
+          job.result.report = cached->report;
+          job.result.error = cached->error;
           job.result.cache_hit = true;
           ++stats_.cache_hits;
           finish_locked(job, done);
@@ -476,8 +680,8 @@ struct BatchScheduler::Impl {
           job.result.cache_hit = true;
           std::lock_guard<std::mutex> lock(mu_);
           ++stats_.disk_hits;
-          cache_.emplace(*job.key,
-                         CacheEntry{job.result.report, job.result.error});
+          memo_insert_locked(*job.key,
+                             CacheEntry{job.result.report, job.result.error});
           finish_locked(job, done);
           return;
         }
@@ -525,6 +729,9 @@ struct BatchScheduler::Impl {
     RewriteOptions options;
     options.strategy = job.spec.options.strategy;
     options.max_terms = job.spec.options.max_terms;
+    // Soft-abort plumbing: the rewriter checks this at the same
+    // between-substitutions checkpoint as max_terms.
+    options.deadline = job.deadline;
     std::exception_ptr failure;
     try {
       // Each slot is claimed by exactly one worker — no lock needed for
@@ -563,6 +770,13 @@ struct BatchScheduler::Impl {
       std::string what;
       try {
         std::rethrow_exception(job.abort);
+      } catch (const DeadlineExceeded& e) {
+        // Resource budget, not a property of the netlist: flag the result
+        // so completion skips both caches, and let the fixed exception
+        // message shape a report that is bit-identical at any thread
+        // count.
+        job.result.deadline_exceeded = true;
+        what = e.what();
       } catch (const Error& e) {
         what = e.what();
       } catch (...) {
@@ -598,13 +812,17 @@ struct BatchScheduler::Impl {
   void complete_with_report(Job& job, FlowReport&& report,
                             std::vector<Job*>& done) {
     job.result.report = std::move(report);
+    // Deadline aborts are a statement about this run's wall-clock budget,
+    // not about the netlist — caching one (memo or disk) would replay a
+    // "failure" for content that extracts fine under a saner budget.
+    const bool cacheable = !job.result.deadline_exceeded;
     // Disk write-back happens before mu_ (serialization + file I/O must
     // not stall other workers); a failed store is invisible to the job.
-    const bool stored = write_back(job, job.result.report, "");
+    const bool stored = cacheable && write_back(job, job.result.report, "");
     std::lock_guard<std::mutex> lock(mu_);
     if (stored) ++stats_.disk_stores;
-    if (job.key.has_value()) {
-      cache_.emplace(*job.key, CacheEntry{job.result.report, ""});
+    if (cacheable && job.key.has_value()) {
+      memo_insert_locked(*job.key, CacheEntry{job.result.report, ""});
     }
     finish_locked(job, done);
   }
@@ -619,9 +837,37 @@ struct BatchScheduler::Impl {
     std::lock_guard<std::mutex> lock(mu_);
     if (stored) ++stats_.disk_stores;
     if (job.key.has_value()) {
-      cache_.emplace(*job.key, CacheEntry{FlowReport{}, error});
+      memo_insert_locked(*job.key, CacheEntry{FlowReport{}, error});
     }
     finish_locked(job, done);
+  }
+
+  /// O(1) memo lookup; a hit is refreshed to the LRU front.  Requires mu_.
+  const CacheEntry* memo_find_locked(const CacheKey& key) {
+    const auto it = cache_.find(key);
+    if (it == cache_.end()) return nullptr;
+    memo_lru_.splice(memo_lru_.begin(), memo_lru_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts (or refreshes) a memo entry and enforces the
+  /// memo_max_entries LRU bound.  An evicted key is not a lost result —
+  /// the disk layer is consulted on the next miss.  Requires mu_.
+  void memo_insert_locked(const CacheKey& key, CacheEntry entry) {
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      it->second->second = std::move(entry);
+      memo_lru_.splice(memo_lru_.begin(), memo_lru_, it->second);
+      return;
+    }
+    memo_lru_.emplace_front(key, std::move(entry));
+    cache_.emplace(key, memo_lru_.begin());
+    if (options_.memo_max_entries != 0 &&
+        cache_.size() > options_.memo_max_entries) {
+      cache_.erase(memo_lru_.back().first);
+      memo_lru_.pop_back();
+      ++stats_.memo_evictions;
+    }
   }
 
   /// Persists a completed outcome under the job's SHA-256 key, if a disk
@@ -649,7 +895,9 @@ struct BatchScheduler::Impl {
     }
     // No task references the job anymore; scrub it from whichever claim
     // structure holds it and resolve its future exceptionally.
-    if (job.state == Job::State::Queued) erase_value(setup_queue_, &job);
+    if (job.state == Job::State::Queued) {
+      erase_value(setup_queues_[class_of(job)], &job);
+    }
     if (job.state == Job::State::Extracting) erase_value(extracting_, &job);
     if (job.state == Job::State::ReadyToFinalize) {
       erase_value(finalize_ready_, &job);
@@ -671,6 +919,11 @@ struct BatchScheduler::Impl {
   void count_locked(const Job& job) {
     if (job.fatal) {
       ++stats_.failed;
+    } else if (job.result.deadline_exceeded) {
+      // Both flavors — expired while queued (error set) and soft-aborted
+      // mid-extraction (diagnosed report) — land here, disjoint from
+      // cancelled/load_errors/failed.
+      ++stats_.deadline_exceeded;
     } else if (job.result.cancelled) {
       ++stats_.cancelled;
     } else if (!job.result.error.empty()) {
@@ -689,11 +942,15 @@ struct BatchScheduler::Impl {
   void finish_locked(Job& job, std::vector<Job*>& done) {
     job.result.name = job.spec.name;
     job.result.path = job.spec.path;
-    job.result.ok = !job.result.cancelled && job.result.error.empty() &&
-                    job.result.report.success;
+    job.result.ok = !job.result.cancelled && !job.result.deadline_exceeded &&
+                    job.result.error.empty() && job.result.report.success;
     job.result.seconds = clock_.seconds();
     job.state = Job::State::Done;
     count_locked(job);
+    if (job.deadline_registered) {
+      deadlines_.erase(job.deadline_it);
+      job.deadline_registered = false;
+    }
     if (job.inflight_registered) {
       // Only this job's own registration: a job that failed before keying
       // never registered and must not evict someone else's entry.
@@ -705,17 +962,28 @@ struct BatchScheduler::Impl {
     for (Job* dup : job.followers) {
       dup->result.report = job.result.report;
       dup->result.error = job.result.error;
-      dup->result.cache_hit = true;
-      ++stats_.cache_hits;
+      // A deadline abort is the PRIMARY's budget verdict; followers
+      // inherit the diagnosed outcome (they attached to that extraction)
+      // but it is not a cache hit — nothing was cached.
+      dup->result.deadline_exceeded = job.result.deadline_exceeded;
+      if (!job.result.deadline_exceeded) {
+        dup->result.cache_hit = true;
+        ++stats_.cache_hits;
+      }
       dup->result.name = dup->spec.name;
       dup->result.path = dup->spec.path;
-      dup->result.ok = dup->result.error.empty() &&
+      dup->result.ok = !dup->result.deadline_exceeded &&
+                       dup->result.error.empty() &&
                        dup->result.report.success;
       dup->result.seconds = clock_.seconds();
       dup->fatal = job.fatal;
       dup->primary = nullptr;
       dup->state = Job::State::Done;
       count_locked(*dup);
+      if (dup->deadline_registered) {
+        deadlines_.erase(dup->deadline_it);
+        dup->deadline_registered = false;
+      }
       done.push_back(dup);
     }
     job.followers.clear();
@@ -752,6 +1020,8 @@ struct BatchScheduler::Impl {
     for (Job* job : done) jobs_.erase(job->handle);
     unresolved_ -= done.size();
     if (unresolved_ == 0) cv_idle_.notify_all();
+    // Resolved jobs free admission slots for blocked submitters.
+    if (options_.max_queued != 0) cv_room_.notify_all();
   }
 
   void retire(const std::vector<Job*>& done) {
@@ -767,19 +1037,27 @@ struct BatchScheduler::Impl {
   mutable std::mutex mu_;
   std::condition_variable cv_work_;  ///< workers wait for claimable tasks
   std::condition_variable cv_idle_;  ///< drain()/teardown wait for quiescence
+  std::condition_variable cv_room_;  ///< blocking submit waits for a slot
+  std::condition_variable cv_reaper_;  ///< reaper waits for deadlines
   std::unordered_map<JobHandle, std::unique_ptr<Job>> jobs_;
-  std::deque<Job*> setup_queue_;     ///< Queued jobs, submission order
-  std::vector<Job*> extracting_;     ///< steal-scan candidates
+  /// Queued jobs, one FIFO per priority class (index = JobPriority).
+  std::array<std::deque<Job*>, kPriorityClasses> setup_queues_;
+  std::vector<Job*> extracting_;     ///< steal-scan candidates, start order
   std::vector<Job*> finalize_ready_; ///< awaiting a Finalize claim
   std::vector<JobHandle> last_job_;  ///< per-worker affinity
   std::unordered_map<CacheKey, Job*, CacheKeyHash> inflight_;
-  std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
+  /// Bounded memo: cache_ indexes memo_lru_ (front = most recent).
+  MemoList memo_lru_;
+  std::unordered_map<CacheKey, MemoList::iterator, CacheKeyHash> cache_;
+  /// Deadline registrations for not-yet-started jobs, earliest first.
+  std::multimap<std::chrono::steady_clock::time_point, Job*> deadlines_;
   BatchStats stats_;
   JobHandle next_handle_ = 1;
   std::size_t unresolved_ = 0;  ///< submitted minus delivered
   bool shutting_down_ = false;  ///< teardown started: new submits cancel
-  bool stop_ = false;           ///< workers may exit
+  bool stop_ = false;           ///< workers and the reaper may exit
   std::vector<std::thread> workers_;
+  std::thread reaper_;
 };
 
 BatchScheduler::BatchScheduler(const BatchOptions& options)
@@ -792,11 +1070,20 @@ BatchScheduler::Submission BatchScheduler::submit(BatchJob job,
   return impl_->submit(std::move(job), std::move(on_complete));
 }
 
+BatchScheduler::Submission BatchScheduler::try_submit(BatchJob job,
+                                                      Callback on_complete) {
+  return impl_->try_submit(std::move(job), std::move(on_complete));
+}
+
 bool BatchScheduler::cancel(JobHandle handle) {
   return impl_->cancel(handle);
 }
 
 void BatchScheduler::drain() { impl_->drain(); }
+
+bool BatchScheduler::drain_for(std::chrono::milliseconds timeout) {
+  return impl_->drain_for(timeout);
+}
 
 BatchStats BatchScheduler::stats() const { return impl_->stats(); }
 

@@ -30,11 +30,30 @@
 //  - Memoization and in-flight dedup span the scheduler's whole lifetime:
 //    a job submitted while its duplicate is mid-extraction attaches to
 //    that extraction; one submitted after it completes is a cache hit.
-//    The in-memory cache is unbounded — a service that runs for months
-//    should recycle the scheduler and lean on the persistent disk cache
+//    The in-memory cache is bounded (BatchOptions::memo_max_entries,
+//    LRU-evicted, BatchStats::memo_evictions counts the churn), so a
+//    service that runs for months holds a working set, not a leak.  An
+//    evicted entry falls through to the persistent disk cache
 //    (BatchOptions::result_cache -> core/result_cache.hpp), which
-//    survives recycling, is shared between scheduler instances and is
-//    consulted on every in-memory miss before an extraction is paid for.
+//    survives scheduler recycling, is shared between scheduler instances
+//    and is consulted on every in-memory miss before an extraction is
+//    paid for.
+//  - Admission control (BatchOptions::max_queued > 0) bounds unresolved
+//    jobs: submit() blocks until a slot frees; try_submit() never blocks
+//    and instead returns a rejected ticket — handle == 0, future already
+//    fulfilled with `rejected` set, callback already run.  With
+//    max_queued == 0 both behave like the unbounded submit.
+//  - Deadlines (BatchJob::deadline_ms > 0) are enforced in two places: a
+//    reaper expires still-queued jobs (resolved with `deadline_exceeded`
+//    and a diagnosis, without running), and running extractions are
+//    soft-aborted at the between-substitutions checkpoint the term budget
+//    uses, resolving with a diagnosed failure report that is bit-stable
+//    across worker counts.  Deadline outcomes are never written to the
+//    memo or the disk cache — they describe the budget, not the netlist.
+//  - Priorities (BatchJob::priority) order every claim point — High
+//    before Normal before Low, FIFO within a class — ahead of affinity
+//    and stealing; BatchOptions::policy picks the latency-vs-throughput
+//    behavior within a class.  A cone already running is never preempted.
 //  - cancel(handle) succeeds only for jobs that have not started running
 //    (queued, or parked behind an in-flight duplicate).  When it returns
 //    true, the job's callback has run, its future is ready with
@@ -59,6 +78,7 @@
 // class).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -93,11 +113,20 @@ class BatchScheduler {
   BatchScheduler& operator=(const BatchScheduler&) = delete;
 
   /// Enqueues one job; thread-safe.  The future is fulfilled exactly once
-  /// (see the guarantees above).  Jobs submitted while teardown is
-  /// draining (only possible from completion callbacks — see the
-  /// destruction rule in the header comment) resolve immediately as
-  /// cancelled.
+  /// (see the guarantees above).  With BatchOptions::max_queued set and
+  /// the queue full, blocks until a job resolves (do NOT call the
+  /// blocking submit from a completion callback on a full queue — like
+  /// drain(), it can self-deadlock; use try_submit there).  Jobs
+  /// submitted while teardown is draining (only possible from completion
+  /// callbacks — see the destruction rule in the header comment) resolve
+  /// immediately as cancelled.
   Submission submit(BatchJob job, Callback on_complete = nullptr);
+
+  /// Non-blocking admission: like submit, but when the bounded queue is
+  /// full the job is rejected instead of waiting — the returned ticket
+  /// has handle == 0 and a future already fulfilled with `rejected` set
+  /// (callback already run).  Safe from completion callbacks.
+  Submission try_submit(BatchJob job, Callback on_complete = nullptr);
 
   /// Cancels a not-yet-started job.  True: the job never ran and its
   /// future is already fulfilled with `cancelled` set.  False: the job is
@@ -109,6 +138,14 @@ class BatchScheduler {
   /// fulfilled, callbacks done).  Jobs submitted concurrently with the
   /// call may or may not be waited on.
   void drain();
+
+  /// drain() with a wall-clock budget.  Waits up to `timeout` for the
+  /// queue to empty; if time runs out, every job that has not started is
+  /// cancelled (futures fulfilled with `cancelled` — or
+  /// `deadline_exceeded` for jobs whose own deadline also expired), then
+  /// waits for the in-flight remainder to resolve.  Returns true when
+  /// everything resolved within the budget without forced cancellation.
+  bool drain_for(std::chrono::milliseconds timeout);
 
   /// Snapshot of the lifetime counters (jobs, cache_hits, cones, ...).
   BatchStats stats() const;

@@ -432,6 +432,89 @@ TEST(BatchManifest, SingleLineParserStreams) {
       ParseError);
 }
 
+TEST(BatchManifest, ParsesDeadlineAndPriority) {
+  FlowOptions defaults;
+  const auto job = parse_manifest_line(
+      "x.eqn deadline_ms=250 priority=high", 1, "m", "/base", defaults);
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->deadline_ms, 250u);
+  EXPECT_EQ(job->priority, JobPriority::High);
+
+  const auto plain = parse_manifest_line("x.eqn", 2, "m", "/base", defaults);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->deadline_ms, 0u) << "no deadline by default";
+  EXPECT_EQ(plain->priority, JobPriority::Normal);
+
+  for (const char* prio : {"low", "normal", "high"}) {
+    const auto j = parse_manifest_line(std::string("x.eqn priority=") + prio,
+                                       3, "m", "/base", defaults);
+    ASSERT_TRUE(j.has_value()) << prio;
+    EXPECT_EQ(to_string(j->priority), std::string(prio)) << prio;
+  }
+
+  // stoull would wrap -1 into a ~585-million-year deadline.
+  EXPECT_THROW(parse_manifest_line("x.eqn deadline_ms=-1", 4, "m", "/base",
+                                   defaults),
+               ParseError);
+  EXPECT_THROW(
+      parse_manifest_line("x.eqn deadline_ms=", 5, "m", "/base", defaults),
+      ParseError);
+  try {
+    parse_manifest_line("x.eqn priority=urgent", 6, "m", "/base", defaults);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("urgent"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BatchManifest, PriorityNamesRoundTrip) {
+  for (const JobPriority p :
+       {JobPriority::High, JobPriority::Normal, JobPriority::Low}) {
+    const auto back = priority_from_name(to_string(p));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, p);
+  }
+  EXPECT_EQ(priority_from_name("HIGH"), JobPriority::High)
+      << "names are case-insensitive";
+  EXPECT_FALSE(priority_from_name("urgent").has_value());
+  EXPECT_FALSE(priority_from_name("").has_value());
+}
+
+// -- Bounded queue through run_batch ----------------------------------------
+
+TEST(BatchAdmission, BoundedQueueMatchesUnboundedResults) {
+  // Backpressure must change pacing only: the same manifest through a
+  // max_queued=2 engine produces the same reports as the unbounded run,
+  // and the queue high-water mark respects the cap.
+  const auto jobs = mixed_manifest(RewriteStrategy::Packed);
+
+  BatchOptions unbounded;
+  unbounded.threads = 2;
+  const auto reference = run_batch(jobs, unbounded);
+
+  BatchOptions bounded;
+  bounded.threads = 2;
+  bounded.max_queued = 2;
+  const auto batch = run_batch(jobs, bounded);
+
+  ASSERT_EQ(batch.results.size(), reference.results.size());
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    const auto& got = batch.results[i];
+    const auto& want = reference.results[i];
+    EXPECT_EQ(got.ok, want.ok) << got.name;
+    EXPECT_EQ(got.error.empty(), want.error.empty()) << got.name;
+    if (got.error.empty() && want.error.empty()) {
+      expect_reports_equal(got.report, want.report, got.name + " bounded");
+    }
+  }
+  EXPECT_EQ(batch.stats.jobs, jobs.size());
+  EXPECT_EQ(batch.stats.rejected, 0u)
+      << "run_batch submits with blocking admission, never rejecting";
+  EXPECT_LE(batch.stats.queue_peak, 2u);
+  EXPECT_GE(reference.stats.queue_peak, batch.stats.queue_peak);
+}
+
 TEST(BatchManifest, RejectsSilentJobDrops) {
   const std::string path = ::testing::TempDir() + "/dropped.manifest";
   {

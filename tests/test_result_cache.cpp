@@ -13,6 +13,7 @@
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/batch.hpp"
@@ -509,6 +510,86 @@ TEST(ResultCacheBatch, TwoSchedulersShareOneCacheDirConcurrently) {
   }
   EXPECT_EQ(entries, 5u);
   EXPECT_EQ(verifier.stats().quarantined, 0u);
+}
+
+TEST(ResultCacheBatch, MemoEvictionFallsBackToDisk) {
+  // The bounded-memo bugfix: with memo_max_entries=1, submitting B evicts
+  // A from the in-memory layer; resubmitting A must be served FROM DISK
+  // (no re-extraction), proving the two layers compose — the LRU bounds
+  // memory, the disk keeps the long tail.
+  const auto cache = std::make_shared<ResultCache>(fresh_dir("memo_evict"));
+  BatchOptions options;
+  options.threads = 1;
+  options.result_cache = cache;
+  options.memo_max_entries = 1;
+  BatchScheduler scheduler(options);
+
+  auto jobs = fixture_jobs();
+  jobs.resize(2);  // A = mastrovito_m8.eqn, B = montgomery_m8.v
+  const BatchJobResult a1 = scheduler.submit(jobs[0]).result.get();
+  ASSERT_TRUE(a1.ok);
+  const BatchJobResult b1 = scheduler.submit(jobs[1]).result.get();
+  ASSERT_TRUE(b1.ok);
+  EXPECT_EQ(scheduler.stats().memo_evictions, 1u)
+      << "storing B must evict A from the single-slot memo";
+  const std::size_t cones_after_two = scheduler.stats().cones_extracted;
+
+  const BatchJobResult a2 = scheduler.submit(jobs[0]).result.get();
+  ASSERT_TRUE(a2.ok);
+  EXPECT_TRUE(a2.cache_hit);
+  EXPECT_EQ(scheduler.stats().cones_extracted, cones_after_two)
+      << "the evicted entry must replay from disk, not re-extract";
+  EXPECT_EQ(scheduler.stats().disk_hits, 1u);
+  expect_reports_equal(a2.report, a1.report, "disk replay after eviction");
+
+  // And the hot entry (A again, just refreshed) is a pure memory hit.
+  const BatchJobResult a3 = scheduler.submit(jobs[0]).result.get();
+  EXPECT_TRUE(a3.cache_hit);
+  EXPECT_EQ(scheduler.stats().disk_hits, 1u)
+      << "the refreshed memo entry serves the repeat without disk I/O";
+}
+
+TEST(ResultCache, StoreTimeCapAutoprunes) {
+  // The cap-enforcement bugfix: a cache constructed with max_bytes must
+  // prune itself when a store crosses the budget — no explicit prune()
+  // call, no unbounded growth in a long-lived service.
+  const std::string dir = fresh_dir("autoprune");
+  const FlowReport report = live_report();
+  const std::uint64_t entry_size = [&] {
+    ResultCache sizer(fresh_dir("autoprune_sizer"));
+    const std::string key = ResultCache::key_for_file("sizer", {});
+    EXPECT_TRUE(sizer.store(key, report));
+    return static_cast<std::uint64_t>(
+        fs::file_size(fs::path(sizer.dir()) / (key + ".rpt")));
+  }();
+
+  ResultCache cache(dir, 2 * entry_size);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(cache.store(
+        ResultCache::key_for_file("entry " + std::to_string(i), {}),
+        report));
+    // Distinct mtimes keep "oldest" well defined for the prune policy.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(cache.stats().autoprunes, 1u);
+
+  std::uint64_t total = 0;
+  std::size_t entries = 0;
+  for (const auto& file : fs::directory_iterator(dir)) {
+    if (file.path().extension() != ".rpt") continue;
+    total += fs::file_size(file.path());
+    ++entries;
+  }
+  EXPECT_LE(total, 2 * entry_size)
+      << "the directory must respect the cap after the triggering store";
+  EXPECT_GE(entries, 1u) << "pruning must not wipe the newest entries";
+
+  // A reopened cache re-seeds its size tracking from the directory scan
+  // and keeps enforcing the same budget.
+  ResultCache reopened(dir, 2 * entry_size);
+  ASSERT_TRUE(reopened.store(ResultCache::key_for_file("late", {}), report));
+  EXPECT_GE(reopened.stats().autoprunes, 1u)
+      << "the constructor scan must arm enforcement for the first store";
 }
 
 TEST(ResultCacheBatch, ChangedOptionsMissTheCache) {

@@ -477,5 +477,420 @@ TEST(SchedulerTeardown, IdleSchedulerShutsDownClean) {
   }
 }
 
+// -- Admission control -------------------------------------------------------
+
+TEST(SchedulerAdmission, TrySubmitRejectsWhenFull) {
+  const gf2m::Field field(Poly{4, 1, 0});
+  FifoGate gate;
+
+  BatchOptions options;
+  options.threads = 1;
+  options.max_queued = 2;
+  BatchScheduler scheduler(options);
+  FifoGateGuard guard(gate);
+
+  BatchJob gate_job;
+  gate_job.name = "gate";
+  gate_job.path = gate.path();
+  auto gate_ticket = scheduler.submit(std::move(gate_job));
+
+  BatchJob second;
+  second.name = "second";
+  second.netlist = gen::generate_mastrovito(field);
+  auto second_ticket = scheduler.submit(std::move(second));
+
+  // The worker is parked in the gate's read and "second" is queued:
+  // exactly max_queued jobs are unresolved, so the next try_submit must
+  // bounce — with the future already fulfilled and the callback already
+  // run, on this thread, before try_submit returns.
+  std::atomic<int> reject_callbacks{0};
+  bool callback_saw_rejected = false;
+  BatchJob over;
+  over.name = "over";
+  over.netlist = gen::generate_karatsuba(field);
+  auto over_ticket = scheduler.try_submit(
+      std::move(over), [&](const BatchJobResult& r) {
+        ++reject_callbacks;
+        callback_saw_rejected = r.rejected;
+      });
+  EXPECT_EQ(over_ticket.handle, 0u) << "rejected tickets carry no handle";
+  ASSERT_EQ(over_ticket.result.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const BatchJobResult over_result = over_ticket.result.get();
+  EXPECT_TRUE(over_result.rejected);
+  EXPECT_FALSE(over_result.ok);
+  EXPECT_FALSE(over_result.error.empty());
+  EXPECT_EQ(over_result.name, "over");
+  EXPECT_EQ(reject_callbacks.load(), 1);
+  EXPECT_TRUE(callback_saw_rejected);
+
+  gate.open_gate();
+  scheduler.drain();
+  EXPECT_TRUE(second_ticket.result.get().ok);
+  EXPECT_FALSE(gate_ticket.result.get().error.empty());
+
+  // With the queue drained, try_submit admits again.
+  BatchJob after;
+  after.name = "after";
+  after.netlist = gen::generate_karatsuba(field);
+  auto after_ticket = scheduler.try_submit(std::move(after));
+  EXPECT_NE(after_ticket.handle, 0u);
+  EXPECT_TRUE(after_ticket.result.get().ok);
+
+  const BatchStats stats = scheduler.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.jobs, 4u) << "rejected submissions still count as jobs";
+  EXPECT_LE(stats.queue_peak, options.max_queued)
+      << "admission control must bound the unresolved high-water mark";
+}
+
+TEST(SchedulerAdmission, BlockingSubmitWaitsForRoom) {
+  const gf2m::Field field(Poly{4, 1, 0});
+  FifoGate gate;
+
+  BatchOptions options;
+  options.threads = 1;
+  options.max_queued = 1;
+  BatchScheduler scheduler(options);
+  FifoGateGuard guard(gate);
+
+  BatchJob gate_job;
+  gate_job.name = "gate";
+  gate_job.path = gate.path();
+  auto gate_ticket = scheduler.submit(std::move(gate_job));
+
+  // The queue is at its cap (the gate job is unresolved), so a blocking
+  // submit from another thread must park until the gate job resolves.
+  std::atomic<bool> admitted{false};
+  std::future<BatchJobResult> blocked_future;
+  std::thread submitter([&] {
+    BatchJob blocked;
+    blocked.name = "blocked";
+    blocked.netlist = gen::generate_mastrovito(field);
+    auto ticket = scheduler.submit(std::move(blocked));
+    admitted.store(true);
+    blocked_future = std::move(ticket.result);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(admitted.load())
+      << "submit must backpressure while the queue is at max_queued";
+
+  gate.open_gate();
+  submitter.join();
+  EXPECT_TRUE(admitted.load());
+  scheduler.drain();
+  EXPECT_TRUE(blocked_future.get().ok);
+  EXPECT_FALSE(gate_ticket.result.get().error.empty());
+  EXPECT_LE(scheduler.stats().queue_peak, 1u);
+}
+
+// -- Deadlines ---------------------------------------------------------------
+
+TEST(SchedulerDeadline, ExpiresWhileQueued) {
+  const gf2m::Field field(Poly{4, 1, 0});
+  FifoGate gate;
+
+  BatchOptions options;
+  options.threads = 1;
+  BatchScheduler scheduler(options);
+  FifoGateGuard guard(gate);
+
+  BatchJob gate_job;
+  gate_job.name = "gate";
+  gate_job.path = gate.path();
+  auto gate_ticket = scheduler.submit(std::move(gate_job));
+
+  std::atomic<int> callbacks{0};
+  BatchJob victim;
+  victim.name = "victim";
+  victim.netlist = gen::generate_mastrovito(field);
+  victim.deadline_ms = 20;
+  auto victim_ticket = scheduler.submit(
+      std::move(victim),
+      [&callbacks](const BatchJobResult&) { ++callbacks; });
+
+  // The only worker is parked, so the victim can never start; the reaper
+  // must resolve it at its deadline with the gate still closed.
+  ASSERT_EQ(victim_ticket.result.wait_for(std::chrono::seconds(60)),
+            std::future_status::ready)
+      << "queued deadline never fired";
+  const BatchJobResult victim_result = victim_ticket.result.get();
+  EXPECT_TRUE(victim_result.deadline_exceeded);
+  EXPECT_FALSE(victim_result.cancelled);
+  EXPECT_FALSE(victim_result.ok);
+  EXPECT_FALSE(victim_result.error.empty());
+  EXPECT_EQ(callbacks.load(), 1);
+
+  gate.open_gate();
+  scheduler.drain();
+  const BatchStats stats = scheduler.stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.cancelled, 0u);
+  EXPECT_EQ(stats.cones_extracted, 0u)
+      << "the expired job must not contribute a single cone";
+}
+
+/// A netlist whose z0 cone can never finish rewriting: an OR tower over
+/// all 2m inputs has the maximal ANF (2^(2m) - 1 monomials), so for m=13
+/// the cone needs a ~2^26-term polynomial — hours and gigabytes away —
+/// while every other bit is a trivial AND.  Any wall-clock deadline
+/// therefore aborts deterministically inside cone 0, at any thread count.
+nl::Netlist blowup_netlist(unsigned m) {
+  nl::Netlist netlist("blowup_m" + std::to_string(m));
+  std::vector<nl::Var> a, b;
+  for (unsigned i = 0; i < m; ++i) {
+    a.push_back(netlist.add_input("a" + std::to_string(i)));
+  }
+  for (unsigned i = 0; i < m; ++i) {
+    b.push_back(netlist.add_input("b" + std::to_string(i)));
+  }
+  nl::Var tower = a[0];
+  for (unsigned i = 1; i < m; ++i) {
+    tower = netlist.add_gate(nl::CellType::Or, {tower, a[i]});
+  }
+  for (unsigned i = 0; i < m; ++i) {
+    const bool last = i + 1 == m;
+    tower = netlist.add_gate(nl::CellType::Or, {tower, b[i]},
+                             last ? "z0" : "");
+  }
+  netlist.mark_output(tower);
+  for (unsigned i = 1; i < m; ++i) {
+    const nl::Var z = netlist.add_gate(nl::CellType::And, {a[i], b[i]},
+                                       "z" + std::to_string(i));
+    netlist.mark_output(z);
+  }
+  return netlist;
+}
+
+TEST(SchedulerDeadline, RunningSoftAbortIsBitStableAcrossThreadCounts) {
+  // The acceptance bar: a job soft-aborted mid-extraction resolves with a
+  // DIAGNOSED deadline_exceeded failure whose report is identical at 1
+  // and 8 workers — the fixed DeadlineExceeded message plus the
+  // interleaving-independent failure report make that possible — and the
+  // outcome is never cached (memo or disk).
+  std::vector<BatchJobResult> results;
+  for (const unsigned threads : {1u, 8u}) {
+    BatchOptions options;
+    options.threads = threads;
+    BatchScheduler scheduler(options);
+    BatchJob job;
+    job.name = "blowup";
+    job.netlist = blowup_netlist(13);
+    job.deadline_ms = 20;
+    auto ticket = scheduler.submit(std::move(job));
+    const BatchJobResult result = ticket.result.get();
+    EXPECT_TRUE(result.deadline_exceeded) << threads << " threads";
+    EXPECT_FALSE(result.ok) << threads << " threads";
+    EXPECT_TRUE(result.error.empty())
+        << threads << " threads: a running abort is a diagnosed report, "
+        << "not a job-level error";
+    EXPECT_FALSE(result.report.success) << threads << " threads";
+    EXPECT_FALSE(result.report.recovery.diagnosis.empty())
+        << threads << " threads";
+
+    // Never cached: a resubmission must extract again (and abort again),
+    // not replay the budget verdict as a memo hit.
+    BatchJob again;
+    again.name = "blowup_again";
+    again.netlist = blowup_netlist(13);
+    again.deadline_ms = 20;
+    const BatchJobResult second = scheduler.submit(std::move(again))
+                                      .result.get();
+    EXPECT_TRUE(second.deadline_exceeded) << threads << " threads";
+    EXPECT_FALSE(second.cache_hit)
+        << threads << " threads: deadline outcomes must not be memoized";
+    EXPECT_EQ(scheduler.stats().cache_hits, 0u) << threads << " threads";
+    EXPECT_EQ(scheduler.stats().deadline_exceeded, 2u)
+        << threads << " threads";
+
+    results.push_back(result);
+  }
+  expect_reports_equal(results[1].report, results[0].report,
+                       "deadline abort @8T vs @1T");
+}
+
+// -- Priorities --------------------------------------------------------------
+
+TEST(SchedulerPriority, ClassOrderBeatsSubmissionOrder) {
+  const gf2m::Field field4(Poly{4, 1, 0});
+  const gf2m::Field field5(Poly{5, 2, 0});
+  const gf2m::Field field7(Poly{7, 1, 0});
+  FifoGate gate;
+
+  BatchOptions options;
+  options.threads = 1;
+  BatchScheduler scheduler(options);
+  FifoGateGuard guard(gate);
+
+  BatchJob gate_job;
+  gate_job.name = "gate";
+  gate_job.path = gate.path();
+  auto gate_ticket = scheduler.submit(std::move(gate_job));
+
+  // Submitted worst-first while the single worker is parked; the claim
+  // order once the gate opens must be class order, not FIFO.
+  std::mutex order_mu;
+  std::vector<std::string> order;
+  const auto record = [&](const BatchJobResult& r) {
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back(r.name);
+  };
+  BatchJob low;
+  low.name = "low";
+  low.netlist = gen::generate_mastrovito(field4);
+  low.priority = JobPriority::Low;
+  auto low_ticket = scheduler.submit(std::move(low), record);
+  BatchJob normal;
+  normal.name = "normal";
+  normal.netlist = gen::generate_mastrovito(field5);
+  auto normal_ticket = scheduler.submit(std::move(normal), record);
+  BatchJob high;
+  high.name = "high";
+  high.netlist = gen::generate_mastrovito(field7);
+  high.priority = JobPriority::High;
+  auto high_ticket = scheduler.submit(std::move(high), record);
+
+  gate.open_gate();
+  scheduler.drain();
+  EXPECT_TRUE(low_ticket.result.get().ok);
+  EXPECT_TRUE(normal_ticket.result.get().ok);
+  EXPECT_TRUE(high_ticket.result.get().ok);
+  EXPECT_FALSE(gate_ticket.result.get().error.empty());
+
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "high");
+  EXPECT_EQ(order[1], "normal");
+  EXPECT_EQ(order[2], "low");
+}
+
+TEST(SchedulerPriority, LatencyPolicyMatchesThroughputResults) {
+  // The policy knob must change scheduling only — same jobs, same
+  // reports, all ok under either policy.
+  const gf2m::Field field(Poly{8, 4, 3, 1, 0});
+  for (const SchedulingPolicy policy :
+       {SchedulingPolicy::Throughput, SchedulingPolicy::Latency}) {
+    BatchOptions options;
+    options.threads = 4;
+    options.policy = policy;
+    BatchScheduler scheduler(options);
+    std::vector<std::future<BatchJobResult>> futures;
+    for (int i = 0; i < 6; ++i) {
+      BatchJob job;
+      job.name = "job" + std::to_string(i);
+      job.netlist = i % 2 == 0 ? gen::generate_mastrovito(field)
+                               : gen::generate_karatsuba(field);
+      job.priority = i % 3 == 0 ? JobPriority::High : JobPriority::Normal;
+      futures.push_back(scheduler.submit(std::move(job)).result);
+    }
+    scheduler.drain();
+    for (auto& future : futures) {
+      const BatchJobResult result = future.get();
+      EXPECT_TRUE(result.ok) << result.name << " under policy "
+                             << static_cast<int>(policy);
+    }
+  }
+}
+
+// -- Drain with a budget -----------------------------------------------------
+
+TEST(SchedulerDrain, DrainForCancelsQueuedAfterTimeout) {
+  const gf2m::Field field(Poly{4, 1, 0});
+  FifoGate gate;
+
+  BatchOptions options;
+  options.threads = 1;
+  BatchScheduler scheduler(options);
+  FifoGateGuard guard(gate);
+
+  BatchJob gate_job;
+  gate_job.name = "gate";
+  gate_job.path = gate.path();
+  auto gate_ticket = scheduler.submit(std::move(gate_job));
+
+  BatchJob queued1;
+  queued1.name = "queued1";
+  queued1.netlist = gen::generate_mastrovito(field);
+  auto ticket1 = scheduler.submit(std::move(queued1));
+  BatchJob queued2;
+  queued2.name = "queued2";
+  queued2.netlist = gen::generate_karatsuba(field);
+  auto ticket2 = scheduler.submit(std::move(queued2));
+
+  // The gate job is mid-"extraction" (parked in its read) and cannot be
+  // cancelled; drain_for must give up at the budget, cancel the two
+  // still-queued jobs, then wait for the gate job — which a helper
+  // unblocks shortly after the budget expires.
+  std::thread opener([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    gate.open_gate();
+  });
+  const bool clean = scheduler.drain_for(std::chrono::milliseconds(40));
+  opener.join();
+  EXPECT_FALSE(clean);
+  EXPECT_TRUE(ticket1.result.get().cancelled);
+  EXPECT_TRUE(ticket2.result.get().cancelled);
+  EXPECT_FALSE(gate_ticket.result.get().error.empty())
+      << "the in-flight gate job still resolves with its real result";
+  EXPECT_EQ(scheduler.stats().cancelled, 2u);
+
+  // An idle scheduler drains instantly and cleanly.
+  EXPECT_TRUE(scheduler.drain_for(std::chrono::milliseconds(1)));
+}
+
+// -- Stats snapshot consistency ----------------------------------------------
+
+TEST(SchedulerStats, SnapshotsAreConsistentUnderConcurrentWorkers) {
+  // The bugfix bar: stats() must never expose a torn snapshot.  A reader
+  // hammers stats() while 4 workers chew through a mixed workload; every
+  // snapshot must satisfy the engine's invariants, and the final snapshot
+  // must account for every job exactly once.
+  const gf2m::Field field(Poly{5, 2, 0});
+  const auto mastrovito = gen::generate_mastrovito(field);
+  const auto karatsuba = gen::generate_karatsuba(field);
+
+  BatchOptions options;
+  options.threads = 4;
+  options.max_queued = 64;
+  BatchScheduler scheduler(options);
+
+  std::atomic<bool> stop_reader{false};
+  std::atomic<int> violations{0};
+  std::thread reader([&] {
+    std::size_t last_jobs = 0;
+    while (!stop_reader.load()) {
+      const BatchStats s = scheduler.stats();
+      const std::size_t resolved = s.succeeded + s.failed + s.load_errors +
+                                   s.cancelled + s.deadline_exceeded +
+                                   s.rejected;
+      if (resolved > s.jobs) ++violations;
+      if (s.jobs < last_jobs) ++violations;  // lifetime counters only grow
+      if (s.queue_peak > 64) ++violations;
+      last_jobs = s.jobs;
+    }
+  });
+
+  constexpr int kJobs = 200;
+  std::vector<std::future<BatchJobResult>> futures;
+  for (int i = 0; i < kJobs; ++i) {
+    BatchJob job;
+    job.name = "hammer" + std::to_string(i);
+    job.netlist = i % 2 == 0 ? mastrovito : karatsuba;
+    futures.push_back(scheduler.submit(std::move(job)).result);
+  }
+  scheduler.drain();
+  stop_reader.store(true);
+  reader.join();
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok);
+
+  EXPECT_EQ(violations.load(), 0);
+  const BatchStats s = scheduler.stats();
+  EXPECT_EQ(s.jobs, static_cast<std::size_t>(kJobs));
+  EXPECT_EQ(s.succeeded + s.failed + s.load_errors + s.cancelled +
+                s.deadline_exceeded + s.rejected,
+            s.jobs)
+      << "every job must land in exactly one terminal counter";
+  EXPECT_LE(s.queue_peak, 64u);
+}
+
 }  // namespace
 }  // namespace gfre::core
