@@ -56,7 +56,7 @@ void usage(std::ostream& os) {
      << "                  [--admission block|reject]\n"
      << "                  [--no-verify] [--no-cache]\n"
      << "                  [--cache DIR] [--cache-prune BYTES]\n"
-     << "                  [--cache-cap BYTES]\n"
+     << "                  [--cache-cap BYTES] [--cache-negative-ttl SECS]\n"
      << "                  [--out report.jsonl] [--quiet] [--help]\n"
      << "\n"
      << "  --jobs FILE        job manifest (required): one netlist per\n"
@@ -85,6 +85,10 @@ void usage(std::ostream& os) {
      << "                     cache); requires --cache\n"
      << "  --cache-cap N      enforce an N-byte cache budget at store\n"
      << "                     time (auto-prune); requires --cache\n"
+     << "  --cache-negative-ttl N  expire cached parse/port-error\n"
+     << "                     diagnoses older than N seconds, so a file\n"
+     << "                     fixed in place gets re-tried (0 = keep\n"
+     << "                     forever, the default); requires --cache\n"
      << "  --out FILE         write per-job results as JSON lines\n"
      << "  --quiet            suppress per-job lines (summary only)\n"
      << "  --help             print this message and exit\n";
@@ -168,6 +172,7 @@ int main(int argc, char** argv) {
   std::string cache_dir;
   std::optional<std::uint64_t> cache_prune;
   std::uint64_t cache_cap = 0;
+  std::uint64_t cache_negative_ttl = 0;
   std::uint64_t default_deadline_ms = 0;
   bool admission_reject = false;
   bool quiet = false;
@@ -275,6 +280,15 @@ int main(int argc, char** argv) {
           return 2;
         }
         cache_cap = std::stoull(value);
+      } else if (arg == "--cache-negative-ttl" && i + 1 < argc) {
+        const std::string value = argv[++i];
+        if (value.empty() || value[0] == '-') {
+          std::cerr << "--cache-negative-ttl wants a non-negative second "
+                       "count\n";
+          usage(std::cerr);
+          return 2;
+        }
+        cache_negative_ttl = std::stoull(value);
       } else if (arg == "--out" && i + 1 < argc) {
         out_path = argv[++i];
       } else if (arg == "--quiet") {
@@ -311,6 +325,10 @@ int main(int argc, char** argv) {
     std::cerr << "--cache-cap needs --cache DIR\n";
     return 2;
   }
+  if (cache_negative_ttl != 0 && cache_dir.empty()) {
+    std::cerr << "--cache-negative-ttl needs --cache DIR\n";
+    return 2;
+  }
   if (admission_reject && batch_options.max_queued == 0) {
     std::cerr << "--admission reject needs --queue-cap N\n";
     return 2;
@@ -322,8 +340,8 @@ int main(int argc, char** argv) {
     const std::string base =
         std::filesystem::path(manifest).parent_path().string();
     if (!cache_dir.empty()) {
-      batch_options.result_cache =
-          std::make_shared<core::ResultCache>(cache_dir, cache_cap);
+      batch_options.result_cache = std::make_shared<core::ResultCache>(
+          cache_dir, cache_cap, cache_negative_ttl);
     }
     std::printf("gfre_batch: streaming '%s' onto %u shared workers "
                 "(memo %s%s%s)\n",

@@ -4,13 +4,27 @@
 // bit's fanin cone (Theorem 2), so the engine works in a *cone-local* id
 // space: the rewriter densely remaps cone variables to slots 0..k-1 and
 // this engine packs each monomial as a fixed-width bitset over those slots
-// (one, two or four 64-bit words chosen per cone), with a sorted-u16 spill
-// representation for cones wider than 256 variables.  Monomials live in an
-// open-addressed flat hash table with in-place mod-2 toggling — no
-// per-monomial heap allocation, no node-based buckets — and the
+// (one, two, four or eight 64-bit words chosen per cone), with a sorted
+// inline-array spill representation for cones wider than 512 variables —
+// wide enough for the NIST binary-curve multipliers (m=163..571), whose
+// Montgomery cones reach hundreds of thousands of variables.  Monomials
+// live in an open-addressed flat hash table with in-place mod-2 toggling —
+// no per-monomial heap allocation, no node-based buckets — and the
 // variable -> occurrence index stores small (entry id, generation)
 // handles instead of monomial copies, so a gate substitution touches only
 // the monomials that actually mention the substituted variable.
+//
+// Two implementations sit behind ConeEngine, selected per cone by
+// anf::simd::active_level():
+//   scalar   the portable linear-probing engine (no intrinsics) — also
+//            the differential baseline forced by GFRE_SIMD=scalar;
+//   kernel   a 16-byte control-tag table (SwissTable-style group probes)
+//            whose word loops run through the anf/simd.hpp kernel layer
+//            (AVX2 / AVX-512 picked at runtime) and whose tables, buckets
+//            and scratch all live in a per-thread anf::MonotonicArena —
+//            zero steady-state heap allocations per cone.
+// Both produce bit-identical polynomials and statistics; the level is a
+// pure speed knob and deliberately not part of any result-cache key.
 //
 // The engine is representation-agnostic to its caller: core/rewriter.cpp
 // feeds it slot-space substitution steps and converts the final polynomial
@@ -25,31 +39,36 @@
 #include <stdexcept>
 #include <vector>
 
+#include "anf/simd.hpp"
+
 namespace gfre::anf::packed {
 
 /// Cone-local variable id.  The rewriter guarantees slots are dense in
 /// [0, num_slots) with num_slots <= kMaxSlots.
-using Slot = std::uint16_t;
+using Slot = std::uint32_t;
 
 /// A monomial in slot space: strictly ascending slot list (empty = 1).
 using SlotMono = std::vector<Slot>;
 
 /// Monomial representation picked per cone from its variable count.
 enum class RepKind {
-  Bits64,   ///< one 64-bit word  (cone <= 64 variables)
-  Bits128,  ///< two words        (cone <= 128 variables)
-  Bits256,  ///< four words       (cone <= 256 variables)
-  Sparse,   ///< sorted u16 slot array — the wide-cone spill path
+  Bits64,   ///< one 64-bit word   (cone <= 64 variables)
+  Bits128,  ///< two words         (cone <= 128 variables)
+  Bits256,  ///< four words        (cone <= 256 variables)
+  Bits512,  ///< eight words       (cone <= 512 variables)
+  Sparse,   ///< sorted inline slot array — the wide-cone spill path
 };
 
 const char* to_string(RepKind kind);
 
-/// Largest cone the engine can host (Slot is 16-bit).
-inline constexpr std::size_t kMaxSlots = 65536;
+/// Largest cone the engine can host.  Slots are 32-bit; the cap exists to
+/// bound the dense per-slot occurrence index, and comfortably covers the
+/// widest NIST-size cones observed (Montgomery m=571 ~ 5.8e5 variables).
+inline constexpr std::size_t kMaxSlots = std::size_t{1} << 22;
 
 /// Maximum monomial degree the sparse spill representation holds inline.
-/// Exceeding it (or kMaxSlots) raises Overflow; the caller falls back to
-/// the legacy engine for that cone.
+/// Exceeding it raises Overflow; the caller falls back to the legacy
+/// engine for that cone.
 inline constexpr unsigned kSparseMaxDegree = 25;
 
 /// Width selection: smallest fixed-width bitset that covers the cone,
@@ -57,7 +76,7 @@ inline constexpr unsigned kSparseMaxDegree = 25;
 RepKind rep_for_cone(std::size_t cone_vars);
 
 /// Raised when a cone exceeds the engine's packing limits (too many cone
-/// variables for 16-bit slots, or a monomial too wide for the sparse
+/// variables for the slot space, or a monomial too wide for the sparse
 /// representation).  Callers treat it as "use the legacy backend".
 struct Overflow : std::runtime_error {
   explicit Overflow(const std::string& what) : std::runtime_error(what) {}
@@ -77,8 +96,24 @@ class TermList {
   void begin_term() { open_ = slots_.size(); }
   void push_slot(Slot s) { slots_.push_back(s); }
   /// Closes the open term, canonicalizing it (sorted, idempotent slots
-  /// deduplicated).
+  /// deduplicated).  Terms of <= 2 slots — the overwhelming majority, as
+  /// generated netlists are dominated by 2-input cells — take an inline
+  /// compare/swap instead of the generic sort+unique.
   void end_term() {
+    const std::size_t n = slots_.size() - open_;
+    if (n <= 2) {
+      if (n == 2) {
+        Slot& a = slots_[open_];
+        Slot& b = slots_[open_ + 1];
+        if (a > b) {
+          std::swap(a, b);
+        } else if (a == b) {
+          slots_.pop_back();  // idempotent: x*x = x
+        }
+      }
+      ends_.push_back(static_cast<std::uint32_t>(slots_.size()));
+      return;
+    }
     std::sort(slots_.begin() + static_cast<std::ptrdiff_t>(open_),
               slots_.end());
     slots_.erase(std::unique(slots_.begin() +
@@ -112,13 +147,18 @@ class TermList {
 class ConeEngine {
  public:
   /// num_slots must cover every slot ever passed in (<= kMaxSlots, else
-  /// Overflow).  root is F's initial monomial.
+  /// Overflow).  root is F's initial monomial.  The SIMD level is
+  /// snapshotted from anf::simd::active_level() here.
   ConeEngine(std::size_t num_slots, Slot root);
   ~ConeEngine();
   ConeEngine(ConeEngine&&) noexcept;
   ConeEngine& operator=(ConeEngine&&) noexcept;
 
   RepKind rep() const;
+
+  /// The kernel level this engine was constructed with (Scalar = the
+  /// portable fallback implementation).
+  simd::Level level() const;
 
   /// Number of live monomials currently mentioning `var` (compacts the
   /// occurrence bucket as a side effect).  O(bucket length).
@@ -141,9 +181,15 @@ class ConeEngine {
   std::vector<SlotMono> monomials() const;
 
   struct Impl;
+  /// Impls normally live placement-constructed in the per-thread engine
+  /// scratch (so constructing an engine allocates nothing); the deleter
+  /// distinguishes that from the heap-allocated fallback.
+  struct ImplDeleter {
+    void operator()(Impl* impl) const noexcept;
+  };
 
  private:
-  std::unique_ptr<Impl> impl_;
+  std::unique_ptr<Impl, ImplDeleter> impl_;
 };
 
 }  // namespace gfre::anf::packed

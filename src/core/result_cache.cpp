@@ -134,8 +134,11 @@ bool is_entry_name(const std::string& name) {
 
 }  // namespace
 
-ResultCache::ResultCache(std::string dir, std::uint64_t max_bytes)
-    : dir_(std::move(dir)), max_bytes_(max_bytes) {
+ResultCache::ResultCache(std::string dir, std::uint64_t max_bytes,
+                         std::uint64_t negative_ttl_seconds)
+    : dir_(std::move(dir)),
+      max_bytes_(max_bytes),
+      negative_ttl_seconds_(negative_ttl_seconds) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec || !fs::is_directory(dir_)) {
@@ -216,6 +219,23 @@ std::optional<CachedOutcome> ResultCache::lookup(const std::string& key) {
   CachedOutcome outcome;
   switch (parse_entry(bytes, &outcome)) {
     case EntryVerdict::Ok: {
+      // Negative entries (diagnosed parse/port errors) age out: the file
+      // behind a bad job is often fixed in place, and only re-running can
+      // notice.  Successful extractions never expire — content addressing
+      // makes them valid forever.  The expired entry is deleted so the
+      // retry's store() is a plain write, not an overwrite-of-expired.
+      if (negative_ttl_seconds_ != 0 && !outcome.error.empty()) {
+        std::error_code ec;
+        const auto mtime = fs::last_write_time(path, ec);
+        if (!ec && fs::file_time_type::clock::now() - mtime >
+                       std::chrono::seconds(negative_ttl_seconds_)) {
+          fs::remove(path, ec);
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.expired;
+          ++stats_.misses;
+          return std::nullopt;
+        }
+      }
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.hits;
       return outcome;

@@ -79,6 +79,7 @@ class ResultCache {
     std::size_t quarantined = 0;  ///< corrupt entries moved aside
     std::size_t stale = 0;        ///< entries rejected for schema version
     std::size_t autoprunes = 0;   ///< store-time cap enforcements (prunes)
+    std::size_t expired = 0;      ///< negative entries past their TTL
   };
 
   /// What prune() did.
@@ -95,7 +96,14 @@ class ResultCache {
   /// sized once here, the running total is tracked approximately across
   /// stores, and a store that crosses the cap runs prune(max_bytes)
   /// before returning.  0 keeps eviction explicit (prune() only).
-  explicit ResultCache(std::string dir, std::uint64_t max_bytes = 0);
+  /// `negative_ttl_seconds` > 0 expires *negative* entries — diagnosed
+  /// parse/port errors, the `error`-armed CachedOutcome — once they are
+  /// older than the TTL: the input file may have been fixed in place, and
+  /// unlike successful extractions (content-addressed, eternally valid) a
+  /// diagnosis only describes the bytes as they were.  0 (the default)
+  /// keeps negative entries forever, matching content-hash semantics.
+  explicit ResultCache(std::string dir, std::uint64_t max_bytes = 0,
+                       std::uint64_t negative_ttl_seconds = 0);
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -146,6 +154,8 @@ class ResultCache {
   std::string dir_;
   /// Store-time budget; 0 = explicit prune only.
   std::uint64_t max_bytes_ = 0;
+  /// Age past which an error entry is a miss; 0 = never expires.
+  std::uint64_t negative_ttl_seconds_ = 0;
   mutable std::mutex mu_;
   Stats stats_;
   /// Approximate on-disk total (live entries), kept under mu_.  Seeded by

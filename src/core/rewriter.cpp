@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <limits>
+#include <memory>
 #include <ostream>
 #include <unordered_map>
 #include <vector>
@@ -144,7 +145,8 @@ void trace_step(std::ostream& out, const nl::Netlist& netlist,
 //
 // Backend interface:
 //   Backend(netlist, output, cone)   — F := {output}
-//   bool prepare(Var v)              — true iff v occurs in F (caches hits)
+//   bool prepare(Var v)              — true iff v occurs in F (caches
+//                                      hits)
 //   void substitute(const nl::Gate&) — apply the gate's ANF for v
 //   std::size_t size()               — |F|
 //   std::size_t transient_peak()     — intra-substitution |F| estimate
@@ -152,25 +154,75 @@ void trace_step(std::ostream& out, const nl::Netlist& netlist,
 //   Anf value()                      — F as a canonical Anf
 // ---------------------------------------------------------------------------
 
+/// Per-thread scratch for the packed backend's var -> slot remap: an
+/// epoch-stamped table sized to the netlist plus the reusable slot_to_var
+/// and TermList buffers.  Starting a cone bumps the epoch instead of
+/// refilling an O(num_vars) sentinel table, so per-bit backend setup costs
+/// O(1), and the buffers keep their capacity across the thousands of
+/// cones a crypto-size extraction walks (zero steady-state allocations).
+struct RemapScratch {
+  // stamp[v] = (epoch << 32) | slot; a stale epoch half means "unmapped".
+  std::vector<std::uint64_t> stamp;
+  std::vector<Var> slot_to_var;
+  anf::packed::TermList terms;
+  std::uint32_t epoch = 0;
+  bool in_use = false;
+
+  std::uint32_t next_epoch() {
+    if (++epoch == 0) {  // wrap: invalidate every stamp explicitly
+      std::fill(stamp.begin(), stamp.end(), std::uint64_t{0});
+      epoch = 1;
+    }
+    return epoch;
+  }
+
+  void ensure_vars(std::size_t n) {
+    if (stamp.size() < n) stamp.resize(n, 0);
+  }
+};
+
+RemapScratch& thread_remap_scratch() {
+  thread_local RemapScratch scratch;
+  return scratch;
+}
+
 /// Packed backend: cone-local dense slot remapping over anf/packed.hpp.
 class PackedBackend {
  public:
   PackedBackend(const nl::Netlist& netlist, Var output,
-                const std::vector<std::size_t>& cone)
-      : var_to_slot_(netlist.num_vars(),
-                     std::numeric_limits<std::uint32_t>::max()) {
-    slot_of(output);
-    for (std::size_t g : cone) {
-      const nl::Gate& gate = netlist.gate(g);
-      slot_of(gate.output);
-      for (Var in : gate.inputs) slot_of(in);
-    }
-    engine_.emplace(slot_to_var_.size(),
-                    static_cast<anf::packed::Slot>(var_to_slot_[output]));
+                const std::vector<std::size_t>& cone) {
+    RemapScratch& st = *lease_.scratch;
+    st.ensure_vars(netlist.num_vars());
+    epoch_ = st.next_epoch();
+    st.slot_to_var.clear();
+    const auto root = slot_of(output);  // always slot 0
+    // Slots are assigned lazily, on a var's first entry into F (root here,
+    // substituted-term vars in build_terms) — never for the millions of
+    // cone gates whose outputs the rewrite never reaches.  The engine and
+    // its representation only need an upper bound on the slots that can
+    // appear: every cone var is either a cone gate's output or undriven,
+    // so cone size plus the netlist's undriven-var count covers it.  The
+    // bound may overshoot the exact cone var count near a representation
+    // boundary; any rep wide enough for the bound is wide enough for the
+    // cone.
+    const std::size_t bound = std::min<std::size_t>(
+        anf::packed::kMaxSlots,
+        std::max<std::size_t>(
+            1, cone.size() + (netlist.num_vars() - netlist.num_gates())));
+    engine_.emplace(bound, root);
   }
 
   bool prepare(Var v) {
-    var_slot_ = static_cast<anf::packed::Slot>(var_to_slot_[v]);
+    // A var gets a slot exactly when it first enters F, so a stale epoch
+    // stamp IS the "never touched" test: the reverse walk rejects the
+    // millions of cone gates whose outputs never appeared in F with one
+    // table read and no engine call.  (Superset semantics — a touched
+    // var's insertions may all have cancelled; occurrence_count settles
+    // it.)
+    RemapScratch& st = *lease_.scratch;
+    const std::uint64_t stamp = st.stamp[v];
+    if ((stamp >> 32) != epoch_) return false;
+    var_slot_ = static_cast<anf::packed::Slot>(stamp);
     return engine_->occurrence_count(var_slot_) > 0;
   }
 
@@ -178,6 +230,14 @@ class PackedBackend {
     build_terms(gate);
     engine_->substitute(var_slot_, terms_);
   }
+
+  // The engine folds live_ into its running peak at exactly the driver's
+  // observation points (construction and the end of each substitution), so
+  // the driver can skip its per-substitution size queries and read the
+  // final value here — same number, fewer than half the virtual hops in
+  // the hot loop.
+  static constexpr bool kTracksPeak = true;
+  std::size_t peak_terms() const { return engine_->peak_terms(); }
 
   std::size_t size() const { return engine_->size(); }
   std::size_t transient_peak() const { return engine_->size(); }
@@ -188,22 +248,41 @@ class PackedBackend {
     const auto monos = engine_->monomials();
     out.reserve(monos.size());
     std::vector<Var> vars;
+    const std::vector<Var>& slot_to_var = lease_.scratch->slot_to_var;
     for (const auto& mono : monos) {
       vars.clear();
-      for (anf::packed::Slot s : mono) vars.push_back(slot_to_var_[s]);
+      for (anf::packed::Slot s : mono) vars.push_back(slot_to_var[s]);
       out.toggle(Monomial::from_vars(vars));
     }
     return out;
   }
 
  private:
-  anf::packed::Slot slot(Var v) const {
-    return static_cast<anf::packed::Slot>(var_to_slot_[v]);
-  }
+  /// Leases the thread scratch for this backend's lifetime; a nested
+  /// backend on the same thread (tests only — the extraction driver never
+  /// nests) falls back to a private heap-allocated scratch.  A member so
+  /// a throwing constructor still releases the lease.
+  struct ScratchLease {
+    RemapScratch* scratch;
+    std::unique_ptr<RemapScratch> owned;
+    ScratchLease() {
+      RemapScratch& ts = thread_remap_scratch();
+      if (!ts.in_use) {
+        ts.in_use = true;
+        scratch = &ts;
+      } else {
+        owned = std::make_unique<RemapScratch>();
+        scratch = owned.get();
+      }
+    }
+    ~ScratchLease() {
+      if (owned == nullptr) scratch->in_use = false;
+    }
+  };
 
   void push_singleton(Var v) {
     terms_.begin_term();
-    terms_.push_slot(slot(v));
+    terms_.push_slot(slot_of(v));
     terms_.end_term();
   }
 
@@ -245,14 +324,14 @@ class PackedBackend {
         [[fallthrough]];
       case nl::CellType::And:
         terms_.begin_term();
-        for (Var in : gate.inputs) terms_.push_slot(slot(in));
+        for (Var in : gate.inputs) terms_.push_slot(slot_of(in));
         terms_.end_term();
         break;
       default: {
         const Anf expression = nl::cell_anf(gate.type, gate.inputs);
         for (const Monomial& term : expression.monomials()) {
           terms_.begin_term();
-          for (Var v : term.vars()) terms_.push_slot(slot(v));
+          for (Var v : term.vars()) terms_.push_slot(slot_of(v));
           terms_.end_term();
         }
         break;
@@ -260,22 +339,25 @@ class PackedBackend {
     }
   }
 
+  /// Slot of v, assigned on first use this cone (epoch-stamped).
   std::uint32_t slot_of(Var v) {
-    if (var_to_slot_[v] == std::numeric_limits<std::uint32_t>::max()) {
-      if (slot_to_var_.size() >= anf::packed::kMaxSlots) {
-        throw anf::packed::Overflow("cone exceeds 16-bit slot space");
-      }
-      var_to_slot_[v] = static_cast<std::uint32_t>(slot_to_var_.size());
-      slot_to_var_.push_back(v);
+    RemapScratch& st = *lease_.scratch;
+    const std::uint64_t stamp = st.stamp[v];
+    if ((stamp >> 32) == epoch_) return static_cast<std::uint32_t>(stamp);
+    if (st.slot_to_var.size() >= anf::packed::kMaxSlots) {
+      throw anf::packed::Overflow("cone exceeds the packed slot space");
     }
-    return var_to_slot_[v];
+    const auto s = static_cast<std::uint32_t>(st.slot_to_var.size());
+    st.stamp[v] = (std::uint64_t{epoch_} << 32) | s;
+    st.slot_to_var.push_back(v);
+    return s;
   }
 
-  std::vector<std::uint32_t> var_to_slot_;
-  std::vector<Var> slot_to_var_;
+  ScratchLease lease_;
+  std::uint32_t epoch_ = 0;
   std::optional<anf::packed::ConeEngine> engine_;
   anf::packed::Slot var_slot_ = 0;
-  anf::packed::TermList terms_;
+  anf::packed::TermList& terms_ = lease_.scratch->terms;
 };
 
 /// Legacy occurrence-indexed backend (the ablation baseline).
@@ -285,6 +367,8 @@ class IndexedBackend {
                  const std::vector<std::size_t>&) {
     poly_.toggle(Monomial(output), nullptr);
   }
+
+  static constexpr bool kTracksPeak = false;
 
   bool prepare(Var v) {
     var_ = v;
@@ -322,6 +406,8 @@ class NaiveBackend {
   NaiveBackend(const nl::Netlist&, Var output,
                const std::vector<std::size_t>&)
       : f_(Anf::var(output)) {}
+
+  static constexpr bool kTracksPeak = false;
 
   bool prepare(Var v) {
     var_ = v;
@@ -372,20 +458,30 @@ Anf run_backward_rewriting(const nl::Netlist& netlist, Var output,
   }
 
   Backend backend(netlist, output, cone);
-  std::size_t peak = backend.size();
+  std::size_t peak = Backend::kTracksPeak ? 0 : backend.size();
+  const auto current_peak = [&]() -> std::size_t {
+    if constexpr (Backend::kTracksPeak) {
+      return backend.peak_terms();
+    } else {
+      return peak;
+    }
+  };
   // Reverse topological order: consumers before producers.
   for (std::size_t idx = cone.size(); idx-- > 0;) {
     const nl::Gate& gate = netlist.gate(cone[idx]);
     if (!backend.prepare(gate.output)) continue;
     if (stats != nullptr) ++stats->substitutions;
 
-    const std::size_t cancelled_before = backend.cancellations();
+    const std::size_t cancelled_before =
+        options.trace == nullptr ? 0 : backend.cancellations();
     backend.substitute(gate);
-    peak = std::max({peak, backend.size(), backend.transient_peak()});
+    if constexpr (!Backend::kTracksPeak) {
+      peak = std::max({peak, backend.size(), backend.transient_peak()});
+    }
     if (options.max_terms != 0 && backend.size() > options.max_terms) {
       if (stats != nullptr) {
         stats->cancellations = backend.cancellations();
-        stats->peak_terms = peak;
+        stats->peak_terms = current_peak();
         stats->final_terms = backend.size();
       }
       throw TermBudgetExceeded(backend.size(), options.max_terms);
@@ -397,7 +493,7 @@ Anf run_backward_rewriting(const nl::Netlist& netlist, Var output,
       // substitution is noise against the substitution itself.
       if (stats != nullptr) {
         stats->cancellations = backend.cancellations();
-        stats->peak_terms = peak;
+        stats->peak_terms = current_peak();
         stats->final_terms = backend.size();
       }
       throw DeadlineExceeded();
@@ -413,7 +509,7 @@ Anf run_backward_rewriting(const nl::Netlist& netlist, Var output,
 
   if (stats != nullptr) {
     stats->cancellations = backend.cancellations();
-    stats->peak_terms = peak;
+    stats->peak_terms = current_peak();
     stats->final_terms = backend.size();
   }
   return backend.value();

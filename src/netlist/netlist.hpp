@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -87,6 +89,12 @@ class Netlist {
 
   /// Gate indices in the transitive fanin cone of `root`, topologically
   /// ordered.  This is the per-output-bit logic cone of Theorem 2.
+  ///
+  /// Cost: one whole-netlist index build on first use (cached until the
+  /// netlist is mutated), then a linear bitmap sweep per call — the
+  /// crypto-size multipliers call this once per output bit over cones
+  /// covering most of the netlist, where a per-call DFS was the dominant
+  /// extraction cost.
   std::vector<std::size_t> fanin_cone(Var root) const;
 
   /// Primary inputs feeding the cone of `root`.
@@ -110,9 +118,42 @@ class Netlist {
   Var new_var(const std::string& name, bool is_input);
 
   /// Tri-color DFS from one gate, appending reachable gates to `order` in
-  /// topological order; backs topological_order() and fanin_cone().
+  /// topological order; backs topological_order().
   void topo_dfs(std::size_t root_gate, std::vector<unsigned char>& mark,
                 std::vector<std::size_t>& order) const;
+
+  /// Whole-netlist structure shared by every fanin_cone() call: the global
+  /// topological order plus a flattened gate -> driver-gate adjacency, both
+  /// expressed in topological *positions* so the per-cone reachability
+  /// sweep is one backward pass over a dense bitmap.  Built lazily under
+  /// cone_index_mutex_ and dropped on mutation; callers hold a shared_ptr
+  /// so concurrent extraction threads never race a rebuild.
+  struct ConeIndex {
+    std::vector<std::size_t> topo;         ///< topo[pos] = gate index
+    std::vector<std::uint32_t> pos_of;     ///< gate index -> topo position
+    std::vector<std::uint32_t> fanin_off;  ///< per position: fanin_pos range
+    std::vector<std::uint32_t> fanin_pos;  ///< driver gates, as positions
+  };
+  /// Cache cell for the lazily-built index.  Copying or moving a Netlist
+  /// must not share (or steal) the cache — copies simply start cold, which
+  /// also keeps Netlist's value semantics despite the mutex inside.
+  struct ConeIndexCache {
+    std::mutex mutex;
+    std::shared_ptr<const ConeIndex> index;
+    ConeIndexCache() = default;
+    ConeIndexCache(const ConeIndexCache&) noexcept {}
+    ConeIndexCache(ConeIndexCache&&) noexcept {}
+    ConeIndexCache& operator=(const ConeIndexCache&) noexcept {
+      index.reset();
+      return *this;
+    }
+    ConeIndexCache& operator=(ConeIndexCache&&) noexcept {
+      index.reset();
+      return *this;
+    }
+  };
+  std::shared_ptr<const ConeIndex> cone_index() const;
+  void invalidate_cone_index();
 
   std::string name_;
   std::size_t next_auto_name_ = 0;
@@ -125,6 +166,7 @@ class Netlist {
   std::vector<Gate> gates_;
   std::vector<Var> inputs_;
   std::vector<Var> outputs_;
+  mutable ConeIndexCache cone_cache_;
 };
 
 }  // namespace gfre::nl

@@ -74,6 +74,23 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.stem;
     });
 
+TEST(Corpus, CryptoScaleMastrovitoB163) {
+  // NIST B-163 (P(x) = x^163 + x^7 + x^6 + x^3 + 1): the smallest field any
+  // standardized ECC deployment actually uses.  Cones here have hundreds of
+  // variables, so the packed engine's Bits256 tier and the SIMD kernel
+  // layer run from a frozen file under tier-1 tests, not only in benches.
+  // Only the .eqn form is checked in — at 54k equations the three-format
+  // sweep would triple a file that exists to pin the extraction path.
+  const auto netlist =
+      nl::read_eqn_file(data_path("mastrovito_m163.eqn"));
+  core::FlowOptions options;
+  options.threads = 2;
+  const auto report = core::reverse_engineer(netlist, options);
+  EXPECT_TRUE(report.success) << report.summary();
+  EXPECT_EQ(report.recovery.p, (Poly{163, 7, 6, 3, 0}));
+  EXPECT_EQ(report.m, 163u);
+}
+
 TEST(Corpus, HandWrittenAoiNandMultiplier) {
   // All-inverting-cell implementation (no AND/XOR at all): extraction must
   // see through the NAND/INV structure.

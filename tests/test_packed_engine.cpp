@@ -69,8 +69,12 @@ TEST(PackedRep, WidthChosenPerCone) {
   EXPECT_EQ(anf::packed::rep_for_cone(128), RepKind::Bits128);
   EXPECT_EQ(anf::packed::rep_for_cone(129), RepKind::Bits256);
   EXPECT_EQ(anf::packed::rep_for_cone(256), RepKind::Bits256);
-  EXPECT_EQ(anf::packed::rep_for_cone(257), RepKind::Sparse);
+  EXPECT_EQ(anf::packed::rep_for_cone(257), RepKind::Bits512);
+  EXPECT_EQ(anf::packed::rep_for_cone(512), RepKind::Bits512);
+  EXPECT_EQ(anf::packed::rep_for_cone(513), RepKind::Sparse);
   EXPECT_EQ(anf::packed::rep_for_cone(65536), RepKind::Sparse);
+  EXPECT_EQ(anf::packed::rep_for_cone(anf::packed::kMaxSlots),
+            RepKind::Sparse);
 }
 
 TEST(PackedRep, OversizedConeRaisesOverflow) {
@@ -278,12 +282,23 @@ nl::Netlist xor_chain(unsigned num_inputs, unsigned num_gates) {
   return netlist;
 }
 
-TEST(PackedSpill, WideConeUsesSparseRepAndAgrees) {
+TEST(PackedSpill, WideConeUsesBits512AndAgrees) {
   // 400 gates + 8 inputs > 256 cone variables: rep_for_cone must pick the
-  // sparse spill path, and the result must match the legacy engines.
+  // Bits512 tier, and the result must match the legacy engines.
   const auto netlist = xor_chain(8, 400);
   const auto cone = netlist.fanin_cone(netlist.outputs()[0]);
   EXPECT_GT(cone.size(), 256u);
+  EXPECT_EQ(anf::packed::rep_for_cone(cone.size() + 8), RepKind::Bits512);
+  expect_strategies_agree(netlist, "xor chain bits512");
+}
+
+TEST(PackedSpill, WideConeUsesSparseRepAndAgrees) {
+  // 700 gates + 8 inputs > 512 cone variables: past every bitset tier,
+  // rep_for_cone must pick the sparse spill path, and the result must
+  // match the legacy engines.
+  const auto netlist = xor_chain(8, 700);
+  const auto cone = netlist.fanin_cone(netlist.outputs()[0]);
+  EXPECT_GT(cone.size(), 512u);
   EXPECT_EQ(anf::packed::rep_for_cone(cone.size() + 8), RepKind::Sparse);
   expect_strategies_agree(netlist, "xor chain spill");
 }

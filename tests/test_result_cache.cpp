@@ -324,6 +324,57 @@ TEST(ResultCache, StaleSchemaVersionIsAMissNotACrash) {
   EXPECT_TRUE(cache.lookup(key).has_value());
 }
 
+TEST(ResultCache, NegativeTtlExpiresOnlyAgedErrorEntries) {
+  const std::string dir = fresh_dir("negative_ttl");
+  ResultCache cache(dir, /*max_bytes=*/0, /*negative_ttl_seconds=*/60);
+  const std::string error_key = ResultCache::key_for_file("broken input", {});
+  const std::string live_key = ResultCache::key_for_file("good input", {});
+  ASSERT_TRUE(cache.store(error_key, FlowReport{}, "parse error: line 3"));
+  ASSERT_TRUE(cache.store(live_key, live_report()));
+
+  // Fresh entries hit, TTL armed or not.
+  ASSERT_TRUE(cache.lookup(error_key).has_value());
+  ASSERT_TRUE(cache.lookup(live_key).has_value());
+
+  // Age both entries past the TTL by backdating their mtimes — the same
+  // clock lookup() consults.
+  const auto aged =
+      fs::file_time_type::clock::now() - std::chrono::seconds(120);
+  const std::string error_path = dir + "/" + error_key + ".rpt";
+  const std::string live_path = dir + "/" + live_key + ".rpt";
+  fs::last_write_time(error_path, aged);
+  fs::last_write_time(live_path, aged);
+
+  // The aged diagnosis is a miss and its entry is gone; the aged success
+  // report is untouched — content-addressed results never go stale.
+  EXPECT_FALSE(cache.lookup(error_key).has_value());
+  EXPECT_FALSE(fs::exists(error_path));
+  EXPECT_TRUE(cache.lookup(live_key).has_value());
+  EXPECT_TRUE(fs::exists(live_path));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+
+  // The miss is re-storable: a re-diagnosis (or a fixed file's report)
+  // starts a fresh TTL window.
+  ASSERT_TRUE(cache.store(error_key, FlowReport{}, "parse error: line 3"));
+  EXPECT_TRUE(cache.lookup(error_key).has_value());
+}
+
+TEST(ResultCache, ZeroTtlKeepsErrorEntriesForever) {
+  const std::string dir = fresh_dir("ttl_off");
+  ResultCache cache(dir);  // default: negative entries never expire
+  const std::string key = ResultCache::key_for_file("broken forever", {});
+  ASSERT_TRUE(cache.store(key, FlowReport{}, "port error: q is undriven"));
+  fs::last_write_time(sole_entry_path(dir),
+                      fs::file_time_type::clock::now() -
+                          std::chrono::hours(24 * 365));
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->error, "port error: q is undriven");
+  EXPECT_EQ(cache.stats().expired, 0u);
+}
+
 TEST(ResultCache, PruneEvictsOldestDownToBudget) {
   const std::string dir = fresh_dir("prune");
   ResultCache cache(dir);
