@@ -14,9 +14,11 @@
 // serving-tier ingest path) against the submit-all-then-wait run_batch,
 // and (e) a cold/warm pair through the persistent disk cache
 // (core/result_cache.hpp) — the warm leg must replay every report with
-// zero extractions — and (f) the same manifest through a bounded
+// zero extractions — (f) the same manifest through a bounded
 // admission queue (max_queued=8): backpressure must cap the queue's
-// high-water mark without costing throughput.
+// high-water mark without costing throughput — and (g) the manifest
+// fanned across 1/2/4 forked worker processes by the serving tier's
+// serve::Coordinator (fork + wire round trip per job).
 // Every batch/scheduler report must agree with the sequential baseline;
 // results land in BENCH_batch.json for CI trend tracking.
 //
@@ -24,6 +26,8 @@
 // jobs/sec; on single-core hosts raw interleaving cannot beat sequential,
 // so the gate falls to the cache run (same engine, same manifest format),
 // which must clear 1.5x there.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <future>
@@ -36,6 +40,7 @@
 #include "core/batch.hpp"
 #include "core/result_cache.hpp"
 #include "core/scheduler.hpp"
+#include "serve/coordinator.hpp"
 #include "gen/karatsuba.hpp"
 #include "gen/mastrovito.hpp"
 #include "gen/montgomery_gate.hpp"
@@ -407,6 +412,56 @@ int main() {
         .add("speedup_vs_sequential", bounded_rate / seq_rate);
   }
 
+  // (g) Multi-process serving fleet: the same 100 jobs fanned across
+  // 1/2/4 forked worker processes by the serve::Coordinator — fork + IPC
+  // + per-job wire round trip on top of the same engine.  On multi-core
+  // hosts the fleet parallelizes like the in-process pool; on a one-core
+  // host the point of the record is the overhead trend, not a speedup.
+  double serve_best_rate = 0;
+  bool serve_all_ok = true;
+  {
+    TextTable serve_table(
+        {"workers", "wall(s)", "jobs/s", "speedup vs seq", "ok"});
+    for (const unsigned workers : {1u, 2u, 4u}) {
+      serve::CoordinatorOptions fleet;
+      fleet.workers = workers;
+      fleet.threads_per_worker = 1;
+      std::atomic<std::size_t> fleet_ok{0};
+      Timer fleet_timer;
+      double fleet_wall = 0;
+      {
+        serve::Coordinator coordinator(fleet);
+        for (const auto& job : jobs) {
+          coordinator.submit(job, [&fleet_ok](const serve::ServeResult& r) {
+            if (r.ok) ++fleet_ok;
+          });
+        }
+        coordinator.drain();
+        fleet_wall = fleet_timer.seconds();
+        coordinator.shutdown(std::chrono::seconds(30));
+      }
+      const double rate = static_cast<double>(jobs.size()) / fleet_wall;
+      serve_best_rate = std::max(serve_best_rate, rate);
+      serve_all_ok = serve_all_ok && fleet_ok.load() == jobs.size();
+      serve_table.add_row({std::to_string(workers),
+                           fmt_double(fleet_wall, 2), fmt_double(rate, 1),
+                           fmt_double(rate / seq_rate, 2),
+                           std::to_string(fleet_ok.load())});
+      json.add_record()
+          .add("mode", "serve_workers")
+          .add("jobs", jobs.size())
+          .add("workers", workers)
+          .add("wall_s", fleet_wall)
+          .add("jobs_per_sec", rate)
+          .add("speedup_vs_sequential", rate / seq_rate);
+    }
+    std::printf("\n%s\n",
+                serve_table
+                    .render("serve::Coordinator fleet (forked workers, "
+                            "wire round trip per job)")
+                    .c_str());
+  }
+
   json.add_record()
       .add("mode", "host")
       .add("hardware_threads", hw);
@@ -471,6 +526,18 @@ int main() {
               bounded_peak, bounded_ok ? "PASS" : "FAIL",
               bounded_rate / batch_rate_at_cache_width);
   pass = pass && bounded_ok;
+
+  // The fleet gate is deliberately loose: correctness (every job resolves
+  // ok through the wire) plus a floor on the process/IPC overhead — the
+  // best fleet width must reach 20% of the in-process batch rate even on
+  // a loaded one-core host.
+  const bool serve_ok =
+      serve_all_ok && serve_best_rate > 0.2 * batch_rate_at_cache_width;
+  std::printf("shape check: serve fleet resolves all jobs ok and best "
+              "width clears 0.2x in-process batch: %s (%.2fx)\n",
+              serve_ok ? "PASS" : "FAIL",
+              serve_best_rate / batch_rate_at_cache_width);
+  pass = pass && serve_ok;
 
   const bool scaling_ok = hw < 2 || wall_2t < wall_1t;
   if (hw >= 2) {

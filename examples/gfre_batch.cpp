@@ -25,6 +25,8 @@
 // with README.md's flag table.
 //
 // Exit code 0 iff every job succeeded.
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -38,6 +40,7 @@
 #include <vector>
 
 #include "core/batch.hpp"
+#include "core/report_json.hpp"
 #include "core/result_cache.hpp"
 #include "core/scheduler.hpp"
 #include "gf2poly/gf2_poly.hpp"
@@ -124,43 +127,13 @@ void print_result(const gfre::core::BatchJobResult& result) {
   }
 }
 
-gfre::JsonLine result_line(const gfre::core::BatchJobResult& result) {
-  gfre::JsonLine line;
-  line.add("name", result.name);
-  if (!result.path.empty()) line.add("path", result.path);
-  line.add("ok", result.ok);
-  line.add("cache_hit", result.cache_hit);
-  if (result.rejected) {
-    line.add("rejected", true);
-    line.add("error", result.error);
-    return line;
-  }
-  if (result.deadline_exceeded) line.add("deadline_exceeded", true);
-  if (result.cancelled) {
-    line.add("cancelled", true);
-    return line;
-  }
-  if (!result.error.empty()) {
-    line.add("error", result.error);
-    return line;
-  }
-  const auto& report = result.report;
-  line.add("m", report.m);
-  line.add("equations", report.equations);
-  line.add("circuit_class", gfre::core::to_string(report.recovery.circuit_class));
-  if (report.m != 0) {
-    line.add("p", report.recovery.p.to_paper_string());
-    line.add("p_irreducible", report.recovery.p_is_irreducible);
-  }
-  if (!report.recovery.diagnosis.empty()) {
-    line.add("diagnosis", report.recovery.diagnosis);
-  }
-  line.add("scrambled_outputs", report.output_permutation.has_value());
-  line.add("verification", report.verification.detail);
-  line.add("extract_seconds", report.extraction.wall_seconds);
-  line.add("completed_seconds", result.seconds);
-  return line;
-}
+// SIGINT/SIGTERM request an orderly wind-down: stop submitting, cancel
+// what has not started, keep the summary.  sig_atomic_t + a polling wait
+// is the whole mechanism — nothing async-signal-unsafe runs in the
+// handler.
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void on_interrupt(int sig) { g_signal = sig; }
 
 }  // namespace
 
@@ -352,6 +325,12 @@ int main(int argc, char** argv) {
 
     Timer clock;
     core::BatchScheduler scheduler(batch_options);
+    // A Ctrl-C (or a supervisor's SIGTERM) mid-run used to kill the
+    // process outright: no drain, no summaries, futures abandoned.  Now
+    // it stops the stream, cancels everything not yet started via
+    // drain_for(0), and still reports what DID run.
+    std::signal(SIGINT, on_interrupt);
+    std::signal(SIGTERM, on_interrupt);
     std::mutex print_mu;
     const auto on_complete = [&print_mu](const core::BatchJobResult& r) {
       std::lock_guard<std::mutex> lock(print_mu);
@@ -368,7 +347,7 @@ int main(int argc, char** argv) {
     std::string manifest_error;
     std::string line;
     int lineno = 0;
-    while (std::getline(in, line)) {
+    while (g_signal == 0 && std::getline(in, line)) {
       ++lineno;
       std::optional<core::BatchJob> job;
       try {
@@ -394,12 +373,28 @@ int main(int argc, char** argv) {
       pending.push_back(std::move(submission.result));
     }
     if (pending.empty() && !manifest_error.empty()) return 2;
-    if (pending.empty()) {
+    if (pending.empty() && g_signal == 0) {
       std::cerr << "manifest '" << manifest << "' lists no jobs\n";
       return 2;
     }
 
-    scheduler.drain();
+    // Interruptible drain: wait in slices so a signal that lands while
+    // jobs are in flight is honored within ~200 ms instead of after the
+    // last extraction.  On interrupt, drain_for(0) immediately cancels
+    // every job that has not started and waits only for the running
+    // remainder — the report below then shows real results for finished
+    // work and `cancelled` lines for the rest.
+    while (g_signal == 0 &&
+           !scheduler.wait_idle_for(std::chrono::milliseconds(200))) {
+    }
+    const int interrupted = g_signal;
+    if (interrupted != 0) {
+      std::fprintf(stderr,
+                   "gfre_batch: interrupted by %s — cancelling queued "
+                   "jobs, finishing in-flight extractions\n",
+                   interrupted == SIGINT ? "SIGINT" : "SIGTERM");
+      scheduler.drain_for(std::chrono::milliseconds(0));
+    }
     const core::BatchStats stats = scheduler.stats();
     const double wall = clock.seconds();
 
@@ -414,7 +409,7 @@ int main(int argc, char** argv) {
       for (auto& future : pending) {
         const core::BatchJobResult result = future.get();
         all_ok = all_ok && result.ok;
-        if (writer.has_value()) writer->write(result_line(result));
+        if (writer.has_value()) writer->write(core::result_json_line(result));
       }
       if (writer.has_value()) {
         writer->close();
@@ -462,6 +457,10 @@ int main(int argc, char** argv) {
     // A truncated --out report or an unparseable manifest is a tool
     // failure even when every submitted job succeeded — downstream
     // pipelines consume that file / assume full manifest coverage.
+    // An interrupt outranks both: the caller must be able to tell a run
+    // it killed (128+signal, the shell convention) from one that failed
+    // on its own.
+    if (interrupted != 0) return 128 + interrupted;
     if (!report_written || !manifest_error.empty()) return 2;
     return all_ok ? 0 : 1;
   } catch (const gfre::Error& e) {

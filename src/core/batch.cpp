@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <set>
 #include <sstream>
 
 #include "core/scheduler.hpp"
@@ -101,6 +102,7 @@ std::optional<BatchJob> parse_manifest_line(const std::string& line,
   job.options = defaults;
   bool have_path = false;
   bool have_options = false;
+  std::set<std::string> seen_keys;
   while (tokens >> token) {
     if (token[0] == '#') break;
     const auto eq = token.find('=');
@@ -117,6 +119,13 @@ std::optional<BatchJob> parse_manifest_line(const std::string& line,
     const std::string key = token.substr(0, eq);
     const std::string value = token.substr(eq + 1);
     have_options = true;
+    // A repeated key is near-certainly an editing mistake ("deadline_ms=1
+    // deadline_ms=1000"); letting the last one win silently runs the job
+    // under whichever value happened to be typed second.
+    if (!seen_keys.insert(key).second) {
+      throw ParseError(manifest_path, lineno,
+                       "duplicate manifest key '" + key + "'");
+    }
     try {
       if (key == "name") {
         job.name = value;

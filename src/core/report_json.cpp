@@ -1,0 +1,45 @@
+#include "core/report_json.hpp"
+
+#include "gf2poly/gf2_poly.hpp"
+
+namespace gfre::core {
+
+JsonLine result_json_line(const BatchJobResult& result) {
+  JsonLine line;
+  line.add("name", result.name);
+  if (!result.path.empty()) line.add("path", result.path);
+  line.add("ok", result.ok);
+  line.add("cache_hit", result.cache_hit);
+  if (result.rejected) {
+    line.add("rejected", true);
+    line.add("error", result.error);
+    return line;
+  }
+  if (result.deadline_exceeded) line.add("deadline_exceeded", true);
+  if (result.cancelled) {
+    line.add("cancelled", true);
+    return line;
+  }
+  if (!result.error.empty()) {
+    line.add("error", result.error);
+    return line;
+  }
+  const auto& report = result.report;
+  line.add("m", report.m);
+  line.add("equations", report.equations);
+  line.add("circuit_class", to_string(report.recovery.circuit_class));
+  if (report.m != 0) {
+    line.add("p", report.recovery.p.to_paper_string());
+    line.add("p_irreducible", report.recovery.p_is_irreducible);
+  }
+  if (!report.recovery.diagnosis.empty()) {
+    line.add("diagnosis", report.recovery.diagnosis);
+  }
+  line.add("scrambled_outputs", report.output_permutation.has_value());
+  line.add("verification", report.verification.detail);
+  line.add("extract_seconds", report.extraction.wall_seconds);
+  line.add("completed_seconds", result.seconds);
+  return line;
+}
+
+}  // namespace gfre::core

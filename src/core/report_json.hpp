@@ -1,0 +1,32 @@
+// Canonical JSONL rendering of one BatchJobResult.
+//
+// Every execution path that emits a per-job report line — the gfre_batch
+// CLI, the serve-layer worker processes, the bench corpus dumps — must
+// render THE SAME bytes for the same result, because the acceptance bar
+// for the whole serving stack is `diff` between those files (volatile
+// timing fields stripped).  Rendering twice from re-parsed values would
+// drift on double formatting, so the renderer lives here, once, and the
+// serve layer ships the rendered line verbatim over the wire instead of
+// re-encoding fields.
+#pragma once
+
+#include "core/batch.hpp"
+#include "util/jsonl.hpp"
+
+namespace gfre::core {
+
+/// One flat JSON object describing `result`.  Field set and order:
+///   name, [path], ok, cache_hit,
+///   then exactly one arm:
+///     rejected: {rejected, error}
+///     cancelled: {[deadline_exceeded], cancelled}
+///     load error: {[deadline_exceeded], error}
+///     report:    {[deadline_exceeded], m, equations, circuit_class,
+///                 [p, p_irreducible], [diagnosis], scrambled_outputs,
+///                 verification, extract_seconds, completed_seconds}
+/// The volatile fields are `completed_seconds`, `cache_hit` and
+/// `extract_seconds`; everything else replays bit-identically across
+/// processes and cache hits.
+JsonLine result_json_line(const BatchJobResult& result);
+
+}  // namespace gfre::core

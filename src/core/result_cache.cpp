@@ -39,6 +39,12 @@ constexpr std::uint32_t kEntryVersion = 100 + kReportSchemaVersion;
 constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 32;
 constexpr const char* kEntrySuffix = ".rpt";
 constexpr const char* kQuarantineDir = "quarantine";
+/// How old a <key>.tmp.<pid>.<seq> file must be before it is presumed
+/// abandoned by a crashed writer rather than mid-write by a live one.
+/// The window only needs to exceed one serialize+rename; the generous
+/// margin keeps the constructor sweep and prune() safely conservative
+/// even under pathological I/O stalls.
+constexpr std::chrono::minutes kTmpGraceWindow{10};
 
 using util::get_u32;
 using util::get_u64;
@@ -154,16 +160,33 @@ ResultCache::ResultCache(std::string dir, std::uint64_t max_bytes,
   }
   out.close();
   fs::remove(probe, ec);
-  if (max_bytes_ != 0) {
-    // Seed the approximate total from what is already on disk, so a cap
-    // applies to a pre-existing directory from the first store on.
-    for (const auto& file : fs::directory_iterator(dir_, ec)) {
-      if (!file.is_regular_file(ec)) continue;
-      if (!is_entry_name(file.path().filename().string())) continue;
-      std::error_code size_ec;
-      const std::uint64_t size = fs::file_size(file.path(), size_ec);
-      if (!size_ec) approx_bytes_ += size;
+  // One opening scan does two jobs: sweep tmp files abandoned by crashed
+  // writers (a daemon's shared directory would otherwise accumulate them
+  // forever — workers die, nobody calls prune), and, when a byte cap is
+  // armed, seed the approximate total from what is already on disk so the
+  // cap applies to a pre-existing directory from the first store on.
+  for (const auto& file : fs::directory_iterator(dir_, ec)) {
+    if (!file.is_regular_file(ec)) continue;
+    const std::string name = file.path().filename().string();
+    if (is_entry_name(name)) {
+      if (max_bytes_ != 0) {
+        std::error_code size_ec;
+        const std::uint64_t size = fs::file_size(file.path(), size_ec);
+        if (!size_ec) approx_bytes_ += size;
+      }
+      continue;
     }
+    if (name.find(".tmp.") == std::string::npos) continue;
+    // Same grace discipline as prune(): a young tmp may belong to a live
+    // store() in another process, between its write and its rename.
+    std::error_code mtime_ec;
+    const auto mtime = fs::last_write_time(file.path(), mtime_ec);
+    if (mtime_ec ||
+        fs::file_time_type::clock::now() - mtime <= kTmpGraceWindow) {
+      continue;
+    }
+    std::error_code rm_ec;
+    if (fs::remove(file.path(), rm_ec) && !rm_ec) ++stats_.tmp_swept;
   }
 }
 
@@ -367,7 +390,7 @@ ResultCache::PruneReport ResultCache::prune(std::uint64_t max_total_bytes) {
         // write+rename, so a generous margin costs nothing.
         const auto mtime = fs::last_write_time(file.path(), ec);
         if (!ec && fs::file_time_type::clock::now() - mtime >
-                       std::chrono::minutes(10)) {
+                       kTmpGraceWindow) {
           remove_counted(file.path());
         }
       }

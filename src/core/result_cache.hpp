@@ -80,6 +80,12 @@ class ResultCache {
     std::size_t stale = 0;        ///< entries rejected for schema version
     std::size_t autoprunes = 0;   ///< store-time cap enforcements (prunes)
     std::size_t expired = 0;      ///< negative entries past their TTL
+    /// Crashed-writer tmp files swept by the constructor scan (entries
+    /// older than the 10-minute write grace window).  prune() sweeps the
+    /// same debris on demand; the constructor sweep keeps a long-lived
+    /// daemon's shared directory from accumulating it across worker
+    /// crashes without anyone ever calling prune.
+    std::size_t tmp_swept = 0;
   };
 
   /// What prune() did.

@@ -335,7 +335,13 @@ struct BatchScheduler::Impl {
                 arrival + std::chrono::milliseconds(job->spec.deadline_ms);
             job->deadline_it = deadlines_.emplace(*job->deadline, job);
             job->deadline_registered = true;
-            cv_reaper_.notify_one();
+            // Wake the reaper only when this deadline becomes the new
+            // earliest — it sleeps until exactly deadlines_.begin(), so a
+            // registration behind that point changes nothing it would
+            // act on, and a submission burst must not turn the reaper
+            // into a busy loop of spurious wakes.
+            if (job->deadline_it == deadlines_.begin())
+              cv_reaper_.notify_one();
           }
           setup_queues_[class_of(*job)].push_back(job);
           cv_work_.notify_one();
@@ -396,6 +402,12 @@ struct BatchScheduler::Impl {
   void drain() {
     std::unique_lock<std::mutex> lock(mu_);
     cv_idle_.wait(lock, [&] { return unresolved_ == 0; });
+  }
+
+  bool wait_idle_for(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_idle_.wait_for(lock, timeout,
+                             [&] { return unresolved_ == 0; });
   }
 
   bool drain_for(std::chrono::milliseconds timeout) {
@@ -1083,6 +1095,10 @@ void BatchScheduler::drain() { impl_->drain(); }
 
 bool BatchScheduler::drain_for(std::chrono::milliseconds timeout) {
   return impl_->drain_for(timeout);
+}
+
+bool BatchScheduler::wait_idle_for(std::chrono::milliseconds timeout) {
+  return impl_->wait_idle_for(timeout);
 }
 
 BatchStats BatchScheduler::stats() const { return impl_->stats(); }

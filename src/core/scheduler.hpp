@@ -147,6 +147,13 @@ class BatchScheduler {
   /// everything resolved within the budget without forced cancellation.
   bool drain_for(std::chrono::milliseconds timeout);
 
+  /// Passive bounded wait: true when every job submitted so far resolved
+  /// within `timeout`, false otherwise — nothing is cancelled either way
+  /// (drain_for cancels on timeout).  The building block for
+  /// interruptible drains: poll in a loop and break on an external stop
+  /// flag, e.g. gfre_batch's SIGINT handling.
+  bool wait_idle_for(std::chrono::milliseconds timeout);
+
   /// Snapshot of the lifetime counters (jobs, cache_hits, cones, ...).
   BatchStats stats() const;
 

@@ -1,0 +1,363 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/wire.hpp"
+#include "serve/worker.hpp"
+#include "util/error.hpp"
+#include "util/jsonl.hpp"
+
+namespace gfre::serve {
+
+namespace {
+
+/// Lock-free registry of fds a forked worker child must close.  Plain
+/// mutex-guarded state is off limits in on_fork_child: fork() can land
+/// while another thread holds the mutex, and the child would inherit it
+/// locked forever.  Atomic slots have no such state.
+class FdRegistry {
+ public:
+  static constexpr std::size_t kSlots = 64;
+
+  /// Returns the slot index, or -1 when full (caller refuses the client).
+  int add(int fd) {
+    for (std::size_t i = 0; i < kSlots; ++i) {
+      int expected = -1;
+      if (slots_[i].compare_exchange_strong(expected, fd)) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  void remove(int slot) {
+    if (slot >= 0) slots_[static_cast<std::size_t>(slot)].store(-1);
+  }
+
+  void close_all_in_child() const {
+    for (const auto& slot : slots_) {
+      const int fd = slot.load();
+      if (fd >= 0) ::close(fd);
+    }
+  }
+
+  void shutdown_all() const {
+    for (const auto& slot : slots_) {
+      const int fd = slot.load();
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+
+ private:
+  std::array<std::atomic<int>, kSlots> slots_ = {};
+
+ public:
+  FdRegistry() {
+    for (auto& slot : slots_) slot.store(-1);
+  }
+};
+
+/// One client connection.  Callbacks on coordinator reader threads and
+/// the connection's own thread both write to `fd` — serialized by `mu`.
+/// The fd closes only when the LAST reference drops (pending-job
+/// callbacks hold one), so a write can never race a close/fd-reuse.
+struct Client {
+  int fd = -1;
+  int registry_slot = -1;
+  FdRegistry* registry = nullptr;
+  std::mutex mu;
+
+  ~Client() {
+    if (registry) registry->remove(registry_slot);
+    if (fd >= 0) ::close(fd);
+  }
+
+  void send(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    (void)write_line(fd, line);  // a gone client is not an error
+  }
+};
+
+int listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw Error("serve: socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw Error("serve: socket(): " + std::string(strerror(errno)));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno == EADDRINUSE) {
+      // Distinguish a live server from a stale socket file left by a
+      // crash: only a refused connect licenses unlinking.
+      int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      const bool live =
+          probe >= 0 &&
+          ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) == 0;
+      if (probe >= 0) ::close(probe);
+      if (live) {
+        ::close(fd);
+        throw Error("serve: a server is already listening on " + path);
+      }
+      ::unlink(path.c_str());
+      if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+          0) {
+        if (::listen(fd, 64) != 0)
+          throw Error("serve: listen(): " + std::string(strerror(errno)));
+        return fd;
+      }
+    }
+    ::close(fd);
+    throw Error("serve: cannot bind " + path + ": " + strerror(errno));
+  }
+  if (::listen(fd, 64) != 0)
+    throw Error("serve: listen(): " + std::string(strerror(errno)));
+  return fd;
+}
+
+int listen_tcp(unsigned short port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw Error("serve: socket(): " + std::string(strerror(errno)));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  // Loopback only: the protocol has no authentication, so it must never
+  // face a network.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const std::string why = strerror(errno);
+    ::close(fd);
+    throw Error("serve: cannot bind 127.0.0.1:" + std::to_string(port) +
+                ": " + why);
+  }
+  return fd;
+}
+
+}  // namespace
+
+struct Server::Impl {
+  ServerOptions options;
+  FdRegistry registry;  ///< listen fds + self-pipe + client fds
+  int unix_fd = -1;
+  int tcp_fd = -1;
+  int stop_pipe[2] = {-1, -1};
+  std::unique_ptr<Coordinator> coordinator;
+  std::mutex clients_mu;
+  std::vector<std::thread> client_threads;  ///< joined when run() ends
+
+  void serve_client(std::shared_ptr<Client> client) {
+    FdLineReader reader(client->fd);
+    while (auto line = reader.read_line()) {
+      if (line->empty()) continue;
+      try {
+        const WireObject msg = parse_wire_object(*line);
+        const std::string op = require_string(msg, "op");
+        if (op == "ping") {
+          JsonLine reply;
+          reply.add("event", "pong");
+          client->send(reply.render());
+        } else if (op == "submit") {
+          core::BatchJob job = job_from_wire(msg);
+          // The callback may fire before submit returns (rejection,
+          // dead fleet), putting the result event on the wire ahead of
+          // the ack — the client buffers results for ids it has not
+          // matched yet, so ordering is correlation metadata, not a
+          // protocol invariant.
+          const auto on_complete = [client](const ServeResult& r) {
+            JsonLine event;
+            event.add("event", "result");
+            event.add("id", r.id);
+            event.add("ok", r.ok);
+            event.add("rejected", r.rejected);
+            event.add("cancelled", r.cancelled);
+            event.add("cache_hit", r.cache_hit);
+            event.add("worker", r.worker);
+            event.add("attempts", r.attempts);
+            event.add("line", r.line);
+            client->send(event.render());
+          };
+          const std::uint64_t id =
+              options.admission_reject
+                  ? coordinator->try_submit(std::move(job), on_complete)
+                  : coordinator->submit(std::move(job), on_complete);
+          JsonLine ack;
+          ack.add("event", "submitted");
+          ack.add("id", id);
+          client->send(ack.render());
+        } else if (op == "cancel") {
+          const std::uint64_t id = get_u64(msg, "id");
+          JsonLine reply;
+          reply.add("event", "cancel");
+          reply.add("id", id);
+          reply.add("accepted", coordinator->cancel(id));
+          client->send(reply.render());
+        } else if (op == "status") {
+          const CoordinatorStats s = coordinator->stats();
+          const auto pids = coordinator->worker_pids();
+          std::size_t alive = 0;
+          for (pid_t pid : pids) alive += pid != 0;
+          JsonLine reply;
+          reply.add("event", "status");
+          reply.add("submitted", s.submitted);
+          reply.add("resolved", s.resolved);
+          reply.add("pending", s.submitted - s.resolved);
+          reply.add("rejected", s.rejected);
+          reply.add("worker_deaths", s.worker_deaths);
+          reply.add("respawns", s.respawns);
+          reply.add("requeues", s.requeues);
+          reply.add("worker_failed", s.worker_failed);
+          reply.add("workers", pids.size());
+          reply.add("workers_alive", alive);
+          client->send(reply.render());
+        } else if (op == "stats") {
+          // Aggregated per-worker scheduler counters — the warm-cache
+          // acceptance check reads disk_hits/cones_extracted here.
+          static const char* kKeys[] = {
+              "jobs",       "succeeded",       "failed",
+              "cache_hits", "disk_hits",       "disk_misses",
+              "disk_stores", "cones_extracted", "deadline_exceeded"};
+          std::map<std::string, std::uint64_t> sums;
+          std::size_t reporting = 0;
+          for (unsigned k = 0; k < coordinator->workers(); ++k) {
+            auto stats = coordinator->worker_stats(
+                k, std::chrono::milliseconds(2000));
+            if (!stats.has_value()) continue;
+            ++reporting;
+            for (const char* key : kKeys)
+              sums[key] += get_u64(*stats, key);
+          }
+          JsonLine reply;
+          reply.add("event", "stats");
+          reply.add("workers_reporting", reporting);
+          for (const char* key : kKeys) reply.add(key, sums[key]);
+          client->send(reply.render());
+        } else if (op == "drain") {
+          coordinator->drain();
+          JsonLine reply;
+          reply.add("event", "drained");
+          client->send(reply.render());
+        } else {
+          throw Error("unknown op '" + op + "'");
+        }
+      } catch (const Error& e) {
+        JsonLine reply;
+        reply.add("event", "error");
+        reply.add("message", e.what());
+        client->send(reply.render());
+      }
+    }
+  }
+};
+
+Server::Server(const ServerOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->options = options;
+  if (options.socket_path.empty())
+    throw Error("serve: a socket path is required");
+  std::signal(SIGPIPE, SIG_IGN);
+
+  impl_->unix_fd = listen_unix(options.socket_path);
+  impl_->registry.add(impl_->unix_fd);
+  if (options.tcp_port != 0) {
+    impl_->tcp_fd = listen_tcp(options.tcp_port);
+    impl_->registry.add(impl_->tcp_fd);
+  }
+  if (::pipe(impl_->stop_pipe) != 0)
+    throw Error("serve: pipe(): " + std::string(strerror(errno)));
+  impl_->registry.add(impl_->stop_pipe[0]);
+  impl_->registry.add(impl_->stop_pipe[1]);
+
+  // The fleet forks AFTER the listeners exist so every child — including
+  // later respawns — closes them via on_fork_child.
+  CoordinatorOptions coord = options.coordinator;
+  FdRegistry* registry = &impl_->registry;
+  coord.on_fork_child = [registry] { registry->close_all_in_child(); };
+  impl_->coordinator = std::make_unique<Coordinator>(coord);
+}
+
+Server::~Server() {
+  if (impl_->coordinator)
+    impl_->coordinator->shutdown(impl_->options.shutdown_grace);
+  if (impl_->unix_fd >= 0) ::close(impl_->unix_fd);
+  if (impl_->tcp_fd >= 0) ::close(impl_->tcp_fd);
+  for (int fd : impl_->stop_pipe)
+    if (fd >= 0) ::close(fd);
+  if (!impl_->options.socket_path.empty())
+    ::unlink(impl_->options.socket_path.c_str());
+}
+
+void Server::run() {
+  auto& impl = *impl_;
+  for (;;) {
+    pollfd fds[3];
+    nfds_t nfds = 0;
+    fds[nfds++] = {impl.stop_pipe[0], POLLIN, 0};
+    fds[nfds++] = {impl.unix_fd, POLLIN, 0};
+    if (impl.tcp_fd >= 0) fds[nfds++] = {impl.tcp_fd, POLLIN, 0};
+    int ready = ::poll(fds, nfds, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[0].revents != 0) break;  // stop byte (or pipe error)
+    for (nfds_t i = 1; i < nfds; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int conn = ::accept(fds[i].fd, nullptr, nullptr);
+      if (conn < 0) continue;
+      auto client = std::make_shared<Client>();
+      client->fd = conn;
+      client->registry = &impl.registry;
+      client->registry_slot = impl.registry.add(conn);
+      if (client->registry_slot < 0) {
+        // Registry full: refuse rather than hand a worker child an fd it
+        // cannot know to close.
+        JsonLine reply;
+        reply.add("event", "error");
+        reply.add("message", "server at connection capacity");
+        client->send(reply.render());
+        continue;  // ~Client closes conn
+      }
+      std::lock_guard<std::mutex> lock(impl.clients_mu);
+      impl.client_threads.emplace_back(
+          [&impl, client] { impl.serve_client(client); });
+    }
+  }
+
+  // Drain the fleet first (result events still flow to clients), then
+  // sever the connections and join their threads.
+  impl.coordinator->shutdown(impl.options.shutdown_grace);
+  impl.registry.shutdown_all();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(impl.clients_mu);
+    threads.swap(impl.client_threads);
+  }
+  for (std::thread& t : threads)
+    if (t.joinable()) t.join();
+}
+
+int Server::stop_fd() const { return impl_->stop_pipe[1]; }
+
+Coordinator& Server::coordinator() { return *impl_->coordinator; }
+
+}  // namespace gfre::serve

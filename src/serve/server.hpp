@@ -1,0 +1,65 @@
+// gfre_server's socket front end.
+//
+// Listens on a UNIX-domain socket (and optionally TCP on 127.0.0.1),
+// speaks the line-delimited JSON protocol of docs/PROTOCOL.md
+// (submit / status / cancel / drain / stats / ping), and forwards jobs to
+// a serve::Coordinator, which fans them across forked worker processes.
+// One thread per client connection; result events stream back on the
+// submitting client's connection as jobs resolve (a disconnected client's
+// jobs still run — their results feed the shared disk cache).
+//
+// Shutdown is event-driven: write one byte to stop_fd() (the SIGTERM
+// handler in examples/gfre_server.cpp does exactly that — it is the only
+// async-signal-safe option) and run() returns after draining the fleet
+// via Coordinator::shutdown.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "serve/coordinator.hpp"
+
+namespace gfre::serve {
+
+struct ServerOptions {
+  /// UNIX-domain socket path (required).  A stale socket file from a
+  /// crashed server is detected (connect refused) and replaced; a LIVE
+  /// server on the path is a startup error.
+  std::string socket_path;
+  /// Optional TCP listener on 127.0.0.1:tcp_port; 0 = UNIX only.
+  unsigned short tcp_port = 0;
+  /// Client submissions at a full fleet: block the submitting connection
+  /// (false, default) or resolve immediately as rejected (true).
+  bool admission_reject = false;
+  /// Grace passed to Coordinator::shutdown when stopping.
+  std::chrono::milliseconds shutdown_grace{30000};
+  CoordinatorOptions coordinator;
+};
+
+class Server {
+ public:
+  /// Binds the listeners, then forks the worker fleet (in that order, so
+  /// the fleet's on_fork_child can close the listen fds in every child).
+  /// Throws gfre::Error on bind/fork failure.
+  explicit Server(const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Accept/dispatch loop; returns after a stop byte arrives and the
+  /// fleet has drained and exited.
+  void run();
+
+  /// Write end of the self-pipe; writing any byte stops run().  Safe from
+  /// signal handlers.
+  int stop_fd() const;
+
+  Coordinator& coordinator();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gfre::serve

@@ -1,0 +1,91 @@
+// Wire format for the extraction service — line-delimited JSON.
+//
+// Every message on every serve-layer channel (client <-> gfre_server,
+// coordinator <-> worker process) is ONE flat JSON object per line:
+// string/number/bool/null values only, no nesting.  That keeps the parser
+// small enough to audit, the protocol greppable from a terminal
+// (`socat - UNIX:/run/gfre.sock`), and framing trivial — a torn line from
+// a crashed peer is detected as a parse error, never misread as a
+// different message.  docs/PROTOCOL.md is the normative message catalog.
+//
+// Writing reuses util/jsonl.hpp's JsonLine (same escaping rules as the
+// JSONL reports); this header adds the inverse — parse_wire_object — plus
+// buffered line I/O over raw file descriptors, which the serve layer
+// speaks because its peers are sockets and socketpairs, not iostreams.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace gfre::serve {
+
+/// One decoded JSON scalar.  Numbers keep their raw token so 64-bit
+/// integers survive exactly (a double round trip would shave ids and
+/// byte counts past 2^53).
+struct WireValue {
+  enum class Kind { String, Number, Bool, Null };
+  Kind kind = Kind::Null;
+  std::string text;      ///< String: unescaped contents; Number: raw token
+  bool boolean = false;  ///< Bool only
+
+  /// Number as a non-negative integer; throws gfre::Error for strings,
+  /// negatives, fractions, or overflow.
+  std::uint64_t as_u64() const;
+  double as_double() const;
+};
+
+/// Key-ordered view of one message.  Duplicate keys are rejected at parse
+/// time — last-write-wins is how protocol confusion hides.
+using WireObject = std::map<std::string, WireValue>;
+
+/// Parses one `{"key": value, ...}` line.  Throws gfre::Error on anything
+/// malformed: nesting, arrays, duplicate keys, trailing garbage, bad
+/// escapes.  Accepts the exact output of JsonLine::render plus standard
+/// JSON whitespace and \uXXXX escapes (surrogate pairs included).
+WireObject parse_wire_object(std::string_view line);
+
+// -- Field accessors --------------------------------------------------------
+
+/// nullptr when absent.
+const WireValue* find(const WireObject& obj, const std::string& key);
+
+/// Missing key (or JSON null) falls back to `fallback`; a present key of
+/// the wrong kind throws gfre::Error.
+std::string get_string(const WireObject& obj, const std::string& key,
+                       const std::string& fallback = {});
+std::uint64_t get_u64(const WireObject& obj, const std::string& key,
+                      std::uint64_t fallback = 0);
+bool get_bool(const WireObject& obj, const std::string& key,
+              bool fallback = false);
+
+/// Like get_string but the key must be present and non-null.
+std::string require_string(const WireObject& obj, const std::string& key);
+
+// -- Line I/O over file descriptors -----------------------------------------
+
+/// Buffered reader yielding one '\n'-terminated line at a time (terminator
+/// stripped).  Returns nullopt on EOF/error; a final unterminated fragment
+/// is discarded — a peer that died mid-line did not send a message.
+class FdLineReader {
+ public:
+  explicit FdLineReader(int fd) : fd_(fd) {}
+
+  std::optional<std::string> read_line();
+
+ private:
+  int fd_;
+  std::string buffer_;
+  std::size_t pos_ = 0;
+  bool eof_ = false;
+};
+
+/// Writes `line` plus '\n' fully (EINTR-retried).  False on any write
+/// failure — the caller decides whether a dead peer matters.  Callers must
+/// have SIGPIPE ignored (every serve-layer main does) and serialize
+/// concurrent writers to one fd themselves.
+bool write_line(int fd, std::string_view line);
+
+}  // namespace gfre::serve

@@ -90,12 +90,15 @@ JsonlWriter::JsonlWriter(const std::string& path) {
 JsonlWriter::~JsonlWriter() { close(); }
 
 void JsonlWriter::write(const JsonLine& line) {
+  write_raw(line.render());
+}
+
+void JsonlWriter::write_raw(const std::string& line) {
   if (file_ == nullptr) {
     ok_ = false;
     return;
   }
-  const std::string text = line.render();
-  if (std::fprintf(file_, "%s\n", text.c_str()) < 0) {
+  if (std::fprintf(file_, "%s\n", line.c_str()) < 0) {
     ok_ = false;
     return;
   }

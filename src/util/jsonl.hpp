@@ -50,6 +50,11 @@ class JsonlWriter {
   /// Writes one record as a single line.
   void write(const JsonLine& line);
 
+  /// Writes an already-rendered record verbatim (plus the newline).  Used
+  /// when the bytes must match another writer's output exactly — e.g.
+  /// gfre_client relaying report lines the workers rendered.
+  void write_raw(const std::string& line);
+
   /// Flushes and closes.  Safe to call more than once.
   void close();
 

@@ -388,6 +388,40 @@ TEST(BatchManifest, RejectsExtraPortCommas) {
   std::remove(path.c_str());
 }
 
+TEST(BatchManifest, RejectsDuplicateKeys) {
+  // "deadline_ms=1 deadline_ms=1000" used to let the LAST value win
+  // silently — the job ran under whichever number was typed second.
+  const std::string path = ::testing::TempDir() + "/dupkey.manifest";
+  for (const char* line : {"good.eqn deadline_ms=1 deadline_ms=1000",
+                           "good.eqn name=a name=b",
+                           "good.eqn strategy=packed strategy=packed"}) {
+    {
+      std::ofstream out(path);
+      out << line << "\n";
+    }
+    try {
+      parse_manifest(path);
+      FAIL() << "expected ParseError for '" << line << "'";
+    } catch (const ParseError& e) {
+      EXPECT_EQ(e.line(), 1) << line;
+      EXPECT_NE(std::string(e.what()).find("duplicate manifest key"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    // Distinct keys — including values that merely REPEAT another key's
+    // text — still parse.
+    std::ofstream out(path);
+    out << "good.eqn name=deadline_ms deadline_ms=5\n";
+  }
+  const auto jobs = parse_manifest(path);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].name, "deadline_ms");
+  EXPECT_EQ(jobs[0].deadline_ms, 5u);
+  std::remove(path.c_str());
+}
+
 TEST(BatchManifest, ParsesCrlfTerminatedLines) {
   // A manifest written on Windows ends every line in \r\n; no token (path,
   // name, port base) may come back with a stray '\r' attached.

@@ -661,5 +661,35 @@ TEST(ResultCacheBatch, ChangedOptionsMissTheCache) {
   EXPECT_GT(changed.stats.cones_extracted, 0u);
 }
 
+TEST(ResultCache, ConstructorSweepsAbandonedTmpFiles) {
+  const std::string dir = fresh_dir("ctor_tmp_sweep");
+  { ResultCache create(dir); }  // lay the directory down
+
+  // Debris a crashed writer would leave behind (write done, rename never
+  // reached), plus a young tmp that could belong to a LIVE store in
+  // another process, plus a real entry that must survive untouched.
+  const std::string key(64, 'a');
+  const fs::path stale = fs::path(dir) / (key + ".tmp.12345.1");
+  const fs::path young =
+      fs::path(dir) / (std::string(64, 'b') + ".tmp.12345.2");
+  const fs::path entry = fs::path(dir) / (std::string(64, 'c') + ".rpt");
+  write_file(stale.string(), "half-written");
+  write_file(young.string(), "half-written");
+  write_file(entry.string(), "not-a-report-but-not-tmp");
+  fs::last_write_time(stale,
+                      fs::last_write_time(stale) - std::chrono::minutes(11));
+
+  ResultCache cache(dir);
+  EXPECT_EQ(cache.stats().tmp_swept, 1u);
+  EXPECT_FALSE(fs::exists(stale)) << "past the grace window: swept";
+  EXPECT_TRUE(fs::exists(young)) << "inside the grace window: spared";
+  EXPECT_TRUE(fs::exists(entry)) << "entries are never the sweep's business";
+
+  // A directory with no debris sweeps nothing (the young tmp is still
+  // young — this ctor runs milliseconds after the last).
+  ResultCache again(dir);
+  EXPECT_EQ(again.stats().tmp_swept, 0u);
+}
+
 }  // namespace
 }  // namespace gfre::core

@@ -892,5 +892,76 @@ TEST(SchedulerStats, SnapshotsAreConsistentUnderConcurrentWorkers) {
   EXPECT_LE(s.queue_peak, 64u);
 }
 
+TEST(SchedulerDrain, WaitIdleForIsAPassiveBoundedWait) {
+  const gf2m::Field field(Poly{4, 1, 0});
+  FifoGate gate;
+
+  BatchOptions options;
+  options.threads = 1;
+  BatchScheduler scheduler(options);
+  FifoGateGuard guard(gate);
+
+  BatchJob gate_job;
+  gate_job.name = "gate";
+  gate_job.path = gate.path();
+  auto gate_ticket = scheduler.submit(std::move(gate_job));
+
+  BatchJob queued;
+  queued.name = "queued";
+  queued.netlist = gen::generate_mastrovito(field);
+  auto queued_ticket = scheduler.submit(std::move(queued));
+
+  // The worker is parked: the wait must time out WITHOUT cancelling
+  // anything — that is the whole contract (gfre_batch polls it between
+  // signal checks).
+  EXPECT_FALSE(scheduler.wait_idle_for(std::chrono::milliseconds(50)));
+  EXPECT_EQ(queued_ticket.result.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout)
+      << "a timed-out idle wait must not cancel the queued job";
+
+  gate.open_gate();
+  EXPECT_TRUE(scheduler.wait_idle_for(std::chrono::seconds(120)));
+  EXPECT_TRUE(queued_ticket.result.get().ok);
+  EXPECT_EQ(scheduler.stats().cancelled, 0u);
+}
+
+TEST(SchedulerDeadline, QueuedExpiryFiresNearTheDeadlineNotAPollTick) {
+  const gf2m::Field field(Poly{4, 1, 0});
+  FifoGate gate;
+
+  BatchOptions options;
+  options.threads = 1;
+  BatchScheduler scheduler(options);
+  FifoGateGuard guard(gate);
+
+  BatchJob gate_job;
+  gate_job.name = "gate";
+  gate_job.path = gate.path();
+  auto gate_ticket = scheduler.submit(std::move(gate_job));
+
+  // The reaper sleeps until exactly the earliest pending deadline, so a
+  // 100 ms deadline on a parked queue must resolve in ~100 ms — not
+  // after some coarse polling interval.  The 2 s bound is deliberately
+  // loose for CI noise while still catching any 5-10 s poll loop.
+  BatchJob victim;
+  victim.name = "victim";
+  victim.netlist = gen::generate_mastrovito(field);
+  victim.deadline_ms = 100;
+  const auto submitted = std::chrono::steady_clock::now();
+  auto ticket = scheduler.submit(std::move(victim));
+  ASSERT_EQ(ticket.result.wait_for(std::chrono::seconds(60)),
+            std::future_status::ready);
+  const auto elapsed = std::chrono::steady_clock::now() - submitted;
+  const BatchJobResult result = ticket.result.get();
+  EXPECT_TRUE(result.deadline_exceeded);
+  EXPECT_GE(elapsed, std::chrono::milliseconds(100))
+      << "a deadline must never fire early";
+  EXPECT_LT(elapsed, std::chrono::seconds(2))
+      << "expiry latency looks like a poll loop, not a deadline wait";
+
+  gate.open_gate();
+  scheduler.drain();
+}
+
 }  // namespace
 }  // namespace gfre::core
