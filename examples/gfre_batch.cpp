@@ -55,6 +55,7 @@ void usage(std::ostream& os) {
   os << "usage: gfre_batch --jobs <manifest> [--threads N]\n"
      << "                  [--strategy packed|indexed|naive]\n"
      << "                  [--ports a,b,z] [--max-terms N]\n"
+     << "                  [--library cells.lib]\n"
      << "                  [--queue-cap N] [--deadline-ms N]\n"
      << "                  [--admission block|reject]\n"
      << "                  [--no-verify] [--no-cache]\n"
@@ -65,12 +66,15 @@ void usage(std::ostream& os) {
      << "  --jobs FILE        job manifest (required): one netlist per\n"
      << "                     line with optional key=value overrides\n"
      << "                     (name=, ports=a,b,z, strategy=, infer=,\n"
-     << "                     verify=, permute=, max_terms=,\n"
+     << "                     verify=, permute=, max_terms=, library=,\n"
      << "                     deadline_ms=, priority=high|normal|low)\n"
      << "  --threads N        shared pool width (default: hardware)\n"
      << "  --strategy NAME    default backend: packed|indexed|naive\n"
      << "  --ports a,b,z      default operand/result port base names\n"
      << "  --max-terms N      default per-bit term budget (0 = unlimited)\n"
+     << "  --library FILE     default cell library (.lib subset) resolving\n"
+     << "                     non-builtin cells during parsing; per-line\n"
+     << "                     library= overrides\n"
      << "  --queue-cap N      bound on admitted-but-unresolved jobs\n"
      << "                     (0 = unbounded); submission backpressures\n"
      << "                     at the cap per --admission\n"
@@ -203,6 +207,8 @@ int main(int argc, char** argv) {
           return 2;
         }
         defaults.max_terms = std::stoull(value);
+      } else if (arg == "--library" && i + 1 < argc) {
+        defaults.library = argv[++i];
       } else if (arg == "--queue-cap" && i + 1 < argc) {
         const std::string value = argv[++i];
         if (value.empty() || value[0] == '-') {

@@ -43,6 +43,7 @@ void usage(std::ostream& os) {
      << "                   [--jobs manifest] [--out report.jsonl]\n"
      << "                   [--strategy packed|indexed|naive]\n"
      << "                   [--ports a,b,z] [--max-terms N]\n"
+     << "                   [--library cells.lib]\n"
      << "                   [--deadline-ms N] [--no-verify]\n"
      << "                   [--stats] [--drain] [--ping]\n"
      << "                   [--quiet] [--help]\n"
@@ -58,6 +59,8 @@ void usage(std::ostream& os) {
      << "  --strategy NAME    default backend for jobs without one\n"
      << "  --ports a,b,z      default operand/result port base names\n"
      << "  --max-terms N      default per-bit term budget (0 = unlimited)\n"
+     << "  --library FILE     default cell library; resolved server-side,\n"
+     << "                     so pass a path the workers can read\n"
      << "  --deadline-ms N    default per-job wall-clock budget in ms\n"
      << "  --no-verify        skip golden-model comparison by default\n"
      << "  --stats            after the jobs (if any), print the server's\n"
@@ -225,6 +228,8 @@ int main(int argc, char** argv) {
         defaults.z_base = spec.substr(c2 + 1);
       } else if (arg == "--max-terms" && i + 1 < argc) {
         defaults.max_terms = std::stoull(argv[++i]);
+      } else if (arg == "--library" && i + 1 < argc) {
+        defaults.library = argv[++i];
       } else if (arg == "--deadline-ms" && i + 1 < argc) {
         default_deadline_ms = std::stoull(argv[++i]);
       } else if (arg == "--no-verify") {

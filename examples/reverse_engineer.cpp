@@ -9,6 +9,7 @@
 //   --ports a,b,z      operand/result port base names (default a,b,z)
 //   --strategy NAME    rewriting backend: packed (default), indexed, naive
 //   --naive            shorthand for --strategy naive
+//   --library FILE     cell library (.lib subset) resolving non-builtin cells
 //   --no-verify        skip the golden-model comparison
 //   --trace BIT        print the Algorithm-1 trace of one output bit
 //
@@ -33,6 +34,7 @@ void usage() {
   std::cerr
       << "usage: reverse_engineer [--threads N] [--ports a,b,z]\n"
       << "                        [--strategy packed|indexed|naive]\n"
+      << "                        [--library cells.lib]\n"
       << "                        [--no-verify] [--trace BIT]\n"
       << "                        <netlist.eqn|netlist.blif|netlist.v>\n"
       << "       reverse_engineer --demo\n";
@@ -65,6 +67,8 @@ int main(int argc, char** argv) {
       options.strategy = *strategy;
     } else if (arg == "--no-verify") {
       options.verify_with_golden = false;
+    } else if (arg == "--library" && i + 1 < argc) {
+      options.library = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       options.threads = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (arg == "--trace" && i + 1 < argc) {
@@ -100,7 +104,7 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     } else {
-      netlist = core::load_netlist_file(path);
+      netlist = core::load_netlist_file(path, options.library);
       std::cout << "loaded '" << path << "': " << netlist.num_equations()
                 << " equations, " << netlist.inputs().size() << " inputs, "
                 << netlist.outputs().size() << " outputs\n";

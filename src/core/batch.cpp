@@ -172,6 +172,12 @@ std::optional<BatchJob> parse_manifest_line(const std::string& line,
                                 "got '" + value + "'");
         }
         job.deadline_ms = std::stoull(value);
+      } else if (key == "library") {
+        // Library paths resolve like netlist paths: against the
+        // manifest's directory.
+        std::filesystem::path p(value);
+        job.options.library =
+            p.is_absolute() ? p.string() : (base / p).string();
       } else if (key == "priority") {
         const auto priority = priority_from_name(value);
         if (!priority.has_value()) {

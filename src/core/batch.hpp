@@ -222,17 +222,24 @@ std::ostream& operator<<(std::ostream& os, const NetlistHash& hash);
 
 NetlistHash netlist_content_hash(const nl::Netlist& netlist);
 
-/// Loads a netlist by file extension (.eqn/.blif/.v); throws
-/// InvalidArgument on unknown extensions, ParseError/Error on bad content.
-nl::Netlist load_netlist_file(const std::string& path);
+/// Loads a netlist file, dispatching on CONTENT (frontend::sniff_format)
+/// rather than extension — a BLIF netlist named circuit.txt parses fine.
+/// `library_path`, when non-empty, names a cell-library file
+/// (frontend/cell_library.hpp) resolving non-builtin cells.  Throws
+/// ParseError on bad or unrecognizable content, Error on unreadable
+/// files.
+nl::Netlist load_netlist_file(const std::string& path,
+                              const std::string& library_path = {});
 
 /// Parses a batch manifest: one job per line,
 ///   <netlist-path> [name=X] [ports=a,b,z] [strategy=packed|indexed|naive]
 ///                  [infer=0|1] [verify=0|1] [permute=0|1] [max_terms=N]
 ///                  [deadline_ms=N] [priority=high|normal|low]
-/// with '#' comments and blank lines ignored.  Relative paths resolve
-/// against the manifest's directory.  `defaults` seeds every job's options
-/// before the per-line overrides apply.  Throws ParseError on bad lines.
+///                  [library=cells.lib]
+/// with '#' comments and blank lines ignored.  Relative paths (netlist
+/// and library) resolve against the manifest's directory.  `defaults`
+/// seeds every job's options before the per-line overrides apply.  Throws
+/// ParseError on bad lines.
 std::vector<BatchJob> parse_manifest(const std::string& path,
                                      const FlowOptions& defaults = {});
 

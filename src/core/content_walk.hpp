@@ -43,8 +43,11 @@ void walk_netlist_content(Sink& sink, const nl::Netlist& netlist) {
 /// Every FlowOptions field that changes the report — and nothing else.
 /// `threads` is deliberately excluded: reports are bit-identical at any
 /// worker count (Theorem 2), which is what lets a 1-thread run warm an
-/// 8-thread one.  A new option that affects the report MUST be added
-/// here (both keyspaces pick it up automatically).
+/// 8-thread one.  `library` is also excluded — it is a PATH, and hashing
+/// a path would miss edits to the file behind it; both keyspaces mix the
+/// library file's bytes in at their call sites instead (scheduler memo
+/// key, ResultCache::key_for_file).  A new option that affects the
+/// report MUST be added here (both keyspaces pick it up automatically).
 template <typename Sink>
 void walk_report_options(Sink& sink, const FlowOptions& o) {
   sink.u64(static_cast<std::uint64_t>(o.strategy));

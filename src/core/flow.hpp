@@ -45,6 +45,14 @@ struct FlowOptions {
   /// exhausting memory — the wall the fuzz suite and the batch service
   /// lean on.
   std::size_t max_terms = 0;
+  /// Path to a cell-library file (frontend/cell_library.hpp) used when a
+  /// file-backed job's netlist instantiates cells outside the builtin set.
+  /// Empty = builtin cells only.  Deliberately NOT part of
+  /// walk_report_options: cache keys must cover the library's CONTENT,
+  /// not its path — the scheduler mixes the library file's bytes into
+  /// both keyspaces itself (see core/scheduler.cpp and
+  /// ResultCache::key_for_file).
+  std::string library;
 };
 
 struct FlowReport {

@@ -191,10 +191,18 @@ ResultCache::ResultCache(std::string dir, std::uint64_t max_bytes,
 }
 
 std::string ResultCache::key_for_file(std::string_view netlist_bytes,
-                                      const FlowOptions& options) {
+                                      const FlowOptions& options,
+                                      std::string_view library_bytes) {
   util::Sha256 h;
   h.update_u64(1);  // domain tag: raw file bytes
   h.update_str(netlist_bytes);
+  // A job parsed against a cell library depends on the library's content:
+  // tag-3 frame, only when a library is in play, so legacy keys (no
+  // library) are unchanged.
+  if (!library_bytes.empty()) {
+    h.update_u64(3);  // domain tag: cell-library bytes
+    h.update_str(library_bytes);
+  }
   ShaSink sink{h};
   walk_report_options(sink, options);
   return util::Sha256::hex(h.digest());

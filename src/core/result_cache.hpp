@@ -117,9 +117,13 @@ class ResultCache {
   // -- Key derivation (docs/CACHE_FORMAT.md "Key derivation") --------------
 
   /// Key for a file-backed job: SHA-256 over the raw netlist bytes (the
-  /// very buffer that gets parsed) + option signature.
+  /// very buffer that gets parsed), the cell-library bytes when the job
+  /// parses against one (FlowOptions::library names the file; its CONTENT
+  /// is keyed, so editing the library invalidates entries), + option
+  /// signature.
   static std::string key_for_file(std::string_view netlist_bytes,
-                                  const FlowOptions& options);
+                                  const FlowOptions& options,
+                                  std::string_view library_bytes = {});
 
   /// Key for an in-memory job: SHA-256 over a canonical structural walk of
   /// the netlist (names, cells, wiring, outputs) + option signature.

@@ -17,9 +17,8 @@
 #include "core/parallel_extract.hpp"
 #include "core/result_cache.hpp"
 #include "core/rewriter.hpp"
-#include "netlist/io_blif.hpp"
-#include "netlist/io_eqn.hpp"
-#include "netlist/io_verilog.hpp"
+#include "frontend/cell_library.hpp"
+#include "frontend/frontend.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
 #include "util/rss.hpp"
@@ -87,16 +86,16 @@ std::string read_file_bytes(const std::string& path) {
   return bytes;
 }
 
-/// Parses netlist text by the path's extension.  The batch engine hashes
-/// and parses the SAME byte buffer, so a file rewritten mid-batch can
-/// never cache a report under the wrong content hash.
-nl::Netlist parse_netlist_text(const std::string& text,
-                               const std::string& path) {
-  if (path.ends_with(".eqn")) return nl::read_eqn(text, path);
-  if (path.ends_with(".blif")) return nl::read_blif(text, path);
-  if (path.ends_with(".v")) return nl::read_verilog(text, path);
-  throw InvalidArgument("unknown netlist extension on '" + path +
-                        "' (want .eqn, .blif or .v)");
+/// Parses netlist text, dispatching on CONTENT (frontend::sniff_format)
+/// rather than the path's extension.  The batch engine hashes and parses
+/// the SAME byte buffer, so a file rewritten mid-batch can never cache a
+/// report under the wrong content hash.
+nl::Netlist parse_netlist_text(
+    const std::string& text, const std::string& path,
+    std::shared_ptr<const frontend::CellLibrary> library = nullptr) {
+  frontend::FrontendOptions options;
+  options.library = std::move(library);
+  return frontend::parse_netlist(text, path, options);
 }
 
 template <typename Container, typename T>
@@ -130,8 +129,14 @@ std::ostream& operator<<(std::ostream& os, const NetlistHash& hash) {
   return os;
 }
 
-nl::Netlist load_netlist_file(const std::string& path) {
-  return parse_netlist_text(read_file_bytes(path), path);
+nl::Netlist load_netlist_file(const std::string& path,
+                              const std::string& library_path) {
+  std::shared_ptr<const frontend::CellLibrary> library;
+  if (!library_path.empty()) {
+    library = std::make_shared<const frontend::CellLibrary>(
+        frontend::load_cell_library_file(library_path));
+  }
+  return parse_netlist_text(read_file_bytes(path), path, std::move(library));
 }
 
 // ---------------------------------------------------------------------------
@@ -639,6 +644,21 @@ struct BatchScheduler::Impl {
         return;
       }
     }
+    // The cell library (file jobs only — in-memory netlists are already
+    // parsed, so a library cannot change them) is read up front: its
+    // BYTES belong in both cache keys, exactly like the netlist bytes.
+    const bool want_library =
+        !job.spec.netlist.has_value() && !job.spec.options.library.empty();
+    std::string library_text;
+    if (want_library &&
+        !util::read_file_to_string(job.spec.options.library,
+                                   &library_text)) {
+      complete_with_error(job,
+                          "cannot open cell library '" +
+                              job.spec.options.library + "'",
+                          done);
+      return;
+    }
 
     if (options_.memoize) {
       Mixer mix;
@@ -648,6 +668,10 @@ struct BatchScheduler::Impl {
       } else {
         mix.bytes(text.data(), text.size());
         mix.u64(2);  // domain tag: file bytes
+        if (want_library) {
+          mix.bytes(library_text.data(), library_text.size());
+          mix.u64(3);  // domain tag: cell-library bytes
+        }
       }
       walk_report_options(mix, job.spec.options);
       const CacheKey key{mix.a, mix.b};
@@ -685,7 +709,8 @@ struct BatchScheduler::Impl {
             job.spec.netlist.has_value()
                 ? ResultCache::key_for_netlist(*job.spec.netlist,
                                                job.spec.options)
-                : ResultCache::key_for_file(text, job.spec.options);
+                : ResultCache::key_for_file(text, job.spec.options,
+                                            library_text);
         if (auto cached = options_.result_cache->lookup(job.disk_key)) {
           job.result.report = std::move(cached->report);
           job.result.error = std::move(cached->error);
@@ -704,7 +729,14 @@ struct BatchScheduler::Impl {
 
     try {
       if (!job.spec.netlist.has_value()) {
-        job.loaded = parse_netlist_text(text, job.spec.path);
+        std::shared_ptr<const frontend::CellLibrary> library;
+        if (want_library) {
+          library = std::make_shared<const frontend::CellLibrary>(
+              frontend::parse_cell_library(library_text,
+                                           job.spec.options.library));
+        }
+        job.loaded =
+            parse_netlist_text(text, job.spec.path, std::move(library));
         job.net = &*job.loaded;
       } else {
         job.net = &*job.spec.netlist;

@@ -1,0 +1,400 @@
+#include "frontend/emit_hier.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "netlist/io_verilog.hpp"
+#include "util/error.hpp"
+
+namespace gfre::frontend {
+
+namespace {
+
+using nl::CellType;
+using nl::Gate;
+using nl::Netlist;
+using nl::Var;
+
+/// Verilog gate primitive for the cell type, or nullptr when none exists.
+const char* primitive_name(CellType type) {
+  switch (type) {
+    case CellType::Buf:
+      return "buf";
+    case CellType::Inv:
+      return "not";
+    case CellType::And:
+      return "and";
+    case CellType::Nand:
+      return "nand";
+    case CellType::Or:
+      return "or";
+    case CellType::Nor:
+      return "nor";
+    case CellType::Xor:
+      return "xor";
+    case CellType::Xnor:
+      return "xnor";
+    default:
+      return nullptr;
+  }
+}
+
+/// A maximal run of port names "<base>0", "<base>1", ... in declaration
+/// order, collapsible into a vector port.
+struct PortGroup {
+  std::string base;
+  std::vector<Var> bits;  // bits[i] is "<base><i>"
+  bool vector = false;
+};
+
+bool split_trailing_index(const std::string& name, std::string& base,
+                          std::size_t& index) {
+  std::size_t pos = name.size();
+  while (pos > 0 && std::isdigit(static_cast<unsigned char>(name[pos - 1])))
+    --pos;
+  if (pos == name.size() || pos == 0) return false;
+  base = name.substr(0, pos);
+  index = 0;
+  for (std::size_t i = pos; i < name.size(); ++i)
+    index = index * 10 + static_cast<std::size_t>(name[i] - '0');
+  return true;
+}
+
+/// Groups `vars` into vector runs; a group is a vector only when its names
+/// are "<base>0".."<base>k" contiguously in order with k >= 1.
+std::vector<PortGroup> group_ports(const Netlist& netlist,
+                                   const std::vector<Var>& vars) {
+  std::vector<PortGroup> groups;
+  for (Var v : vars) {
+    std::string base;
+    std::size_t index = 0;
+    const std::string& name = netlist.var_name(v);
+    if (split_trailing_index(name, base, index) && !groups.empty() &&
+        groups.back().vector && groups.back().base == base &&
+        index == groups.back().bits.size()) {
+      groups.back().bits.push_back(v);
+      continue;
+    }
+    PortGroup group;
+    if (split_trailing_index(name, base, index) && index == 0) {
+      group.base = base;
+      group.vector = true;
+    } else {
+      group.base = name;
+      group.vector = false;
+    }
+    group.bits.push_back(v);
+    groups.push_back(std::move(group));
+  }
+  // A "vector" of one bit is just a scalar with a 0 suffix; keep its name.
+  for (PortGroup& group : groups) {
+    if (group.vector && group.bits.size() < 2) {
+      group.vector = false;
+      group.base = netlist.var_name(group.bits[0]);
+    }
+  }
+  return groups;
+}
+
+class HierEmitter {
+ public:
+  HierEmitter(const Netlist& netlist, const HierEmitOptions& options)
+      : netlist_(netlist), options_(options) {
+    top_name_ = options.top_name.empty() ? netlist.name() + "_hier"
+                                         : options.top_name;
+    order_ = netlist.topological_order();
+    const std::size_t n = std::max<std::size_t>(order_.size(), 1);
+    chunks_ = std::clamp<std::size_t>(options.chunks, 1, n);
+    for (Var v : netlist.inputs()) primary_inputs_.insert(v);
+    for (Var v : netlist.outputs()) primary_outputs_.insert(v);
+    if (options.library) {
+      for (const LibCell& cell : options.library->cells()) {
+        if (!cell.builtin) continue;
+        cell_for_type_.emplace(
+            std::make_pair(*cell.builtin, cell.inputs.size()), &cell);
+      }
+    }
+  }
+
+  HierEmitResult run() {
+    in_groups_ = group_ports(netlist_, netlist_.inputs());
+    out_groups_ = group_ports(netlist_, netlist_.outputs());
+    plan_chunks();
+
+    std::ostringstream modules;
+    for (std::size_t c = 0; c < chunks_; ++c) emit_chunk_module(modules, c);
+
+    std::ostringstream top;
+    top << "// " << top_name_ << " — hierarchical emission, " << chunks_
+        << " submodules over " << order_.size() << " gates\n";
+    if (!options_.include_file.empty())
+      top << "`include \"" << options_.include_file << "\"\n";
+    else
+      top << modules.str();
+    emit_top(top);
+
+    HierEmitResult result;
+    result.top = top.str();
+    if (!options_.include_file.empty()) result.included = modules.str();
+    return result;
+  }
+
+ private:
+  struct Chunk {
+    std::vector<std::size_t> gates;   // indices into order_
+    std::vector<Var> inputs;          // external nets, first-use order
+    std::vector<Var> outputs;         // defined here, used later / primary
+    std::unordered_set<Var> defined;  // gate outputs in this chunk
+  };
+
+  void plan_chunks() {
+    chunk_list_.resize(chunks_);
+    const std::size_t total = order_.size();
+    for (std::size_t c = 0; c < chunks_; ++c) {
+      const std::size_t begin = total * c / chunks_;
+      const std::size_t end = total * (c + 1) / chunks_;
+      for (std::size_t i = begin; i < end; ++i)
+        chunk_list_[c].gates.push_back(i);
+    }
+    for (std::size_t c = 0; c < chunks_; ++c) {
+      for (std::size_t i : chunk_list_[c].gates)
+        chunk_list_[c].defined.insert(netlist_.gate(order_[i]).output);
+    }
+    // Latest chunk reading each net (topological order guarantees reads
+    // never precede the defining chunk).
+    std::unordered_map<Var, std::size_t> last_use;
+    for (std::size_t c = 0; c < chunks_; ++c) {
+      for (std::size_t i : chunk_list_[c].gates)
+        for (Var in : netlist_.gate(order_[i]).inputs) last_use[in] = c;
+    }
+    for (std::size_t c = 0; c < chunks_; ++c) {
+      Chunk& chunk = chunk_list_[c];
+      std::unordered_set<Var> seen_inputs;
+      for (std::size_t i : chunk.gates) {
+        const Gate& gate = netlist_.gate(order_[i]);
+        for (Var in : gate.inputs) {
+          if (chunk.defined.count(in) || seen_inputs.count(in)) continue;
+          seen_inputs.insert(in);
+          chunk.inputs.push_back(in);
+        }
+      }
+      for (std::size_t i : chunk.gates) {
+        const Var out = netlist_.gate(order_[i]).output;
+        const auto it = last_use.find(out);
+        if (primary_outputs_.count(out) ||
+            (it != last_use.end() && it->second != c))
+          chunk.outputs.push_back(out);
+      }
+    }
+  }
+
+  std::string chunk_name(std::size_t c) const {
+    return top_name_ + "_part" + std::to_string(c);
+  }
+
+  const std::string& flat_name(Var v) const { return netlist_.var_name(v); }
+
+  /// The net expression for `v` inside the top module: a vector bit-select
+  /// when the primary port was vectorized, else the flat name.
+  std::string top_net(Var v) const {
+    auto it = top_bit_.find(v);
+    if (it != top_bit_.end())
+      return it->second.first + "[" + std::to_string(it->second.second) + "]";
+    return nl::verilog_ident(flat_name(v));
+  }
+
+  void emit_chunk_module(std::ostream& out, std::size_t c) {
+    const Chunk& chunk = chunk_list_[c];
+    out << "module " << chunk_name(c) << " (";
+    bool first = true;
+    for (Var v : chunk.inputs) {
+      out << (first ? "" : ", ") << nl::verilog_ident(flat_name(v));
+      first = false;
+    }
+    for (Var v : chunk.outputs) {
+      out << (first ? "" : ", ") << nl::verilog_ident(flat_name(v));
+      first = false;
+    }
+    out << ");\n";
+    for (Var v : chunk.inputs)
+      out << "  input " << nl::verilog_ident(flat_name(v)) << ";\n";
+    for (Var v : chunk.outputs)
+      out << "  output " << nl::verilog_ident(flat_name(v)) << ";\n";
+    for (std::size_t i : chunk.gates) {
+      const Var v = netlist_.gate(order_[i]).output;
+      if (std::find(chunk.outputs.begin(), chunk.outputs.end(), v) ==
+          chunk.outputs.end())
+        out << "  wire " << nl::verilog_ident(flat_name(v)) << ";\n";
+    }
+    std::size_t inst = 0;
+    for (std::size_t i : chunk.gates)
+      emit_gate(out, netlist_.gate(order_[i]), inst++);
+    out << "endmodule\n\n";
+  }
+
+  void emit_gate(std::ostream& out, const Gate& gate, std::size_t inst) {
+    auto name = [&](Var v) { return nl::verilog_ident(flat_name(v)); };
+    // Library cell instance when the library names this exact function.
+    auto it = cell_for_type_.find({gate.type, gate.inputs.size()});
+    if (it != cell_for_type_.end()) {
+      const LibCell& cell = *it->second;
+      out << "  " << cell.name << " g" << inst << " (";
+      for (std::size_t i = 0; i < gate.inputs.size(); ++i)
+        out << (i ? ", " : "") << "." << cell.inputs[i] << "("
+            << name(gate.inputs[i]) << ")";
+      out << (gate.inputs.empty() ? "" : ", ") << "." << cell.output << "("
+          << name(gate.output) << "));\n";
+      return;
+    }
+    if (const char* prim = primitive_name(gate.type)) {
+      out << "  " << prim << " g" << inst << " (" << name(gate.output);
+      for (Var in : gate.inputs) out << ", " << name(in);
+      out << ");\n";
+      return;
+    }
+    // Assign fallback.  Single-gate-preserving for MUX (ternary); the
+    // complex cells expand structurally, so emissions needing bit-identity
+    // must supply a library covering them.
+    out << "  assign " << name(gate.output) << " = "
+        << assign_expr(gate, name) << ";\n";
+  }
+
+  static std::string assign_expr(const Gate& gate,
+                                 const std::function<std::string(Var)>& name) {
+    auto n = [&](std::size_t i) { return name(gate.inputs[i]); };
+    switch (gate.type) {
+      case CellType::Const0:
+        return "1'b0";
+      case CellType::Const1:
+        return "1'b1";
+      case CellType::Mux:
+        // Mux(s, d0, d1) == s ? d1 : d0.
+        return n(0) + " ? " + n(2) + " : " + n(1);
+      case CellType::Aoi21:
+        return "~((" + n(0) + " & " + n(1) + ") | " + n(2) + ")";
+      case CellType::Oai21:
+        return "~((" + n(0) + " | " + n(1) + ") & " + n(2) + ")";
+      case CellType::Aoi22:
+        return "~((" + n(0) + " & " + n(1) + ") | (" + n(2) + " & " + n(3) +
+               "))";
+      case CellType::Oai22:
+        return "~((" + n(0) + " | " + n(1) + ") & (" + n(2) + " | " + n(3) +
+               "))";
+      case CellType::Maj3:
+        return "(" + n(0) + " & " + n(1) + ") | (" + n(0) + " & " + n(2) +
+               ") | (" + n(1) + " & " + n(2) + ")";
+      default:
+        GFRE_ASSERT(false, "cell type has no assign form");
+        return "";
+    }
+  }
+
+  void emit_top(std::ostream& out) {
+    // Vector ports only when every primary port collapses cleanly and, for
+    // the parameterized form, all widths agree.
+    bool vectors = true;
+    std::size_t width = 0;
+    bool uniform = true;
+    auto inspect = [&](const std::vector<PortGroup>& groups) {
+      for (const PortGroup& group : groups) {
+        if (!group.vector) {
+          vectors = false;
+          continue;
+        }
+        if (width == 0) width = group.bits.size();
+        if (group.bits.size() != width) uniform = false;
+      }
+    };
+    inspect(in_groups_);
+    inspect(out_groups_);
+    const bool use_param = options_.use_parameter && vectors && uniform;
+
+    top_bit_.clear();
+    auto register_bits = [&](const std::vector<PortGroup>& groups) {
+      for (const PortGroup& group : groups) {
+        if (!group.vector) continue;
+        for (std::size_t i = 0; i < group.bits.size(); ++i)
+          top_bit_.emplace(group.bits[i], std::make_pair(group.base, i));
+      }
+    };
+    register_bits(in_groups_);
+    register_bits(out_groups_);
+
+    out << "module " << top_name_;
+    if (use_param) out << " #(parameter M = " << width << ")";
+    out << " (";
+    bool first = true;
+    auto port_list = [&](const std::vector<PortGroup>& groups) {
+      for (const PortGroup& group : groups) {
+        out << (first ? "" : ", ")
+            << (group.vector ? group.base : nl::verilog_ident(group.base));
+        first = false;
+      }
+    };
+    port_list(in_groups_);
+    port_list(out_groups_);
+    out << ");\n";
+
+    auto range = [&](const PortGroup& group) {
+      if (!group.vector) return std::string();
+      if (use_param) return std::string(" [M-1:0]");
+      return " [" + std::to_string(group.bits.size() - 1) + ":0]";
+    };
+    for (const PortGroup& group : in_groups_)
+      out << "  input" << range(group) << " "
+          << (group.vector ? group.base : nl::verilog_ident(group.base))
+          << ";\n";
+    for (const PortGroup& group : out_groups_)
+      out << "  output" << range(group) << " "
+          << (group.vector ? group.base : nl::verilog_ident(group.base))
+          << ";\n";
+
+    // Wires for every chunk output that is not a primary output.
+    for (const Chunk& chunk : chunk_list_)
+      for (Var v : chunk.outputs)
+        if (!primary_outputs_.count(v))
+          out << "  wire " << nl::verilog_ident(flat_name(v)) << ";\n";
+
+    for (std::size_t c = 0; c < chunks_; ++c) {
+      const Chunk& chunk = chunk_list_[c];
+      out << "  " << chunk_name(c) << " u" << c << " (";
+      bool first_conn = true;
+      auto connect = [&](Var v) {
+        out << (first_conn ? "" : ", ") << "."
+            << nl::verilog_ident(flat_name(v)) << "(" << top_net(v) << ")";
+        first_conn = false;
+      };
+      for (Var v : chunk.inputs) connect(v);
+      for (Var v : chunk.outputs) connect(v);
+      out << ");\n";
+    }
+    out << "endmodule\n";
+  }
+
+  const Netlist& netlist_;
+  const HierEmitOptions& options_;
+  std::string top_name_;
+  std::vector<std::size_t> order_;
+  std::size_t chunks_ = 1;
+  std::vector<Chunk> chunk_list_;
+  std::unordered_set<Var> primary_inputs_;
+  std::unordered_set<Var> primary_outputs_;
+  std::vector<PortGroup> in_groups_;
+  std::vector<PortGroup> out_groups_;
+  std::unordered_map<Var, std::pair<std::string, std::size_t>> top_bit_;
+  std::map<std::pair<CellType, std::size_t>, const LibCell*> cell_for_type_;
+};
+
+}  // namespace
+
+HierEmitResult emit_hier_verilog(const Netlist& netlist,
+                                 const HierEmitOptions& options) {
+  return HierEmitter(netlist, options).run();
+}
+
+}  // namespace gfre::frontend

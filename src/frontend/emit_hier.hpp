@@ -1,0 +1,53 @@
+// Hierarchical Verilog emission: re-expresses a flat netlist as a
+// multi-module design for the frontend's differential tests and frozen
+// fixtures.
+//
+// The gate list (in topological order) is split into `chunks` contiguous
+// chunks, each becoming a submodule instantiated in order by the top
+// module.  Because the flattening elaborator creates gates in instance
+// order and aliases port bindings instead of inserting buffers, parsing
+// the emitted hierarchy recreates the gates of the source netlist in
+// exactly its topological order — FlowReports over both are bit-identical.
+//
+// Options exercise the rest of the frontend surface: vector top ports
+// (optionally sized by a `parameter M`), chunk modules moved into a
+// `include file, and gate emission as cell-library instances instead of
+// primitives/assigns.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "frontend/cell_library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gfre::frontend {
+
+struct HierEmitOptions {
+  /// Number of submodules the gate list is split into (clamped to the
+  /// gate count; at least 1).
+  std::size_t chunks = 4;
+  /// Top module name; empty = "<netlist name>_hier".
+  std::string top_name;
+  /// When set, chunk modules are emitted into `included` and the top file
+  /// references them via `include "<include_file>".
+  std::string include_file;
+  /// Size vector top ports with `parameter M = <width>` instead of a
+  /// literal range (requires all vector port groups to share one width).
+  bool use_parameter = false;
+  /// When set, a gate whose type+arity matches a library cell's builtin is
+  /// emitted as an instance of that cell.
+  std::shared_ptr<const CellLibrary> library;
+};
+
+struct HierEmitResult {
+  std::string top;       ///< the top-level file
+  std::string included;  ///< chunk modules when include_file is set, else ""
+};
+
+/// Emits `netlist` as a hierarchical structural Verilog design.
+HierEmitResult emit_hier_verilog(const nl::Netlist& netlist,
+                                 const HierEmitOptions& options = {});
+
+}  // namespace gfre::frontend

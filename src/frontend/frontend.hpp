@@ -1,0 +1,60 @@
+// The unified netlist frontend: one entry point from bytes to Netlist.
+//
+// Dispatch is by content, not file extension: sniff_format() inspects the
+// first meaningful token (comments and whitespace skipped), so a BLIF
+// file named circuit.txt — or bytes arriving over the serving tier's wire
+// protocol — parse the same as a well-named file.  Unrecognizable bytes
+// are a diagnosed `unknown_format` parse error, never a crash.
+//
+// Every dialect parser is reachable through the Frontend interface and
+// shares the frontend/source.hpp lexing substrate, so CRLF handling,
+// comment stripping and file:line:column diagnostics behave identically
+// across .eqn, BLIF and Verilog.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "frontend/cell_library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gfre::frontend {
+
+enum class Format { Eqn, Blif, Verilog, Unknown };
+
+const char* format_name(Format format);
+
+/// Determines the dialect from the first non-comment token of `bytes`.
+Format sniff_format(std::string_view bytes);
+
+/// Cross-dialect parse options.
+struct FrontendOptions {
+  /// Standard-cell definitions for instantiated (Verilog) or referenced
+  /// (.eqn operator) cell types outside the builtin set.  May be null.
+  std::shared_ptr<const CellLibrary> library;
+  /// Verilog only: top module override.  Empty = the single module, or
+  /// the unique uninstantiated one in a multi-module file.
+  std::string top;
+};
+
+/// One dialect parser.
+class Frontend {
+ public:
+  virtual ~Frontend() = default;
+  virtual Format format() const = 0;
+  virtual nl::Netlist parse(const std::string& text,
+                            const std::string& filename,
+                            const FrontendOptions& options) const = 0;
+};
+
+/// The registered parser for a dialect; throws InvalidArgument for
+/// Format::Unknown.
+const Frontend& frontend_for(Format format);
+
+/// Sniffs and parses.  Throws ParseError with an `unknown_format`
+/// diagnosis when the bytes match no dialect.
+nl::Netlist parse_netlist(const std::string& text, const std::string& filename,
+                          const FrontendOptions& options = {});
+
+}  // namespace gfre::frontend

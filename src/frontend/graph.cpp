@@ -1,0 +1,109 @@
+#include "frontend/graph.hpp"
+
+#include "util/error.hpp"
+
+namespace gfre::frontend {
+
+GraphBuilder::GraphBuilder(std::string model_name, std::string file)
+    : model_name_(std::move(model_name)), file_(std::move(file)) {}
+
+void GraphBuilder::add_input(const std::string& name, const Loc& loc) {
+  if (input_locs_.count(name))
+    fail_at(loc, "input '" + name + "' declared twice");
+  if (node_by_output_.count(name))
+    fail_at(loc, "input '" + name + "' is also driven");
+  inputs_.emplace_back(name, loc);
+  input_locs_.emplace(name, loc);
+}
+
+void GraphBuilder::add_output(const std::string& name, const Loc& loc) {
+  outputs_.emplace_back(name, loc);
+}
+
+void GraphBuilder::add_node(std::string output, std::vector<std::string> args,
+                            const Loc& loc, EmitFn emit) {
+  if (node_by_output_.count(output))
+    fail_at(loc, "net '" + output + "' defined twice");
+  if (input_locs_.count(output))
+    fail_at(loc, "input '" + output + "' is also driven");
+  Node node;
+  node.output = std::move(output);
+  node.args = std::move(args);
+  node.loc = loc;
+  node.emit = std::move(emit);
+  node_by_output_.emplace(node.output, nodes_.size());
+  nodes_.push_back(std::move(node));
+}
+
+bool GraphBuilder::defines(const std::string& name) const {
+  return node_by_output_.count(name) || input_locs_.count(name);
+}
+
+void GraphBuilder::instantiate(nl::Netlist& netlist, std::size_t root) {
+  if (nodes_[root].state == 2) return;
+  // Iterative DFS: frame = (node index, next argument to resolve).  Deep
+  // XOR chains in crypto-scale netlists overflow the call stack otherwise.
+  struct Frame {
+    std::size_t node;
+    std::size_t next_arg;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, 0});
+  nodes_[root].state = 1;
+  while (!stack.empty()) {
+    Frame& fr = stack.back();
+    Node& node = nodes_[fr.node];
+    bool descended = false;
+    while (fr.next_arg < node.args.size()) {
+      const std::string& arg = node.args[fr.next_arg];
+      ++fr.next_arg;
+      if (netlist.find_var(arg) && !node_by_output_.count(arg)) continue;
+      auto it = node_by_output_.find(arg);
+      if (it == node_by_output_.end()) {
+        if (input_locs_.count(arg)) continue;  // inputs pre-created
+        fail_at(node.loc, "undefined net '" + arg + "'");
+      }
+      Node& dep = nodes_[it->second];
+      if (dep.state == 2) continue;
+      if (dep.state == 1)
+        fail_at(node.loc, "combinational cycle through '" + arg + "'");
+      dep.state = 1;
+      stack.push_back({it->second, 0});
+      descended = true;
+      break;
+    }
+    if (descended) continue;
+    // All args resolved: emit this node's gates.
+    std::vector<nl::Var> args;
+    args.reserve(node.args.size());
+    for (const std::string& arg : node.args) {
+      auto v = netlist.find_var(arg);
+      if (!v) fail_at(node.loc, "undefined net '" + arg + "'");
+      args.push_back(*v);
+    }
+    node.emit(netlist, args);
+    GFRE_ASSERT(netlist.find_var(node.output).has_value(),
+                "frontend node for '" << node.output
+                                      << "' did not create its net");
+    node.state = 2;
+    stack.pop_back();
+  }
+}
+
+nl::Netlist GraphBuilder::build() {
+  nl::Netlist netlist(model_name_);
+  // Reserve every node output so auto-generated helper names never take a
+  // declared one, regardless of instantiation order.
+  for (const Node& node : nodes_) netlist.reserve_name(node.output);
+  for (const auto& [name, loc] : inputs_) netlist.add_input(name);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) instantiate(netlist, i);
+  for (const auto& [name, loc] : outputs_) {
+    auto v = netlist.find_var(name);
+    if (!v) fail_at(loc, "undriven output '" + name + "'");
+    netlist.mark_output(*v);
+  }
+  netlist.validate();
+  return netlist;
+}
+
+}  // namespace gfre::frontend

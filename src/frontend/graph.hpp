@@ -1,0 +1,77 @@
+// Name-level netlist construction shared by every frontend.
+//
+// Parsers collect abstract nodes — "net <output> is computed from nets
+// <args> by <emit>" — in source order, plus declared inputs and outputs.
+// build() then instantiates a Netlist by depth-first dependency traversal,
+// so statements may appear in any order and every structural diagnostic
+// (undefined net, double definition, combinational cycle, driven input,
+// undriven output) is produced by one implementation with the source
+// location of the offending statement.
+//
+// The traversal visits nodes in insertion order and resolves each node's
+// args first, which means a file whose statements are already in
+// topological order instantiates gates exactly in file order — the
+// property the hierarchical-vs-flat differential tests lean on.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "frontend/source.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gfre::frontend {
+
+/// Emits the gate(s) computing one node.  `args` are the resolved nets for
+/// the node's argument names, in order.  The callback must create a net
+/// named exactly the node's output name (the builder reserves the name
+/// beforehand and asserts afterwards).  It may create auxiliary
+/// auto-named gates.
+using EmitFn =
+    std::function<void(nl::Netlist&, const std::vector<nl::Var>& args)>;
+
+class GraphBuilder {
+ public:
+  GraphBuilder(std::string model_name, std::string file);
+
+  /// Declares a primary input (declaration order = Var id order).
+  void add_input(const std::string& name, const Loc& loc);
+
+  /// Declares a primary output (order significant).
+  void add_output(const std::string& name, const Loc& loc);
+
+  /// Adds a combinational node driving `output` from `args`.
+  void add_node(std::string output, std::vector<std::string> args,
+                const Loc& loc, EmitFn emit);
+
+  /// True when `name` is a declared input or an added node output.
+  bool defines(const std::string& name) const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Instantiates the netlist; throws ParseError on structural problems.
+  nl::Netlist build();
+
+ private:
+  struct Node {
+    std::string output;
+    std::vector<std::string> args;
+    Loc loc;
+    EmitFn emit;
+    unsigned char state = 0;  // 0 unvisited, 1 visiting, 2 done
+  };
+
+  void instantiate(nl::Netlist& netlist, std::size_t idx);
+
+  std::string model_name_;
+  std::string file_;
+  std::vector<std::pair<std::string, Loc>> inputs_;
+  std::vector<std::pair<std::string, Loc>> outputs_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::string, std::size_t> node_by_output_;
+  std::unordered_map<std::string, Loc> input_locs_;
+};
+
+}  // namespace gfre::frontend

@@ -1,12 +1,13 @@
 #include "netlist/io_blif.hpp"
 
 #include <array>
-#include <cctype>
 #include <fstream>
-#include <functional>
+#include <memory>
 #include <sstream>
 #include <unordered_map>
 
+#include "frontend/graph.hpp"
+#include "frontend/source.hpp"
 #include "util/error.hpp"
 
 namespace gfre::nl {
@@ -71,14 +72,7 @@ void write_cover(std::ostream& out, const Gate& gate) {
 struct NamesNode {
   std::vector<std::string> signals;  // inputs..., output last
   std::vector<std::string> rows;     // cover rows like "1-0 1"
-  int line;
-};
-
-struct RawBlif {
-  std::string model = "top";
-  std::vector<std::string> inputs;
-  std::vector<std::string> outputs;
-  std::vector<NamesNode> nodes;
+  frontend::Loc loc;
 };
 
 std::vector<std::string> split_ws(const std::string& line) {
@@ -89,85 +83,14 @@ std::vector<std::string> split_ws(const std::string& line) {
   return tokens;
 }
 
-RawBlif scan(const std::string& text, const std::string& filename) {
-  RawBlif raw;
-  std::istringstream in(text);
-  std::string line;
-  int line_no = 0;
-  std::string pending;  // handles "\" continuations
-  int pending_line = 0;
-  NamesNode* current = nullptr;
-
-  auto process = [&](const std::string& full, int at_line) {
-    if (full.empty()) return;
-    if (full[0] == '#') return;
-    auto tokens = split_ws(full);
-    if (tokens.empty()) return;
-    const std::string& keyword = tokens[0];
-    if (keyword == ".model") {
-      if (tokens.size() >= 2) raw.model = tokens[1];
-      current = nullptr;
-    } else if (keyword == ".inputs") {
-      raw.inputs.insert(raw.inputs.end(), tokens.begin() + 1, tokens.end());
-      current = nullptr;
-    } else if (keyword == ".outputs") {
-      raw.outputs.insert(raw.outputs.end(), tokens.begin() + 1, tokens.end());
-      current = nullptr;
-    } else if (keyword == ".names") {
-      NamesNode node;
-      node.signals.assign(tokens.begin() + 1, tokens.end());
-      node.line = at_line;
-      if (node.signals.empty()) {
-        throw ParseError(filename, at_line, ".names without signals");
-      }
-      raw.nodes.push_back(std::move(node));
-      current = &raw.nodes.back();
-    } else if (keyword == ".end") {
-      current = nullptr;
-    } else if (keyword[0] == '.') {
-      throw ParseError(filename, at_line,
-                       "unsupported BLIF construct '" + keyword + "'");
-    } else {
-      if (current == nullptr) {
-        throw ParseError(filename, at_line, "cover row outside .names");
-      }
-      current->rows.push_back(full);
-    }
-  };
-
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (!line.empty() && line.back() == '\\') {
-      if (pending.empty()) pending_line = line_no;
-      pending += line.substr(0, line.size() - 1) + " ";
-      continue;
-    }
-    if (!pending.empty()) {
-      process(pending + line, pending_line);
-      pending.clear();
-    } else {
-      process(line, line_no);
-    }
-  }
-  if (!pending.empty()) process(pending, pending_line);
-  return raw;
-}
-
-/// Builds gates for one .names node once all its inputs exist.
+/// Builds gates for one .names node.  `inputs` are the resolved argument
+/// nets (cover columns, in order).  Shared `inv_cache` keeps one INV per
+/// inverted literal across the whole file.
 void synthesize_node(Netlist& netlist, const NamesNode& node,
-                     const std::string& filename,
+                     const std::vector<Var>& inputs,
                      std::unordered_map<Var, Var>& inv_cache) {
   const std::size_t n = node.signals.size() - 1;
   const std::string& out_name = node.signals.back();
-
-  std::vector<Var> inputs;
-  inputs.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto v = netlist.find_var(node.signals[i]);
-    GFRE_ASSERT(v.has_value(), "blif node input should exist by now");
-    inputs.push_back(*v);
-  }
 
   auto inverted = [&](Var v) -> Var {
     const auto it = inv_cache.find(v);
@@ -187,14 +110,14 @@ void synthesize_node(Netlist& netlist, const NamesNode& node,
     auto tokens = split_ws(text);
     if (n == 0) {
       if (tokens.size() != 1 || (tokens[0] != "0" && tokens[0] != "1")) {
-        throw ParseError(filename, node.line, "bad constant cover row");
+        frontend::fail_at(node.loc, "bad constant cover row");
       }
       rows.push_back(Row{"", tokens[0] == "1"});
       continue;
     }
     if (tokens.size() != 2 || tokens[0].size() != n ||
         (tokens[1] != "0" && tokens[1] != "1")) {
-      throw ParseError(filename, node.line, "bad cover row '" + text + "'");
+      frontend::fail_at(node.loc, "bad cover row '" + text + "'");
     }
     rows.push_back(Row{tokens[0], tokens[1] == "1"});
   }
@@ -205,7 +128,7 @@ void synthesize_node(Netlist& netlist, const NamesNode& node,
     if (i == 0) {
       polarity = rows[i].value;
     } else if (rows[i].value != polarity) {
-      throw ParseError(filename, node.line, "mixed cover polarities");
+      frontend::fail_at(node.loc, "mixed cover polarities");
     }
   }
 
@@ -229,8 +152,7 @@ void synthesize_node(Netlist& netlist, const NamesNode& node,
       } else if (row.bits[i] == '0') {
         literals.push_back(inverted(inputs[i]));
       } else if (row.bits[i] != '-') {
-        throw ParseError(filename, node.line,
-                         "bad cover literal '" + row.bits + "'");
+        frontend::fail_at(node.loc, "bad cover literal '" + row.bits + "'");
       }
     }
     if (literals.empty()) {
@@ -294,75 +216,69 @@ std::string write_blif(const Netlist& netlist) {
 }
 
 Netlist read_blif(const std::string& text, const std::string& filename) {
-  const RawBlif raw = scan(text, filename);
-  Netlist netlist(raw.model);
-  for (const auto& name : raw.inputs) netlist.add_input(name);
+  frontend::LineScanner scanner(
+      text, filename,
+      frontend::LineSyntax{.hash_comments = true, .slash_comments = false,
+                           .block_comments = true,
+                           .backslash_continuation = true});
+  std::string model = "top";
+  frontend::GraphBuilder builder(model, filename);
+  // One INV per inverted literal, shared across the whole file.  On the
+  // heap because node emit closures run inside builder.build(), after this
+  // frame may have created many of them.
+  auto inv_cache = std::make_shared<std::unordered_map<Var, Var>>();
+  // The .names block being collected: rows attach to the last node until
+  // the next directive.
+  std::shared_ptr<NamesNode> current;
 
-  // Order nodes topologically by their declared output names.
-  std::unordered_map<std::string, std::size_t> node_by_output;
-  for (std::size_t i = 0; i < raw.nodes.size(); ++i) {
-    const std::string& out_name = raw.nodes[i].signals.back();
-    if (!node_by_output.emplace(out_name, i).second) {
-      throw ParseError(filename, raw.nodes[i].line,
-                       "net '" + out_name + "' defined twice");
-    }
-    // Cover synthesis creates helper gates before the named node output.
-    netlist.reserve_name(out_name);
-  }
-
-  std::unordered_map<Var, Var> inv_cache;
-  enum class State : std::uint8_t { Unvisited, Visiting, Done };
-  std::vector<State> state(raw.nodes.size(), State::Unvisited);
-
-  std::function<void(std::size_t)> emit = [&](std::size_t index) {
-    struct Frame {
-      std::size_t node;
-      std::size_t next = 0;
-    };
-    std::vector<Frame> frames{{index}};
-    state[index] = State::Visiting;
-    while (!frames.empty()) {
-      Frame& frame = frames.back();
-      const NamesNode& node = raw.nodes[frame.node];
-      const std::size_t n = node.signals.size() - 1;
-      bool descended = false;
-      while (frame.next < n) {
-        const std::string& arg = node.signals[frame.next++];
-        if (netlist.find_var(arg).has_value()) continue;
-        const auto it = node_by_output.find(arg);
-        if (it == node_by_output.end()) {
-          throw ParseError(filename, node.line, "undefined net '" + arg + "'");
-        }
-        if (state[it->second] == State::Visiting) {
-          throw ParseError(filename, node.line,
-                           "combinational cycle through '" + arg + "'");
-        }
-        if (state[it->second] == State::Unvisited) {
-          state[it->second] = State::Visiting;
-          frames.push_back(Frame{it->second});
-          descended = true;
-          break;
-        }
-      }
-      if (descended) continue;
-      synthesize_node(netlist, node, filename, inv_cache);
-      state[frame.node] = State::Done;
-      frames.pop_back();
-    }
+  auto finish_current = [&]() {
+    if (!current) return;
+    std::shared_ptr<NamesNode> node = std::move(current);
+    std::vector<std::string> args(node->signals.begin(),
+                                  node->signals.end() - 1);
+    std::string out_name = node->signals.back();
+    builder.add_node(std::move(out_name), std::move(args), node->loc,
+                     [node, inv_cache](Netlist& netlist,
+                                       const std::vector<Var>& inputs) {
+                       synthesize_node(netlist, *node, inputs, *inv_cache);
+                     });
   };
 
-  for (std::size_t i = 0; i < raw.nodes.size(); ++i) {
-    if (state[i] == State::Unvisited) emit(i);
-  }
-
-  for (const auto& name : raw.outputs) {
-    const auto v = netlist.find_var(name);
-    if (!v.has_value()) {
-      throw ParseError(filename, 0, "undefined output '" + name + "'");
+  while (auto logical = scanner.next()) {
+    frontend::Loc loc{filename, logical->line, 0};
+    auto tokens = split_ws(logical->text);
+    if (tokens.empty()) continue;
+    const std::string& keyword = tokens[0];
+    if (keyword == ".model") {
+      finish_current();
+      if (tokens.size() >= 2) model = tokens[1];
+    } else if (keyword == ".inputs") {
+      finish_current();
+      for (std::size_t i = 1; i < tokens.size(); ++i)
+        builder.add_input(tokens[i], loc);
+    } else if (keyword == ".outputs") {
+      finish_current();
+      for (std::size_t i = 1; i < tokens.size(); ++i)
+        builder.add_output(tokens[i], loc);
+    } else if (keyword == ".names") {
+      finish_current();
+      if (tokens.size() < 2) frontend::fail_at(loc, ".names without signals");
+      current = std::make_shared<NamesNode>();
+      current->signals.assign(tokens.begin() + 1, tokens.end());
+      current->loc = loc;
+    } else if (keyword == ".end") {
+      finish_current();
+    } else if (keyword[0] == '.') {
+      frontend::fail_at(loc, "unsupported BLIF construct '" + keyword + "'");
+    } else {
+      if (!current) frontend::fail_at(loc, "cover row outside .names");
+      current->rows.push_back(logical->text);
     }
-    netlist.mark_output(*v);
   }
-  netlist.validate();
+  finish_current();
+
+  Netlist netlist = builder.build();
+  netlist.set_name(model);
   return netlist;
 }
 

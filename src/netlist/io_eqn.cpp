@@ -2,11 +2,13 @@
 
 #include <cctype>
 #include <fstream>
-#include <functional>
 #include <sstream>
 #include <unordered_map>
-#include <unordered_set>
 
+#include "frontend/cell_library.hpp"
+#include "frontend/graph.hpp"
+#include "frontend/source.hpp"
+#include "opt/passes.hpp"
 #include "util/error.hpp"
 
 namespace gfre::nl {
@@ -37,23 +39,9 @@ std::string write_eqn(const Netlist& netlist) {
 
 namespace {
 
-struct RawEquation {
-  std::string lhs;
-  std::string op;
-  std::vector<std::string> args;
-  int line;
-};
-
-struct RawFile {
-  std::string model = "top";
-  std::vector<std::string> inputs;
-  std::vector<std::string> outputs;
-  std::vector<RawEquation> equations;
-};
-
 bool is_ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
-         c == '[' || c == ']' || c == '.';
+         c == '[' || c == ']' || c == '.' || c == '$';
 }
 
 std::vector<std::string> tokenize_names(const std::string& text) {
@@ -71,182 +59,159 @@ std::vector<std::string> tokenize_names(const std::string& text) {
   return names;
 }
 
-RawFile scan(const std::string& text, const std::string& filename) {
-  RawFile raw;
-  std::istringstream in(text);
-  std::string line;
-  int line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line = line.substr(0, hash);
-    // Trim.
-    std::size_t begin = 0, end = line.size();
-    while (begin < end && std::isspace(static_cast<unsigned char>(line[begin]))) ++begin;
-    while (end > begin && std::isspace(static_cast<unsigned char>(line[end - 1]))) --end;
-    line = line.substr(begin, end - begin);
-    if (line.empty()) continue;
+/// Resolves an operator name to the gate(s) it creates and registers the
+/// node: builtin mnemonics become single gates; with a library loaded,
+/// library cells resolve to their builtin equivalent or expand
+/// structurally.
+void add_equation_node(frontend::GraphBuilder& builder, std::string lhs,
+                       std::string op, std::vector<std::string> args,
+                       const frontend::Loc& loc,
+                       const frontend::CellLibrary* library) {
+  CellType type{};
+  bool builtin = true;
+  try {
+    type = cell_from_name(op);
+  } catch (const InvalidArgument& e) {
+    builtin = false;
+    if (!library) frontend::fail_at(loc, e.what());
+  }
+  if (builtin) {
+    if (!arity_ok(type, args.size()))
+      frontend::fail_at(loc, "bad arity for " + op);
+    std::string out = lhs;
+    builder.add_node(std::move(lhs), std::move(args), loc,
+                     [type, out](Netlist& netlist,
+                                 const std::vector<Var>& vars) {
+                       netlist.add_gate(type, vars, out);
+                     });
+    return;
+  }
+  const frontend::LibCell* cell = library->find(op);
+  if (!cell) {
+    // Match the builtin mnemonic error shape, mentioning the library.
+    frontend::fail_at(loc, "unknown cell '" + op + "' (not builtin, not in "
+                           "library '" + library->name() + "')");
+  }
+  if (args.size() != cell->inputs.size())
+    frontend::fail_at(loc, "cell '" + op + "' expects " +
+                               std::to_string(cell->inputs.size()) +
+                               " arguments, got " +
+                               std::to_string(args.size()));
+  if (cell->builtin) {
+    CellType t = *cell->builtin;
+    std::string out = lhs;
+    builder.add_node(std::move(lhs), std::move(args), loc,
+                     [t, out](Netlist& netlist, const std::vector<Var>& vars) {
+                       netlist.add_gate(t, vars, out);
+                     });
+    return;
+  }
+  std::string out = lhs;
+  builder.add_node(
+      std::move(lhs), std::move(args), loc,
+      [cell, out](Netlist& netlist, const std::vector<Var>& vars) {
+        std::unordered_map<std::string, Var> by_name;
+        std::vector<std::string> actuals;
+        for (Var v : vars) {
+          std::string n = netlist.var_name(v);
+          by_name.emplace(n, v);
+          actuals.push_back(std::move(n));
+        }
+        opt::EmitGateFn emit = [&](CellType t,
+                                   std::vector<std::string> input_names,
+                                   std::string output) {
+          std::vector<Var> inputs;
+          for (const std::string& n : input_names) {
+            auto it = by_name.find(n);
+            GFRE_ASSERT(it != by_name.end(),
+                        "expansion references unknown net " << n);
+            inputs.push_back(it->second);
+          }
+          Var v = netlist.add_gate(t, std::move(inputs), output);
+          std::string vname = netlist.var_name(v);
+          by_name.emplace(vname, v);
+          return vname;
+        };
+        opt::expand_cell_function(*cell, actuals, out, emit);
+      });
+}
+
+}  // namespace
+
+Netlist read_eqn(const std::string& text, const std::string& filename,
+                 const frontend::FrontendOptions& options) {
+  frontend::LineScanner scanner(
+      text, filename,
+      frontend::LineSyntax{.hash_comments = true, .slash_comments = true,
+                           .block_comments = true});
+  std::string model = "top";
+  frontend::GraphBuilder builder(model, filename);
+  const frontend::CellLibrary* library = options.library.get();
+
+  while (auto logical = scanner.next()) {
+    std::string line = logical->text;
+    frontend::Loc loc{filename, logical->line, 0};
     if (!line.empty() && line.back() == ';') line.pop_back();
+    while (!line.empty() &&
+           std::isspace(static_cast<unsigned char>(line.back())))
+      line.pop_back();
+    if (line.empty()) continue;
 
     if (line.rfind("model ", 0) == 0) {
-      raw.model = line.substr(6);
-      while (!raw.model.empty() && std::isspace(static_cast<unsigned char>(
-                                        raw.model.front()))) {
-        raw.model.erase(raw.model.begin());
-      }
+      model = line.substr(6);
+      while (!model.empty() &&
+             std::isspace(static_cast<unsigned char>(model.front())))
+        model.erase(model.begin());
       continue;
     }
     if (line.rfind("input", 0) == 0 &&
         (line.size() == 5 || !is_ident_char(line[5]))) {
-      for (auto& n : tokenize_names(line.substr(5))) {
-        raw.inputs.push_back(n);
-      }
+      for (auto& n : tokenize_names(line.substr(5)))
+        builder.add_input(n, loc);
       continue;
     }
     if (line.rfind("output", 0) == 0 &&
         (line.size() == 6 || !is_ident_char(line[6]))) {
-      for (auto& n : tokenize_names(line.substr(6))) {
-        raw.outputs.push_back(n);
-      }
+      for (auto& n : tokenize_names(line.substr(6)))
+        builder.add_output(n, loc);
       continue;
     }
     const auto eq = line.find('=');
-    if (eq == std::string::npos) {
-      throw ParseError(filename, line_no, "unrecognized statement: " + line);
-    }
-    RawEquation equation;
-    equation.line = line_no;
-    {
-      auto lhs_names = tokenize_names(line.substr(0, eq));
-      if (lhs_names.size() != 1) {
-        throw ParseError(filename, line_no, "bad equation left-hand side");
-      }
-      equation.lhs = lhs_names[0];
-    }
+    if (eq == std::string::npos)
+      frontend::fail_at(loc, "unrecognized statement: " + line);
+    auto lhs_names = tokenize_names(line.substr(0, eq));
+    if (lhs_names.size() != 1)
+      frontend::fail_at(loc, "bad equation left-hand side");
+    std::string lhs = lhs_names[0];
     std::string rhs = line.substr(eq + 1);
     const auto paren = rhs.find('(');
     if (paren == std::string::npos) {
       // Constant form: "x = 0" / "x = 1".
       auto names = tokenize_names(rhs);
       if (names.size() == 1 && (names[0] == "0" || names[0] == "1")) {
-        equation.op = names[0] == "0" ? "CONST0" : "CONST1";
-        raw.equations.push_back(std::move(equation));
+        add_equation_node(builder, std::move(lhs),
+                          names[0] == "0" ? "CONST0" : "CONST1", {}, loc,
+                          library);
         continue;
       }
-      throw ParseError(filename, line_no, "expected OP(args) or 0/1");
+      frontend::fail_at(loc, "expected OP(args) or 0/1");
     }
     auto op_names = tokenize_names(rhs.substr(0, paren));
-    if (op_names.size() != 1) {
-      throw ParseError(filename, line_no, "bad operator name");
-    }
-    equation.op = op_names[0];
+    if (op_names.size() != 1) frontend::fail_at(loc, "bad operator name");
     const auto close = rhs.rfind(')');
-    if (close == std::string::npos || close < paren) {
-      throw ParseError(filename, line_no, "unbalanced parentheses");
-    }
-    equation.args = tokenize_names(rhs.substr(paren + 1, close - paren - 1));
-    raw.equations.push_back(std::move(equation));
+    if (close == std::string::npos || close < paren)
+      frontend::fail_at(loc, "unbalanced parentheses");
+    add_equation_node(builder, std::move(lhs), op_names[0],
+                      tokenize_names(rhs.substr(paren + 1, close - paren - 1)),
+                      loc, library);
   }
-  return raw;
+  Netlist netlist = builder.build();
+  netlist.set_name(model);
+  return netlist;
 }
 
-}  // namespace
-
 Netlist read_eqn(const std::string& text, const std::string& filename) {
-  const RawFile raw = scan(text, filename);
-  Netlist netlist(raw.model);
-
-  std::unordered_map<std::string, std::size_t> eq_by_lhs;
-  for (std::size_t i = 0; i < raw.equations.size(); ++i) {
-    const auto& equation = raw.equations[i];
-    if (!eq_by_lhs.emplace(equation.lhs, i).second) {
-      throw ParseError(filename, equation.line,
-                       "net '" + equation.lhs + "' defined twice");
-    }
-    // Declared names may be created out of order; keep auto names clear.
-    netlist.reserve_name(equation.lhs);
-  }
-
-  for (const auto& name : raw.inputs) {
-    if (eq_by_lhs.count(name) != 0) {
-      throw ParseError(filename, 0, "input '" + name + "' is also driven");
-    }
-    netlist.add_input(name);
-  }
-
-  // Topologically create gates (equations may be in any textual order).
-  enum class State : std::uint8_t { Unvisited, Visiting, Done };
-  std::unordered_map<std::string, State> state;
-  std::vector<std::size_t> stack;
-
-  // Iterative DFS on equation dependencies.
-  std::function<void(std::size_t)> emit = [&](std::size_t index) {
-    struct Frame {
-      std::size_t eq;
-      std::size_t next_arg = 0;
-    };
-    std::vector<Frame> frames{{index}};
-    state[raw.equations[index].lhs] = State::Visiting;
-    while (!frames.empty()) {
-      Frame& frame = frames.back();
-      const RawEquation& equation = raw.equations[frame.eq];
-      bool descended = false;
-      while (frame.next_arg < equation.args.size()) {
-        const std::string& arg = equation.args[frame.next_arg++];
-        if (netlist.find_var(arg).has_value()) continue;
-        const auto it = eq_by_lhs.find(arg);
-        if (it == eq_by_lhs.end()) {
-          throw ParseError(filename, equation.line,
-                           "undefined net '" + arg + "'");
-        }
-        auto& st = state[arg];
-        if (st == State::Visiting) {
-          throw ParseError(filename, equation.line,
-                           "combinational cycle through '" + arg + "'");
-        }
-        if (st == State::Unvisited) {
-          st = State::Visiting;
-          frames.push_back(Frame{it->second});
-          descended = true;
-          break;
-        }
-      }
-      if (descended) continue;
-      // All args resolved — create the gate.
-      std::vector<Var> args;
-      args.reserve(equation.args.size());
-      for (const auto& arg : equation.args) {
-        args.push_back(*netlist.find_var(arg));
-      }
-      CellType type;
-      try {
-        type = cell_from_name(equation.op);
-      } catch (const InvalidArgument& e) {
-        throw ParseError(filename, equation.line, e.what());
-      }
-      if (!arity_ok(type, args.size())) {
-        throw ParseError(filename, equation.line,
-                         "bad arity for " + equation.op);
-      }
-      netlist.add_gate(type, std::move(args), equation.lhs);
-      state[equation.lhs] = State::Done;
-      frames.pop_back();
-    }
-  };
-
-  for (std::size_t i = 0; i < raw.equations.size(); ++i) {
-    if (state[raw.equations[i].lhs] == State::Unvisited) emit(i);
-  }
-
-  for (const auto& name : raw.outputs) {
-    const auto v = netlist.find_var(name);
-    if (!v.has_value()) {
-      throw ParseError(filename, 0, "undefined output '" + name + "'");
-    }
-    netlist.mark_output(*v);
-  }
-  netlist.validate();
-  return netlist;
+  return read_eqn(text, filename, frontend::FrontendOptions{});
 }
 
 void write_eqn_file(const Netlist& netlist, const std::string& path) {

@@ -18,6 +18,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "frontend/frontend.hpp"
 #include "netlist/netlist.hpp"
 
 namespace gfre::nl {
@@ -28,6 +29,12 @@ std::string write_eqn(const Netlist& netlist);
 /// Parses .eqn text; `filename` is used in diagnostics only.
 Netlist read_eqn(const std::string& text,
                  const std::string& filename = "<eqn>");
+
+/// Library-aware parse: operator names outside the builtin mnemonics are
+/// resolved against `options.library` (single gate when the cell matches a
+/// builtin truth table, structural expansion otherwise).
+Netlist read_eqn(const std::string& text, const std::string& filename,
+                 const frontend::FrontendOptions& options);
 
 /// File helpers.
 void write_eqn_file(const Netlist& netlist, const std::string& path);

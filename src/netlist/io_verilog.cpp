@@ -1,21 +1,47 @@
 #include "netlist/io_verilog.hpp"
 
 #include <cctype>
+#include <cstdint>
 #include <fstream>
-#include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "frontend/cell_library.hpp"
+#include "frontend/graph.hpp"
+#include "frontend/source.hpp"
+#include "opt/passes.hpp"
 #include "util/error.hpp"
 
 namespace gfre::nl {
 
+using frontend::Loc;
+using frontend::Token;
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+std::string verilog_ident(const std::string& name) {
+  bool simple = !name.empty() &&
+                (std::isalpha(static_cast<unsigned char>(name[0])) ||
+                 name[0] == '_');
+  for (char c : name) {
+    if (!simple) break;
+    simple = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+             c == '$';
+  }
+  if (simple) return name;
+  return "\\" + name + " ";
+}
+
 namespace {
 
 std::string gate_expression(const Netlist& netlist, const Gate& gate) {
-  const auto name = [&](Var v) { return netlist.var_name(v); };
+  const auto name = [&](Var v) { return verilog_ident(netlist.var_name(v)); };
   const auto join = [&](const char* op) {
     std::string out;
     for (std::size_t i = 0; i < gate.inputs.size(); ++i) {
@@ -68,451 +94,1152 @@ std::string write_verilog(const Netlist& netlist) {
   std::ostringstream out;
   out << "// gfre structural netlist — " << netlist.num_equations()
       << " gates\n";
-  out << "module " << netlist.name() << "(";
+  out << "module " << verilog_ident(netlist.name()) << "(";
   bool first = true;
   for (Var v : netlist.inputs()) {
     if (!first) out << ", ";
     first = false;
-    out << netlist.var_name(v);
+    out << verilog_ident(netlist.var_name(v));
   }
   for (Var v : netlist.outputs()) {
     if (!first) out << ", ";
     first = false;
-    out << netlist.var_name(v);
+    out << verilog_ident(netlist.var_name(v));
   }
   out << ");\n";
   for (Var v : netlist.inputs()) {
-    out << "  input " << netlist.var_name(v) << ";\n";
+    out << "  input " << verilog_ident(netlist.var_name(v)) << ";\n";
   }
   for (Var v : netlist.outputs()) {
-    out << "  output " << netlist.var_name(v) << ";\n";
+    out << "  output " << verilog_ident(netlist.var_name(v)) << ";\n";
   }
   // Internal wires: driven nets that are not outputs.
   std::vector<bool> is_output(netlist.num_vars(), false);
   for (Var v : netlist.outputs()) is_output[v] = true;
   for (const Gate& g : netlist.gates()) {
     if (!is_output[g.output]) {
-      out << "  wire " << netlist.var_name(g.output) << ";\n";
+      out << "  wire " << verilog_ident(netlist.var_name(g.output)) << ";\n";
     }
   }
   for (std::size_t g : netlist.topological_order()) {
     const Gate& gate = netlist.gate(g);
-    out << "  assign " << netlist.var_name(gate.output) << " = "
-        << gate_expression(netlist, gate) << ";\n";
+    out << "  assign " << verilog_ident(netlist.var_name(gate.output))
+        << " = " << gate_expression(netlist, gate) << ";\n";
   }
   out << "endmodule\n";
   return out.str();
 }
 
+// ---------------------------------------------------------------------------
+// Reader: module ASTs, then hierarchy elaboration onto a GraphBuilder.
+// ---------------------------------------------------------------------------
+
 namespace {
 
-// ---------------------------------------------------------------------------
-// Reader: tokenizer + recursive-descent expression parser.
-// Grammar (precedence low to high):
-//   ternary := or ('?' or ':' or)?
-//   or      := xor ('|' xor)*
-//   xor     := and ('^' and)*
-//   and     := unary ('&' unary)*
-//   unary   := '~' unary | primary
-//   primary := identifier | '1\'b0' | '1\'b1' | '(' ternary ')'
-// ---------------------------------------------------------------------------
+// -- Integer (parameter) expressions ---------------------------------------
 
-struct Token {
-  enum class Kind { Ident, Op, Const0, Const1, End };
+struct IntExpr {
+  enum class Kind { Num, Ref, Add, Sub, Mul, Div, Neg };
+  Kind kind = Kind::Num;
+  std::int64_t value = 0;   ///< Num
+  std::string name;         ///< Ref (parameter)
+  std::vector<IntExpr> operands;
+  Loc loc;
+};
+
+using ParamEnv = std::map<std::string, std::int64_t>;
+
+std::int64_t eval_int(const IntExpr& e, const ParamEnv& env) {
+  switch (e.kind) {
+    case IntExpr::Kind::Num:
+      return e.value;
+    case IntExpr::Kind::Ref: {
+      auto it = env.find(e.name);
+      if (it == env.end())
+        frontend::fail_at(e.loc, "undefined parameter '" + e.name + "'");
+      return it->second;
+    }
+    case IntExpr::Kind::Add:
+      return eval_int(e.operands[0], env) + eval_int(e.operands[1], env);
+    case IntExpr::Kind::Sub:
+      return eval_int(e.operands[0], env) - eval_int(e.operands[1], env);
+    case IntExpr::Kind::Mul:
+      return eval_int(e.operands[0], env) * eval_int(e.operands[1], env);
+    case IntExpr::Kind::Div: {
+      std::int64_t d = eval_int(e.operands[1], env);
+      if (d == 0) frontend::fail_at(e.loc, "division by zero in constant");
+      return eval_int(e.operands[0], env) / d;
+    }
+    case IntExpr::Kind::Neg:
+      return -eval_int(e.operands[0], env);
+  }
+  return 0;
+}
+
+// -- Net expressions -------------------------------------------------------
+
+struct Expr {
+  enum class Kind { Ref, Const, Not, And, Or, Xor, Mux };
+  Kind kind = Kind::Ref;
+  std::string name;               ///< Ref: net or vector name
+  std::optional<IntExpr> index;   ///< Ref: bit-select
+  bool escaped = false;           ///< Ref came from an escaped identifier
+  bool const_one = false;         ///< Const
+  std::vector<Expr> operands;
+  Loc loc;
+};
+
+// -- Module AST ------------------------------------------------------------
+
+enum class Dir { Input, Output, Wire };
+
+struct Range {
+  IntExpr msb;
+  IntExpr lsb;
+};
+
+struct NetDecl {
+  Dir dir = Dir::Wire;
+  std::optional<Range> range;
+  std::string name;
+  Loc loc;
+};
+
+struct Param {
+  bool local = false;
+  std::string name;
+  IntExpr value;
+  Loc loc;
+};
+
+struct Assign {
+  Expr lhs;  ///< must be Ref (optionally indexed)
+  Expr rhs;
+  Loc loc;
+};
+
+struct Conn {
+  std::string formal;  ///< empty for positional
+  std::optional<Expr> actual;
+  Loc loc;
+};
+
+struct Instance {
+  std::string target;  ///< module / cell / primitive name
+  std::string name;    ///< instance name ("" for anonymous primitives)
+  std::vector<std::pair<std::string, IntExpr>> overrides;
+  std::vector<Conn> conns;
+  bool named = false;
+  Loc loc;
+};
+
+struct Item {
+  enum class Kind { Assign, Instance };
   Kind kind;
-  std::string text;  // for Ident / Op
-  int line;
+  std::size_t index;  ///< into assigns / instances
 };
 
-class Lexer {
- public:
-  Lexer(const std::string& text, std::string filename)
-      : text_(text), filename_(std::move(filename)) {}
-
-  Token next() {
-    skip_trivia();
-    if (pos_ >= text_.size()) return {Token::Kind::End, "", line_};
-    const char c = text_[pos_];
-    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
-        c == '\\') {
-      return lex_ident();
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) return lex_number();
-    ++pos_;
-    return {Token::Kind::Op, std::string(1, c), line_};
-  }
-
-  [[noreturn]] void fail(int line, const std::string& msg) const {
-    throw ParseError(filename_, line, msg);
-  }
-
- private:
-  void skip_trivia() {
-    for (;;) {
-      while (pos_ < text_.size() &&
-             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-        if (text_[pos_] == '\n') ++line_;
-        ++pos_;
-      }
-      if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
-          text_[pos_ + 1] == '/') {
-        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
-        continue;
-      }
-      if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
-          text_[pos_ + 1] == '*') {
-        pos_ += 2;
-        while (pos_ + 1 < text_.size() &&
-               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
-          if (text_[pos_] == '\n') ++line_;
-          ++pos_;
-        }
-        pos_ = std::min(pos_ + 2, text_.size());
-        continue;
-      }
-      break;
-    }
-  }
-
-  Token lex_ident() {
-    const int line = line_;
-    std::string ident;
-    if (text_[pos_] == '\\') {
-      // Escaped identifier: up to whitespace.
-      ++pos_;
-      while (pos_ < text_.size() &&
-             !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-        ident.push_back(text_[pos_++]);
-      }
-    } else {
-      while (pos_ < text_.size() &&
-             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
-              text_[pos_] == '_' || text_[pos_] == '$')) {
-        ident.push_back(text_[pos_++]);
-      }
-    }
-    return {Token::Kind::Ident, ident, line};
-  }
-
-  Token lex_number() {
-    const int line = line_;
-    // Only the literals 1'b0 / 1'b1 are meaningful in this subset.
-    std::string lit;
-    while (pos_ < text_.size() &&
-           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '\'')) {
-      lit.push_back(text_[pos_++]);
-    }
-    if (lit == "1'b0") return {Token::Kind::Const0, lit, line};
-    if (lit == "1'b1") return {Token::Kind::Const1, lit, line};
-    fail(line, "unsupported literal '" + lit + "'");
-  }
-
-  const std::string& text_;
-  std::string filename_;
-  std::size_t pos_ = 0;
-  int line_ = 1;
+struct Module {
+  std::string name;
+  std::vector<std::string> header_ports;
+  std::vector<NetDecl> decls;
+  std::vector<Param> params;
+  std::vector<Assign> assigns;
+  std::vector<Instance> instances;
+  std::vector<Item> items;
+  Loc loc;
 };
+
+bool is_primitive(const std::string& word) {
+  return word == "and" || word == "or" || word == "nand" || word == "nor" ||
+         word == "xor" || word == "xnor" || word == "not" || word == "buf";
+}
+
+CellType primitive_cell(const std::string& word) {
+  if (word == "and") return CellType::And;
+  if (word == "or") return CellType::Or;
+  if (word == "nand") return CellType::Nand;
+  if (word == "nor") return CellType::Nor;
+  if (word == "xor") return CellType::Xor;
+  if (word == "xnor") return CellType::Xnor;
+  if (word == "not") return CellType::Inv;
+  return CellType::Buf;
+}
+
+bool is_keyword(const std::string& word) {
+  return word == "module" || word == "endmodule" || word == "input" ||
+         word == "output" || word == "wire" || word == "assign" ||
+         word == "parameter" || word == "localparam" || word == "inout";
+}
+
+// -- Parser ----------------------------------------------------------------
 
 class VerilogParser {
  public:
   VerilogParser(const std::string& text, const std::string& filename)
-      : lexer_(text, filename), filename_(filename) {
-    advance();
-  }
+      : lexer_(text, filename,
+               frontend::LexSyntax{.slash_comments = true,
+                                   .verilog_numbers = true,
+                                   .escaped_idents = true,
+                                   .directives = true},
+               frontend::filesystem_include_resolver()) {}
 
-  Netlist parse() {
-    expect_ident("module");
-    Netlist netlist(expect_any_ident("module name"));
-    netlist_ = &netlist;
-    // Port list (names only; directions come from declarations).
-    if (is_op("(")) {
-      advance();
-      while (!is_op(")")) {
-        expect_any_ident("port name");
-        if (is_op(",")) advance();
-      }
-      advance();  // ')'
+  std::vector<Module> parse() {
+    std::vector<Module> modules;
+    while (lexer_.peek().kind != Token::Kind::End) {
+      Token kw = lexer_.expect_ident("'module'");
+      if (kw.text != "module" && kw.text != "macromodule")
+        frontend::fail_at(kw.loc, "expected 'module', got '" + kw.text + "'");
+      modules.push_back(parse_module(kw.loc));
     }
-    expect_op(";");
-
-    std::vector<std::string> output_names;
-    while (!is_ident("endmodule")) {
-      if (is_ident("input")) {
-        advance();
-        for (const auto& name : name_list()) {
-          netlist.add_input(name);
-        }
-      } else if (is_ident("output")) {
-        advance();
-        for (const auto& name : name_list()) {
-          output_names.push_back(name);
-        }
-      } else if (is_ident("wire")) {
-        advance();
-        name_list();  // declarations are implicit in our netlist model
-      } else if (is_ident("assign")) {
-        advance();
-        parse_assign();
-      } else {
-        lexer_.fail(token_.line,
-                    "unsupported construct '" + token_.text + "'");
-      }
-    }
-
-    resolve_pending();
-    for (const auto& name : output_names) {
-      const auto v = netlist.find_var(name);
-      if (!v.has_value()) {
-        throw ParseError(filename_, 0, "undriven output '" + name + "'");
-      }
-      netlist.mark_output(*v);
-    }
-    netlist.validate();
-    return netlist;
+    return modules;
   }
 
  private:
-  // Expression AST (assignments may reference nets defined later, so we
-  // parse to an AST first and elaborate after all assigns are known).
-  struct Expr {
-    enum class Kind { Ref, Const0, Const1, Not, And, Or, Xor, Mux };
-    Kind kind;
-    std::string ref;                         // Kind::Ref
-    std::vector<std::unique_ptr<Expr>> ops;  // operands
-    int line = 0;
-  };
-
-  void advance() { token_ = lexer_.next(); }
-
-  bool is_ident(const std::string& s) const {
-    return token_.kind == Token::Kind::Ident && token_.text == s;
-  }
-  bool is_op(const std::string& s) const {
-    return token_.kind == Token::Kind::Op && token_.text == s;
-  }
-  void expect_ident(const std::string& s) {
-    if (!is_ident(s)) {
-      lexer_.fail(token_.line, "expected '" + s + "', got '" + token_.text + "'");
+  Module parse_module(const Loc& loc) {
+    Module m;
+    m.loc = loc;
+    Token name = lexer_.expect_ident("module name");
+    m.name = name.text;
+    if (lexer_.accept_punct('#')) parse_param_ports(m);
+    if (lexer_.accept_punct('(')) parse_port_list(m);
+    lexer_.expect_punct(';');
+    for (;;) {
+      const Token& t = lexer_.peek();
+      if (t.kind == Token::Kind::End)
+        frontend::fail_at(m.loc, "missing 'endmodule'");
+      if (t.kind != Token::Kind::Ident)
+        frontend::fail_at(t.loc, "expected a module item, got '" + t.text +
+                                     "'");
+      if (t.text == "endmodule") {
+        lexer_.next();
+        break;
+      }
+      if (t.text == "inout")
+        frontend::fail_at(t.loc, "inout ports are not supported");
+      if (t.text == "input" || t.text == "output" || t.text == "wire") {
+        parse_net_decl(m);
+      } else if (t.text == "parameter" || t.text == "localparam") {
+        parse_param_decl(m, t.text == "localparam");
+      } else if (t.text == "assign") {
+        parse_assign(m);
+      } else {
+        parse_instance(m);
+      }
     }
-    advance();
-  }
-  std::string expect_any_ident(const std::string& what) {
-    if (token_.kind != Token::Kind::Ident) {
-      lexer_.fail(token_.line, "expected " + what);
-    }
-    std::string name = token_.text;
-    advance();
-    return name;
-  }
-  void expect_op(const std::string& s) {
-    if (!is_op(s)) {
-      lexer_.fail(token_.line, "expected '" + s + "', got '" + token_.text + "'");
-    }
-    advance();
+    return m;
   }
 
-  std::vector<std::string> name_list() {
-    std::vector<std::string> names;
-    names.push_back(expect_any_ident("net name"));
-    while (is_op(",")) {
-      advance();
-      names.push_back(expect_any_ident("net name"));
+  void parse_param_ports(Module& m) {
+    // #( parameter NAME = expr, ... )
+    lexer_.expect_punct('(');
+    if (lexer_.accept_punct(')')) return;
+    for (;;) {
+      lexer_.accept_ident("parameter");
+      Token name = lexer_.expect_ident("parameter name");
+      lexer_.expect_punct('=');
+      Param p;
+      p.name = name.text;
+      p.loc = name.loc;
+      p.value = parse_int_expr();
+      m.params.push_back(std::move(p));
+      if (lexer_.accept_punct(')')) break;
+      lexer_.expect_punct(',');
     }
-    expect_op(";");
-    return names;
   }
 
-  void parse_assign() {
-    const std::string lhs = expect_any_ident("assign target");
-    expect_op("=");
-    auto rhs = parse_ternary();
-    expect_op(";");
-    if (!assigns_.emplace(lhs, std::move(rhs)).second) {
-      throw ParseError(filename_, token_.line, "net '" + lhs + "' assigned twice");
+  void parse_port_list(Module& m) {
+    if (lexer_.accept_punct(')')) return;
+    // Non-ANSI (name list) or ANSI (direction-annotated declarations).
+    Dir dir = Dir::Wire;
+    bool ansi = false;
+    std::optional<Range> range;
+    for (;;) {
+      const Token& t = lexer_.peek();
+      if (t.kind != Token::Kind::Ident)
+        frontend::fail_at(t.loc, "expected a port name, got '" + t.text + "'");
+      if (t.text == "inout")
+        frontend::fail_at(t.loc, "inout ports are not supported");
+      if (t.text == "input" || t.text == "output" || t.text == "wire") {
+        ansi = true;
+        dir = t.text == "input" ? Dir::Input
+              : t.text == "output" ? Dir::Output
+                                   : Dir::Wire;
+        lexer_.next();
+        lexer_.accept_ident("wire");
+        range = parse_optional_range();
+      }
+      Token name = lexer_.expect_ident("port name");
+      m.header_ports.push_back(name.text);
+      if (ansi) {
+        NetDecl d;
+        d.dir = dir;
+        d.range = range;
+        d.name = name.text;
+        d.loc = name.loc;
+        m.decls.push_back(std::move(d));
+      }
+      if (lexer_.accept_punct(')')) break;
+      lexer_.expect_punct(',');
     }
-    assign_order_.push_back(lhs);
   }
 
-  std::unique_ptr<Expr> make(Expr::Kind kind) {
-    auto e = std::make_unique<Expr>();
-    e->kind = kind;
-    e->line = token_.line;
+  std::optional<Range> parse_optional_range() {
+    if (!lexer_.accept_punct('[')) return std::nullopt;
+    Range r;
+    r.msb = parse_int_expr();
+    lexer_.expect_punct(':');
+    r.lsb = parse_int_expr();
+    lexer_.expect_punct(']');
+    return r;
+  }
+
+  void parse_net_decl(Module& m) {
+    Token kw = lexer_.next();
+    Dir dir = kw.text == "input" ? Dir::Input
+              : kw.text == "output" ? Dir::Output
+                                    : Dir::Wire;
+    std::optional<Range> range = parse_optional_range();
+    for (;;) {
+      Token name = lexer_.expect_ident("net name");
+      NetDecl d;
+      d.dir = dir;
+      d.range = range;
+      d.name = name.text;
+      d.loc = name.loc;
+      m.decls.push_back(std::move(d));
+      if (lexer_.accept_punct(';')) break;
+      lexer_.expect_punct(',');
+    }
+  }
+
+  void parse_param_decl(Module& m, bool local) {
+    lexer_.next();  // parameter / localparam
+    for (;;) {
+      Token name = lexer_.expect_ident("parameter name");
+      lexer_.expect_punct('=');
+      Param p;
+      p.local = local;
+      p.name = name.text;
+      p.loc = name.loc;
+      p.value = parse_int_expr();
+      m.params.push_back(std::move(p));
+      if (lexer_.accept_punct(';')) break;
+      lexer_.expect_punct(',');
+    }
+  }
+
+  void parse_assign(Module& m) {
+    Token kw = lexer_.next();  // assign
+    Assign a;
+    a.loc = kw.loc;
+    a.lhs = parse_primary();
+    if (a.lhs.kind != Expr::Kind::Ref)
+      frontend::fail_at(a.lhs.loc, "assign target must be a net");
+    lexer_.expect_punct('=');
+    a.rhs = parse_expr();
+    lexer_.expect_punct(';');
+    m.items.push_back({Item::Kind::Assign, m.assigns.size()});
+    m.assigns.push_back(std::move(a));
+  }
+
+  void parse_instance(Module& m) {
+    Token target = lexer_.expect_ident("module or cell name");
+    if (is_keyword(target.text))
+      frontend::fail_at(target.loc,
+                        "unexpected keyword '" + target.text + "'");
+    Instance inst;
+    inst.target = target.text;
+    inst.loc = target.loc;
+    if (lexer_.accept_punct('#')) {
+      lexer_.expect_punct('(');
+      for (;;) {
+        lexer_.expect_punct('.');
+        Token pname = lexer_.expect_ident("parameter name");
+        lexer_.expect_punct('(');
+        inst.overrides.emplace_back(pname.text, parse_int_expr());
+        lexer_.expect_punct(')');
+        if (lexer_.accept_punct(')')) break;
+        lexer_.expect_punct(',');
+      }
+    }
+    if (lexer_.peek().kind == Token::Kind::Ident) {
+      inst.name = lexer_.next().text;
+    } else if (!is_primitive(inst.target)) {
+      frontend::fail_at(lexer_.peek().loc, "expected an instance name");
+    }
+    lexer_.expect_punct('(');
+    if (!lexer_.accept_punct(')')) {
+      bool first = true;
+      for (;;) {
+        Conn conn;
+        conn.loc = lexer_.peek().loc;
+        if (lexer_.accept_punct('.')) {
+          if (!first && !inst.named)
+            frontend::fail_at(conn.loc,
+                              "cannot mix named and positional connections");
+          inst.named = true;
+          Token formal = lexer_.expect_ident("port name");
+          conn.formal = formal.text;
+          lexer_.expect_punct('(');
+          if (!lexer_.accept_punct(')')) {
+            conn.actual = parse_expr();
+            lexer_.expect_punct(')');
+          }
+        } else {
+          if (inst.named)
+            frontend::fail_at(conn.loc,
+                              "cannot mix named and positional connections");
+          conn.actual = parse_expr();
+        }
+        inst.conns.push_back(std::move(conn));
+        first = false;
+        if (lexer_.accept_punct(')')) break;
+        lexer_.expect_punct(',');
+      }
+    }
+    lexer_.expect_punct(';');
+    m.items.push_back({Item::Kind::Instance, m.instances.size()});
+    m.instances.push_back(std::move(inst));
+  }
+
+  // -- Expressions (precedence low to high: ?: | ^ & unary primary) ------
+
+  Expr parse_expr() { return parse_ternary(); }
+
+  Expr parse_ternary() {
+    Expr cond = parse_or();
+    if (!lexer_.accept_punct('?')) return cond;
+    Expr then_e = parse_ternary();
+    lexer_.expect_punct(':');
+    Expr else_e = parse_ternary();
+    Expr e;
+    e.kind = Expr::Kind::Mux;
+    e.loc = cond.loc;
+    // Mux operand order is (select, d0, d1): select ? d1 : d0.
+    e.operands = {std::move(cond), std::move(else_e), std::move(then_e)};
     return e;
   }
 
-  std::unique_ptr<Expr> parse_ternary() {
-    auto cond = parse_or();
-    if (!is_op("?")) return cond;
-    advance();
-    auto then_e = parse_or();
-    expect_op(":");
-    auto else_e = parse_or();
-    auto e = make(Expr::Kind::Mux);
-    e->ops.push_back(std::move(cond));
-    e->ops.push_back(std::move(else_e));  // MUX(s, d0, d1): d0 = else
-    e->ops.push_back(std::move(then_e));
+  Expr parse_or() {
+    Expr e = parse_xor();
+    while (lexer_.peek().is_punct('|')) {
+      Loc loc = lexer_.next().loc;
+      Expr rhs = parse_xor();
+      Expr joined;
+      joined.kind = Expr::Kind::Or;
+      joined.loc = loc;
+      joined.operands = {std::move(e), std::move(rhs)};
+      e = std::move(joined);
+    }
     return e;
   }
 
-  std::unique_ptr<Expr> parse_or() {
-    auto lhs = parse_xor();
-    while (is_op("|")) {
-      advance();
-      auto e = make(Expr::Kind::Or);
-      e->ops.push_back(std::move(lhs));
-      e->ops.push_back(parse_xor());
-      lhs = std::move(e);
+  Expr parse_xor() {
+    Expr e = parse_and();
+    while (lexer_.peek().is_punct('^')) {
+      Loc loc = lexer_.next().loc;
+      Expr rhs = parse_and();
+      Expr joined;
+      joined.kind = Expr::Kind::Xor;
+      joined.loc = loc;
+      joined.operands = {std::move(e), std::move(rhs)};
+      e = std::move(joined);
     }
-    return lhs;
+    return e;
   }
 
-  std::unique_ptr<Expr> parse_xor() {
-    auto lhs = parse_and();
-    while (is_op("^")) {
-      advance();
-      auto e = make(Expr::Kind::Xor);
-      e->ops.push_back(std::move(lhs));
-      e->ops.push_back(parse_and());
-      lhs = std::move(e);
+  Expr parse_and() {
+    Expr e = parse_unary();
+    while (lexer_.peek().is_punct('&')) {
+      Loc loc = lexer_.next().loc;
+      Expr rhs = parse_unary();
+      Expr joined;
+      joined.kind = Expr::Kind::And;
+      joined.loc = loc;
+      joined.operands = {std::move(e), std::move(rhs)};
+      e = std::move(joined);
     }
-    return lhs;
+    return e;
   }
 
-  std::unique_ptr<Expr> parse_and() {
-    auto lhs = parse_unary();
-    while (is_op("&")) {
-      advance();
-      auto e = make(Expr::Kind::And);
-      e->ops.push_back(std::move(lhs));
-      e->ops.push_back(parse_unary());
-      lhs = std::move(e);
-    }
-    return lhs;
-  }
-
-  std::unique_ptr<Expr> parse_unary() {
-    if (is_op("~")) {
-      advance();
-      auto e = make(Expr::Kind::Not);
-      e->ops.push_back(parse_unary());
+  Expr parse_unary() {
+    if (lexer_.peek().is_punct('~') || lexer_.peek().is_punct('!')) {
+      Loc loc = lexer_.next().loc;
+      Expr e;
+      e.kind = Expr::Kind::Not;
+      e.loc = loc;
+      e.operands = {parse_unary()};
       return e;
     }
     return parse_primary();
   }
 
-  std::unique_ptr<Expr> parse_primary() {
-    if (is_op("(")) {
-      advance();
-      auto e = parse_ternary();
-      expect_op(")");
+  Expr parse_primary() {
+    const Token& t = lexer_.peek();
+    Expr e;
+    e.loc = t.loc;
+    if (t.is_punct('(')) {
+      lexer_.next();
+      e = parse_expr();
+      lexer_.expect_punct(')');
       return e;
     }
-    if (token_.kind == Token::Kind::Const0) {
-      advance();
-      return make(Expr::Kind::Const0);
+    if (t.kind == Token::Kind::Number) {
+      Token num = lexer_.next();
+      if (num.value > 1 || (num.width != 0 && num.width != 1))
+        frontend::fail_at(num.loc,
+                          "unsupported literal '" + num.text +
+                              "' (only 1-bit constants allowed)");
+      e.kind = Expr::Kind::Const;
+      e.const_one = num.value == 1;
+      return e;
     }
-    if (token_.kind == Token::Kind::Const1) {
-      advance();
-      return make(Expr::Kind::Const1);
+    if (t.kind == Token::Kind::Ident) {
+      Token id = lexer_.next();
+      if (is_keyword(id.text) && !id.escaped)
+        frontend::fail_at(id.loc, "unexpected keyword '" + id.text + "'");
+      e.kind = Expr::Kind::Ref;
+      e.name = id.text;
+      e.escaped = id.escaped;
+      if (!id.escaped && lexer_.peek().is_punct('[')) {
+        lexer_.next();
+        e.index = parse_int_expr();
+        lexer_.expect_punct(']');
+      }
+      return e;
     }
-    auto e = make(Expr::Kind::Ref);
-    e->ref = expect_any_ident("operand");
-    return e;
+    frontend::fail_at(t.loc, "expected an operand, got '" + t.text + "'");
   }
 
-  // -- Elaboration ---------------------------------------------------------
+  // -- Constant integer expressions ---------------------------------------
 
-  Var elaborate_net(const std::string& name) {
-    if (const auto v = netlist_->find_var(name)) return *v;
-    const auto it = assigns_.find(name);
-    if (it == assigns_.end()) {
-      throw ParseError(filename_, 0, "undefined net '" + name + "'");
+  IntExpr parse_int_expr() { return parse_int_add(); }
+
+  IntExpr parse_int_add() {
+    IntExpr e = parse_int_mul();
+    for (;;) {
+      bool add = lexer_.peek().is_punct('+');
+      bool sub = lexer_.peek().is_punct('-');
+      if (!add && !sub) return e;
+      Loc loc = lexer_.next().loc;
+      IntExpr rhs = parse_int_mul();
+      IntExpr joined;
+      joined.kind = add ? IntExpr::Kind::Add : IntExpr::Kind::Sub;
+      joined.loc = loc;
+      joined.operands = {std::move(e), std::move(rhs)};
+      e = std::move(joined);
     }
-    if (elaborating_.count(name) != 0) {
-      throw ParseError(filename_, it->second->line,
-                       "combinational cycle through '" + name + "'");
-    }
-    elaborating_.insert(name);
-    const Var v = elaborate_expr(*it->second, name);
-    elaborating_.erase(name);
-    return v;
   }
 
-  Var elaborate_expr(const Expr& e, const std::string& name) {
-    std::vector<Var> operands;
-    for (const auto& op : e.ops) {
-      if (op->kind == Expr::Kind::Ref) {
-        operands.push_back(elaborate_net(op->ref));
+  IntExpr parse_int_mul() {
+    IntExpr e = parse_int_unary();
+    for (;;) {
+      bool mul = lexer_.peek().is_punct('*');
+      bool div = lexer_.peek().is_punct('/');
+      if (!mul && !div) return e;
+      Loc loc = lexer_.next().loc;
+      IntExpr rhs = parse_int_unary();
+      IntExpr joined;
+      joined.kind = mul ? IntExpr::Kind::Mul : IntExpr::Kind::Div;
+      joined.loc = loc;
+      joined.operands = {std::move(e), std::move(rhs)};
+      e = std::move(joined);
+    }
+  }
+
+  IntExpr parse_int_unary() {
+    const Token& t = lexer_.peek();
+    IntExpr e;
+    e.loc = t.loc;
+    if (t.is_punct('-')) {
+      lexer_.next();
+      e.kind = IntExpr::Kind::Neg;
+      e.operands = {parse_int_unary()};
+      return e;
+    }
+    if (t.is_punct('(')) {
+      lexer_.next();
+      e = parse_int_expr();
+      lexer_.expect_punct(')');
+      return e;
+    }
+    if (t.kind == Token::Kind::Number) {
+      Token num = lexer_.next();
+      e.kind = IntExpr::Kind::Num;
+      e.value = static_cast<std::int64_t>(num.value);
+      return e;
+    }
+    if (t.kind == Token::Kind::Ident) {
+      Token id = lexer_.next();
+      e.kind = IntExpr::Kind::Ref;
+      e.name = id.text;
+      return e;
+    }
+    frontend::fail_at(t.loc,
+                      "expected a constant expression, got '" + t.text + "'");
+  }
+
+  frontend::Lexer lexer_;
+};
+
+// -- Elaboration -----------------------------------------------------------
+
+/// A module-scope symbol: a parameter value or a (possibly vector) net
+/// whose bits are bound to flat (top-level) net names.
+struct Symbol {
+  bool vector_net = false;
+  std::int64_t lsb = 0;  ///< smallest declared index (vectors)
+  std::vector<std::string> bits;  ///< flat names; bits[i] = index lsb+i
+  Dir dir = Dir::Wire;
+  Loc loc;
+};
+
+struct Scope {
+  std::string prefix;  ///< "" at top, "u0." below
+  ParamEnv params;
+  std::map<std::string, Symbol> nets;
+};
+
+class Elaborator {
+ public:
+  Elaborator(const std::vector<Module>& modules,
+             const frontend::FrontendOptions& options,
+             const std::string& filename)
+      : options_(options), filename_(filename) {
+    for (const Module& m : modules) {
+      if (!by_name_.emplace(m.name, &m).second)
+        frontend::fail_at(m.loc, "module '" + m.name + "' defined twice");
+    }
+  }
+
+  Netlist run() {
+    const Module& top = select_top();
+    builder_ =
+        std::make_unique<frontend::GraphBuilder>(top.name, filename_);
+    Scope scope;
+    elaborate_module(top, scope, /*overrides=*/{}, /*bindings=*/nullptr,
+                     top.loc, /*is_top=*/true);
+    return builder_->build();
+  }
+
+ private:
+  const Module& select_top() {
+    if (!options_.top.empty()) {
+      auto it = by_name_.find(options_.top);
+      if (it == by_name_.end())
+        throw InvalidArgument("top module '" + options_.top + "' not found");
+      return *it->second;
+    }
+    if (by_name_.size() == 1) return *by_name_.begin()->second;
+    // The unique uninstantiated module is the top.
+    std::unordered_set<std::string> instantiated;
+    for (const auto& [name, m] : by_name_)
+      for (const Instance& inst : m->instances)
+        instantiated.insert(inst.target);
+    const Module* top = nullptr;
+    for (const auto& [name, m] : by_name_) {
+      if (instantiated.count(name)) continue;
+      if (top)
+        throw InvalidArgument(
+            "multiple top-level module candidates ('" + top->name + "', '" +
+            name + "'); select one explicitly");
+      top = m;
+    }
+    if (!top)
+      throw InvalidArgument(
+          "no top-level module (every module is instantiated)");
+    return *top;
+  }
+
+  /// Elaborates `m` into the builder.  `bindings`, when non-null, maps
+  /// formal port names to flat actual bit vectors.
+  void elaborate_module(
+      const Module& m, Scope& scope,
+      const std::vector<std::pair<std::string, std::int64_t>>& overrides,
+      const std::map<std::string, std::vector<std::string>>* bindings,
+      const Loc& site, bool is_top = false) {
+    if (path_.size() >= 64)
+      frontend::fail_at(site, "module hierarchy too deep (limit 64)");
+    path_.push_back(m.name);
+
+    // Parameters: defaults in declaration order, overridden by name.
+    for (const Param& p : m.params) {
+      std::int64_t value = eval_int(p.value, scope.params);
+      if (!p.local)
+        for (const auto& [oname, ovalue] : overrides)
+          if (oname == p.name) value = ovalue;
+      if (!scope.params.emplace(p.name, value).second)
+        frontend::fail_at(p.loc, "parameter '" + p.name + "' defined twice");
+    }
+    for (const auto& [oname, ovalue] : overrides) {
+      bool known = false;
+      for (const Param& p : m.params)
+        known = known || (!p.local && p.name == oname);
+      if (!known)
+        frontend::fail_at(site, "module '" + m.name +
+                                    "' has no parameter '" + oname + "'");
+    }
+
+    // Net declarations.
+    std::unordered_set<std::string> header(m.header_ports.begin(),
+                                           m.header_ports.end());
+    for (const NetDecl& d : m.decls) {
+      Symbol sym;
+      sym.dir = d.dir;
+      sym.loc = d.loc;
+      if (d.range) {
+        std::int64_t msb = eval_int(d.range->msb, scope.params);
+        std::int64_t lsb = eval_int(d.range->lsb, scope.params);
+        if (msb < lsb) std::swap(msb, lsb);
+        if (msb - lsb + 1 > 4096)
+          frontend::fail_at(d.loc, "vector '" + d.name + "' too wide");
+        sym.vector_net = true;
+        sym.lsb = lsb;
+        for (std::int64_t i = lsb; i <= msb; ++i)
+          sym.bits.push_back(scope.prefix + d.name + "[" +
+                             std::to_string(i) + "]");
       } else {
-        operands.push_back(elaborate_expr(*op, ""));
+        sym.bits.push_back(scope.prefix + d.name);
+      }
+      if (d.dir != Dir::Wire && !header.count(d.name))
+        frontend::fail_at(d.loc, "port '" + d.name +
+                                     "' is not in the module port list");
+      // Port formals bound to parent actuals alias the parent nets.
+      if (bindings && d.dir != Dir::Wire) {
+        auto b = bindings->find(d.name);
+        if (b != bindings->end()) {
+          if (b->second.size() != sym.bits.size())
+            frontend::fail_at(
+                d.loc, "port '" + d.name + "' is " +
+                           std::to_string(sym.bits.size()) +
+                           " bits wide but connects to " +
+                           std::to_string(b->second.size()) + " bits");
+          sym.bits = b->second;
+        }
+      }
+      auto it = scope.nets.find(d.name);
+      if (it == scope.nets.end()) {
+        scope.nets.emplace(d.name, std::move(sym));
+      } else if (d.dir == Dir::Wire && it->second.dir != Dir::Wire) {
+        // "output z; wire z;" — the wire redeclaration of a port is legal
+        // non-ANSI style; the port symbol stays.
+      } else {
+        frontend::fail_at(d.loc, "net '" + d.name + "' declared twice");
       }
     }
+    for (const std::string& port : m.header_ports) {
+      auto it = scope.nets.find(port);
+      if (it == scope.nets.end() || it->second.dir == Dir::Wire)
+        frontend::fail_at(m.loc, "port '" + port +
+                                     "' has no direction declaration");
+    }
+
+    // Primary IO is registered before the items elaborate, so driving an
+    // input is diagnosed at the offending statement.  Header port order
+    // defines bit order (vector bits LSB-first).
+    if (is_top) {
+      for (const std::string& port : m.header_ports) {
+        const Symbol& sym = scope.nets.at(port);
+        if (sym.dir == Dir::Input)
+          for (const std::string& bit : sym.bits)
+            builder_->add_input(bit, sym.loc);
+      }
+      for (const std::string& port : m.header_ports) {
+        const Symbol& sym = scope.nets.at(port);
+        if (sym.dir == Dir::Output)
+          for (const std::string& bit : sym.bits)
+            builder_->add_output(bit, sym.loc);
+      }
+    }
+
+    // Items in source order.
+    for (const Item& item : m.items) {
+      if (item.kind == Item::Kind::Assign)
+        elaborate_assign(m.assigns[item.index], scope);
+      else
+        elaborate_instance(m.instances[item.index], scope);
+    }
+    path_.pop_back();
+  }
+
+  // Resolves a Ref expression to a single flat bit name.
+  std::string resolve_bit(const Expr& e, Scope& scope) {
+    GFRE_ASSERT(e.kind == Expr::Kind::Ref, "resolve_bit on non-ref");
+    Symbol* sym = lookup(e.name, scope, e.loc, /*implicit_ok=*/!e.index);
+    if (e.index) {
+      if (!sym->vector_net)
+        frontend::fail_at(e.loc,
+                          "bit-select on scalar net '" + e.name + "'");
+      std::int64_t idx = eval_int(*e.index, scope.params);
+      std::int64_t off = idx - sym->lsb;
+      if (off < 0 || off >= static_cast<std::int64_t>(sym->bits.size()))
+        frontend::fail_at(e.loc, "index " + std::to_string(idx) +
+                                     " out of range for '" + e.name + "'");
+      return sym->bits[static_cast<std::size_t>(off)];
+    }
+    if (sym->bits.size() != 1)
+      frontend::fail_at(e.loc,
+                        "vector net '" + e.name + "' used as a scalar");
+    return sym->bits[0];
+  }
+
+  // Resolves a Ref to all its bits (vector actuals in port connections).
+  std::vector<std::string> resolve_bits(const Expr& e, Scope& scope) {
+    if (!e.index) {
+      Symbol* sym = lookup(e.name, scope, e.loc, /*implicit_ok=*/true);
+      return sym->bits;
+    }
+    return {resolve_bit(e, scope)};
+  }
+
+  /// Scope lookup; scalar nets referenced before declaration are created
+  /// implicitly (matching common netlist-writer behavior).
+  Symbol* lookup(const std::string& name, Scope& scope, const Loc& loc,
+                 bool implicit_ok) {
+    auto it = scope.nets.find(name);
+    if (it != scope.nets.end()) return &it->second;
+    if (scope.params.count(name))
+      frontend::fail_at(loc, "parameter '" + name + "' used as a net");
+    if (!implicit_ok)
+      frontend::fail_at(loc, "undeclared vector net '" + name + "'");
+    Symbol sym;
+    sym.loc = loc;
+    sym.bits.push_back(scope.prefix + name);
+    return &scope.nets.emplace(name, std::move(sym)).first->second;
+  }
+
+  /// The flat net holding constant 0/1, creating its node on first use.
+  std::string const_net(bool one) {
+    std::string name = one ? "$const1" : "$const0";
+    bool& made = one ? made_const1_ : made_const0_;
+    if (!made) {
+      builder_->add_node(
+          name, {}, Loc{filename_, 0, 0},
+          [one, name](Netlist& netlist, const std::vector<Var>&) {
+            netlist.add_gate(one ? CellType::Const1 : CellType::Const0, {},
+                             name);
+          });
+      made = true;
+    }
+    return name;
+  }
+
+  void elaborate_assign(const Assign& a, Scope& scope) {
+    std::string lhs = resolve_bit(a.lhs, scope);
+    // Resolve every leaf reference to its flat net name NOW — the emit
+    // callback runs during build(), after this scope is gone.
+    Expr rhs = flatten_expr(a.rhs, scope);
+    std::vector<std::string> args;
+    collect_refs(rhs, args);
+    builder_->add_node(
+        lhs, args, a.loc,
+        [this, rhs, lhs](Netlist& netlist, const std::vector<Var>&) {
+          emit_expr(rhs, netlist, lhs);
+        });
+  }
+
+  /// Returns `e` with every Ref replaced by its resolved flat name.
+  Expr flatten_expr(const Expr& e, Scope& scope) {
+    Expr out = e;
+    if (e.kind == Expr::Kind::Ref) {
+      out.name = resolve_bit(e, scope);
+      out.index.reset();
+      return out;
+    }
+    for (Expr& op : out.operands) op = flatten_expr(op, scope);
+    return out;
+  }
+
+  /// Appends every leaf Ref name in a flattened expr to `args`.
+  void collect_refs(const Expr& e, std::vector<std::string>& args) {
+    if (e.kind == Expr::Kind::Ref) {
+      args.push_back(e.name);
+      return;
+    }
+    for (const Expr& op : e.operands) collect_refs(op, args);
+  }
+
+  /// Emits gates for a flattened expr; the root gate takes `name` (may be
+  /// "" = auto).
+  Var emit_expr(const Expr& e, Netlist& netlist, const std::string& name) {
     switch (e.kind) {
-      case Expr::Kind::Ref:
-        // Top-level alias: assign x = y;
-        return netlist_->add_gate(CellType::Buf, {elaborate_net(e.ref)}, name);
-      case Expr::Kind::Const0:
-        return netlist_->add_gate(CellType::Const0, {}, name);
-      case Expr::Kind::Const1:
-        return netlist_->add_gate(CellType::Const1, {}, name);
-      case Expr::Kind::Not:
-        return netlist_->add_gate(CellType::Inv, operands, name);
-      case Expr::Kind::And:
-        return netlist_->add_gate(CellType::And, operands, name);
-      case Expr::Kind::Or:
-        return netlist_->add_gate(CellType::Or, operands, name);
-      case Expr::Kind::Xor:
-        return netlist_->add_gate(CellType::Xor, operands, name);
-      case Expr::Kind::Mux:
-        return netlist_->add_gate(CellType::Mux, operands, name);
-    }
-    throw ParseError(filename_, e.line, "bad expression");
-  }
-
-  void resolve_pending() {
-    for (const auto& name : assign_order_) {
-      netlist_->reserve_name(name);
-    }
-    for (const auto& name : assign_order_) {
-      const auto existing = netlist_->find_var(name);
-      if (existing.has_value() && netlist_->is_input(*existing)) {
-        throw ParseError(filename_, assigns_.at(name)->line,
-                         "net '" + name + "' is an input and cannot be "
-                         "assigned");
+      case Expr::Kind::Ref: {
+        auto v = netlist.find_var(e.name);
+        GFRE_ASSERT(v.has_value(), "unresolved argument '" << e.name << "'");
+        if (name.empty()) return *v;
+        return netlist.add_gate(CellType::Buf, {*v}, name);
       }
-      elaborate_net(name);
+      case Expr::Kind::Const:
+        return netlist.add_gate(
+            e.const_one ? CellType::Const1 : CellType::Const0, {}, name);
+      case Expr::Kind::Not:
+        return netlist.add_gate(
+            CellType::Inv, {emit_expr(e.operands[0], netlist, "")}, name);
+      case Expr::Kind::And:
+      case Expr::Kind::Or:
+      case Expr::Kind::Xor: {
+        CellType type = e.kind == Expr::Kind::And  ? CellType::And
+                        : e.kind == Expr::Kind::Or ? CellType::Or
+                                                   : CellType::Xor;
+        Var a = emit_expr(e.operands[0], netlist, "");
+        Var b = emit_expr(e.operands[1], netlist, "");
+        return netlist.add_gate(type, {a, b}, name);
+      }
+      case Expr::Kind::Mux: {
+        Var s = emit_expr(e.operands[0], netlist, "");
+        Var d0 = emit_expr(e.operands[1], netlist, "");
+        Var d1 = emit_expr(e.operands[2], netlist, "");
+        return netlist.add_gate(CellType::Mux, {s, d0, d1}, name);
+      }
     }
+    GFRE_ASSERT(false, "unreachable expression kind");
+    return 0;
   }
 
-  Lexer lexer_;
+  void elaborate_instance(const Instance& inst, Scope& scope) {
+    auto mod_it = by_name_.find(inst.target);
+    if (mod_it != by_name_.end()) {
+      elaborate_module_instance(inst, *mod_it->second, scope);
+      return;
+    }
+    if (is_primitive(inst.target)) {
+      elaborate_primitive(inst, scope);
+      return;
+    }
+    const frontend::LibCell* cell =
+        options_.library ? options_.library->find(inst.target) : nullptr;
+    if (cell) {
+      elaborate_cell(inst, *cell, scope);
+      return;
+    }
+    if (options_.library)
+      frontend::fail_at(inst.loc, "unknown module or cell '" + inst.target +
+                                      "' (not in library '" +
+                                      options_.library->name() + "')");
+    frontend::fail_at(inst.loc, "unknown module '" + inst.target +
+                                    "' (no cell library loaded)");
+  }
+
+  void elaborate_module_instance(const Instance& inst, const Module& child,
+                                 Scope& scope) {
+    for (const std::string& frame : path_)
+      if (frame == child.name)
+        frontend::fail_at(inst.loc, "recursive instantiation of module '" +
+                                        child.name + "'");
+    // Evaluate parameter overrides in the parent scope.
+    std::vector<std::pair<std::string, std::int64_t>> overrides;
+    for (const auto& [pname, pexpr] : inst.overrides)
+      overrides.emplace_back(pname, eval_int(pexpr, scope.params));
+    // Bind formals to flat actual bit vectors.
+    std::map<std::string, std::vector<std::string>> bindings;
+    auto bind = [&](const std::string& formal, const Conn& conn) {
+      if (bindings.count(formal))
+        frontend::fail_at(conn.loc,
+                          "port '" + formal + "' connected twice");
+      if (!conn.actual) return;  // explicitly unconnected
+      bindings.emplace(formal, resolve_actual(*conn.actual, scope));
+    };
+    if (inst.named) {
+      std::unordered_set<std::string> ports(child.header_ports.begin(),
+                                            child.header_ports.end());
+      for (const Conn& conn : inst.conns) {
+        if (!ports.count(conn.formal))
+          frontend::fail_at(conn.loc, "module '" + child.name +
+                                          "' has no port '" + conn.formal +
+                                          "'");
+        bind(conn.formal, conn);
+      }
+    } else {
+      if (inst.conns.size() > child.header_ports.size())
+        frontend::fail_at(inst.loc,
+                          "module '" + child.name + "' has " +
+                              std::to_string(child.header_ports.size()) +
+                              " ports but " +
+                              std::to_string(inst.conns.size()) +
+                              " connections given");
+      for (std::size_t i = 0; i < inst.conns.size(); ++i)
+        bind(child.header_ports[i], inst.conns[i]);
+    }
+    Scope child_scope;
+    child_scope.prefix = scope.prefix + instance_prefix(inst) + ".";
+    elaborate_module(child, child_scope, overrides, &bindings, inst.loc);
+  }
+
+  std::string instance_prefix(const Instance& inst) {
+    if (!inst.name.empty()) return inst.name;
+    return "$" + inst.target + std::to_string(anon_counter_++);
+  }
+
+  /// Resolves a port-connection actual to flat bit names.  Only nets,
+  /// bit-selects and 1-bit constants are supported.
+  std::vector<std::string> resolve_actual(const Expr& e, Scope& scope) {
+    if (e.kind == Expr::Kind::Ref) return resolve_bits(e, scope);
+    if (e.kind == Expr::Kind::Const) return {const_net(e.const_one)};
+    frontend::fail_at(
+        e.loc, "port connections must be nets, bit-selects or constants");
+  }
+
+  void elaborate_primitive(const Instance& inst, Scope& scope) {
+    if (!inst.overrides.empty())
+      frontend::fail_at(inst.loc, "gate primitive '" + inst.target +
+                                      "' takes no parameters");
+    if (inst.named)
+      frontend::fail_at(inst.loc, "gate primitive '" + inst.target +
+                                      "' uses positional connections");
+    CellType type = primitive_cell(inst.target);
+    if (inst.conns.size() < 1 || !arity_ok(type, inst.conns.size() - 1))
+      frontend::fail_at(inst.loc,
+                        "wrong connection count for gate primitive '" +
+                            inst.target + "'");
+    std::string out = connection_bit(inst.conns[0], scope);
+    std::vector<std::string> args;
+    for (std::size_t i = 1; i < inst.conns.size(); ++i)
+      args.push_back(connection_bit(inst.conns[i], scope));
+    builder_->add_node(out, args, inst.loc,
+                       [type, out](Netlist& netlist,
+                                   const std::vector<Var>& vars) {
+                         netlist.add_gate(type, vars, out);
+                       });
+  }
+
+  std::string connection_bit(const Conn& conn, Scope& scope) {
+    if (!conn.actual)
+      frontend::fail_at(conn.loc, "connection must not be empty here");
+    if (conn.actual->kind == Expr::Kind::Const)
+      return const_net(conn.actual->const_one);
+    if (conn.actual->kind != Expr::Kind::Ref)
+      frontend::fail_at(
+          conn.actual->loc,
+          "port connections must be nets, bit-selects or constants");
+    return resolve_bit(*conn.actual, scope);
+  }
+
+  void elaborate_cell(const Instance& inst, const frontend::LibCell& cell,
+                      Scope& scope) {
+    if (!inst.overrides.empty())
+      frontend::fail_at(inst.loc, "'" + cell.name +
+                                      "' is a library cell and takes no "
+                                      "parameters");
+    // Collect one actual per input pin plus the output actual.
+    std::vector<std::optional<std::string>> pin_actual(cell.inputs.size());
+    std::optional<std::string> out_actual;
+    if (inst.named) {
+      for (const Conn& conn : inst.conns) {
+        int pin = cell.find_input(conn.formal);
+        if (pin >= 0) {
+          if (pin_actual[static_cast<std::size_t>(pin)])
+            frontend::fail_at(conn.loc,
+                              "pin '" + conn.formal + "' connected twice");
+          if (conn.actual)
+            pin_actual[static_cast<std::size_t>(pin)] =
+                connection_bit(conn, scope);
+        } else if (conn.formal == cell.output) {
+          if (out_actual)
+            frontend::fail_at(conn.loc,
+                              "pin '" + conn.formal + "' connected twice");
+          if (conn.actual) out_actual = connection_bit(conn, scope);
+        } else {
+          frontend::fail_at(conn.loc, "cell '" + cell.name +
+                                          "' has no pin '" + conn.formal +
+                                          "'");
+        }
+      }
+    } else {
+      // Positional convention matches Verilog primitives: output first,
+      // then inputs in pin order.
+      if (inst.conns.size() != cell.inputs.size() + 1)
+        frontend::fail_at(inst.loc,
+                          "cell '" + cell.name + "' expects " +
+                              std::to_string(cell.inputs.size() + 1) +
+                              " connections (output first), got " +
+                              std::to_string(inst.conns.size()));
+      out_actual = connection_bit(inst.conns[0], scope);
+      for (std::size_t i = 0; i < cell.inputs.size(); ++i)
+        pin_actual[i] = connection_bit(inst.conns[i + 1], scope);
+    }
+    for (std::size_t i = 0; i < pin_actual.size(); ++i)
+      if (!pin_actual[i])
+        frontend::fail_at(inst.loc, "cell '" + cell.name + "' input pin '" +
+                                        cell.inputs[i] + "' is unconnected");
+    std::string out = out_actual
+                          ? *out_actual
+                          : scope.prefix + instance_prefix(inst) + "." +
+                                cell.output;
+    std::vector<std::string> args;
+    for (const auto& a : pin_actual) args.push_back(*a);
+    const frontend::LibCell* cell_ptr = &cell;
+    builder_->add_node(
+        out, args, inst.loc,
+        [cell_ptr, out](Netlist& netlist, const std::vector<Var>& vars) {
+          if (cell_ptr->builtin) {
+            netlist.add_gate(*cell_ptr->builtin, vars, out);
+            return;
+          }
+          // No builtin equivalent: expand the cell function structurally.
+          std::unordered_map<std::string, Var> by_name;
+          std::vector<std::string> actual_names;
+          for (std::size_t i = 0; i < vars.size(); ++i) {
+            std::string n = netlist.var_name(vars[i]);
+            by_name.emplace(n, vars[i]);
+            actual_names.push_back(std::move(n));
+          }
+          opt::EmitGateFn emit = [&](CellType type,
+                                     std::vector<std::string> input_names,
+                                     std::string output) {
+            std::vector<Var> inputs;
+            for (const std::string& n : input_names) {
+              auto it = by_name.find(n);
+              GFRE_ASSERT(it != by_name.end(),
+                          "expansion references unknown net " << n);
+              inputs.push_back(it->second);
+            }
+            Var v = netlist.add_gate(type, std::move(inputs), output);
+            std::string vname = netlist.var_name(v);
+            by_name.emplace(vname, v);
+            return vname;
+          };
+          opt::expand_cell_function(*cell_ptr, actual_names, out, emit);
+        });
+  }
+
+  const frontend::FrontendOptions& options_;
   std::string filename_;
-  Token token_;
-  Netlist* netlist_ = nullptr;
-  std::unordered_map<std::string, std::unique_ptr<Expr>> assigns_;
-  std::vector<std::string> assign_order_;
-  std::unordered_set<std::string> elaborating_;
+  std::unordered_map<std::string, const Module*> by_name_;
+  std::unique_ptr<frontend::GraphBuilder> builder_;
+  std::vector<std::string> path_;  ///< module names on the elaboration stack
+  bool made_const0_ = false;
+  bool made_const1_ = false;
+  unsigned anon_counter_ = 0;
 };
 
 }  // namespace
 
+Netlist read_verilog(const std::string& text, const std::string& filename,
+                     const frontend::FrontendOptions& options) {
+  std::vector<Module> modules = VerilogParser(text, filename).parse();
+  if (modules.empty())
+    throw ParseError(filename, 1, "no module definition found");
+  return Elaborator(modules, options, filename).run();
+}
+
 Netlist read_verilog(const std::string& text, const std::string& filename) {
-  VerilogParser parser(text, filename);
-  return parser.parse();
+  return read_verilog(text, filename, frontend::FrontendOptions{});
 }
 
 void write_verilog_file(const Netlist& netlist, const std::string& path) {
-  std::ofstream out(path);
+  std::ofstream out(path, std::ios::binary);
   if (!out) throw Error("cannot open '" + path + "' for writing");
   out << write_verilog(netlist);
+  if (!out) throw Error("failed writing '" + path + "'");
 }
 
 Netlist read_verilog_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw Error("cannot open '" + path + "' for reading");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return read_verilog(buffer.str(), path);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return read_verilog(ss.str(), path);
 }
 
 }  // namespace gfre::nl

@@ -10,17 +10,27 @@ namespace gfre::nl {
 
 namespace {
 
-/// Splits "a12" into ("a", 12); returns false when the name has no trailing
-/// index or no base.
+/// Splits "a12" into ("a", 12) and "a[12]" into ("a", 12) — the latter is
+/// how the Verilog frontend names flattened vector-port bits.  Returns
+/// false when the name has no trailing index or no base.
 bool split_indexed(const std::string& name, std::string& base,
                    unsigned& index) {
-  std::size_t pos = name.size();
+  std::size_t end = name.size();
+  const bool bracket = end > 0 && name[end - 1] == ']';
+  if (bracket) --end;
+  std::size_t pos = end;
   while (pos > 0 && std::isdigit(static_cast<unsigned char>(name[pos - 1]))) {
     --pos;
   }
-  if (pos == name.size() || pos == 0) return false;
-  base = name.substr(0, pos);
-  index = static_cast<unsigned>(std::stoul(name.substr(pos)));
+  if (pos == end || pos == 0) return false;
+  if (bracket) {
+    if (name[pos - 1] != '[') return false;
+    base = name.substr(0, pos - 1);
+    if (base.empty()) return false;
+  } else {
+    base = name.substr(0, pos);
+  }
+  index = static_cast<unsigned>(std::stoul(name.substr(pos, end - pos)));
   return true;
 }
 
@@ -57,7 +67,11 @@ std::optional<WordPort> find_word_port(const Netlist& netlist,
   WordPort port;
   port.base = base;
   for (unsigned i = 0;; ++i) {
-    const auto v = netlist.find_var(base + std::to_string(i));
+    // Suffix style ("a0") first — the generator/paper convention — then
+    // bracket style ("a[0]"), which flattened Verilog vector ports use.
+    auto v = netlist.find_var(base + std::to_string(i));
+    if (!v.has_value())
+      v = netlist.find_var(base + "[" + std::to_string(i) + "]");
     if (!v.has_value()) break;
     port.bits.push_back(*v);
   }

@@ -24,12 +24,16 @@ struct WordPort {
 };
 
 /// Collects nets named base0, base1, ..., base{k-1}; requires the index
-/// range to be dense starting at 0.  Returns nullopt if base0 is absent.
+/// range to be dense starting at 0.  Bracket-style names ("base[0]", the
+/// flattened-Verilog vector-port convention) are accepted per index when
+/// the suffix-style name is absent.  Returns nullopt if neither base0 nor
+/// base[0] exists.
 std::optional<WordPort> find_word_port(const Netlist& netlist,
                                        const std::string& base);
 
-/// Groups *all* primary inputs (or outputs) into word ports by splitting
-/// trailing digits.  Bases whose indices are not dense from 0 are dropped.
+/// Groups *all* primary inputs (or outputs) into word ports by splitting a
+/// trailing "<digits>" or "[<digits>]" index.  Bases whose indices are not
+/// dense from 0 are dropped.
 std::vector<WordPort> input_word_ports(const Netlist& netlist);
 std::vector<WordPort> output_word_ports(const Netlist& netlist);
 

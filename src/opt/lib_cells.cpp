@@ -1,0 +1,97 @@
+// Cell-library techmapping: semantic matching of library cells onto the
+// builtin cell set, and structural expansion for everything else.
+#include <array>
+#include <span>
+#include <vector>
+
+#include "frontend/cell_library.hpp"
+#include "netlist/cell.hpp"
+#include "opt/passes.hpp"
+#include "util/error.hpp"
+
+namespace gfre::opt {
+
+std::optional<nl::CellType> match_builtin_cell(const frontend::LibCell& cell) {
+  const std::size_t n = cell.inputs.size();
+  if (n > 8) return std::nullopt;
+  // The cell's truth table, LSB-first over pin values.
+  const std::size_t rows = std::size_t{1} << n;
+  std::vector<bool> table(rows);
+  std::vector<bool> values(n);
+  for (std::size_t row = 0; row < rows; ++row) {
+    for (std::size_t i = 0; i < n; ++i) values[i] = (row >> i) & 1;
+    table[row] = frontend::eval_bool_expr(cell.function, values);
+  }
+  std::array<bool, 8> pins{};
+  for (nl::CellType type : nl::all_cell_types()) {
+    if (!nl::arity_ok(type, n)) continue;
+    bool match = true;
+    for (std::size_t row = 0; row < rows && match; ++row) {
+      for (std::size_t i = 0; i < n; ++i) pins[i] = (row >> i) & 1;
+      match = nl::eval_cell(type, std::span<const bool>(pins.data(), n)) ==
+              table[row];
+    }
+    if (match) return type;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Emits gates computing `expr` (a resolved BoolExpr over pin indices)
+/// and returns the name of the net holding the result.  `sink` names the
+/// root gate `output`; inner gates are auto-named.
+std::string emit_expr(const frontend::BoolExpr& expr,
+                      const std::vector<std::string>& actuals,
+                      const std::string& output, const EmitGateFn& emit) {
+  using Kind = frontend::BoolExpr::Kind;
+  auto sub = [&](const frontend::BoolExpr& e) {
+    return emit_expr(e, actuals, "", emit);
+  };
+  switch (expr.kind) {
+    case Kind::Const0:
+      return emit(nl::CellType::Const0, {}, output);
+    case Kind::Const1:
+      return emit(nl::CellType::Const1, {}, output);
+    case Kind::Ref: {
+      const std::string& net = actuals[expr.pin];
+      // A bare pin reference still needs a gate when it must drive a
+      // specific output net.
+      if (output.empty()) return net;
+      return emit(nl::CellType::Buf, {net}, output);
+    }
+    case Kind::Not: {
+      // Collapse !(x) over a bare ref into a single INV.
+      return emit(nl::CellType::Inv, {sub(expr.operands[0])}, output);
+    }
+    case Kind::And:
+      return emit(nl::CellType::And,
+                  {sub(expr.operands[0]), sub(expr.operands[1])}, output);
+    case Kind::Or:
+      return emit(nl::CellType::Or,
+                  {sub(expr.operands[0]), sub(expr.operands[1])}, output);
+    case Kind::Xor:
+      return emit(nl::CellType::Xor,
+                  {sub(expr.operands[0]), sub(expr.operands[1])}, output);
+    case Kind::Mux:
+      return emit(nl::CellType::Mux,
+                  {sub(expr.operands[0]), sub(expr.operands[1]),
+                   sub(expr.operands[2])},
+                  output);
+  }
+  GFRE_ASSERT(false, "unreachable BoolExpr kind");
+  return output;
+}
+
+}  // namespace
+
+std::string expand_cell_function(const frontend::LibCell& cell,
+                                 const std::vector<std::string>& actuals,
+                                 const std::string& output,
+                                 const EmitGateFn& emit) {
+  GFRE_ASSERT(actuals.size() == cell.inputs.size(),
+              "cell '" << cell.name << "' expansion arity mismatch");
+  return emit_expr(cell.function, actuals, output, emit);
+}
+
+}  // namespace gfre::opt

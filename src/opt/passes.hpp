@@ -16,6 +16,12 @@
 // Every pass is semantics-preserving (checked by simulation in the tests).
 #pragma once
 
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frontend/cell_library.hpp"
 #include "netlist/netlist.hpp"
 
 namespace gfre::opt {
@@ -68,5 +74,31 @@ struct SynthesisOptions {
 /// AOI fusion, optional tech mapping, final cleanup.
 nl::Netlist synthesize(const nl::Netlist& netlist,
                        const SynthesisOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Cell-library techmapping (lib_cells.cpp): resolving instantiated
+// standard cells — described by a frontend::CellLibrary — into the
+// builtin cell set the rewriting engine understands.
+// ---------------------------------------------------------------------------
+
+/// Truth-table matches a library cell's function against the builtin
+/// CellType set (pin order preserved).  AOI22/OAI21/MUX2/XNOR3-style
+/// cells land on single gates this way regardless of how their .lib
+/// function was written.  Returns nullopt when no builtin of that arity
+/// has the identical table (or the cell has > 8 pins).
+std::optional<nl::CellType> match_builtin_cell(const frontend::LibCell& cell);
+
+/// Structural fallback for cells with no builtin equivalent: emits a gate
+/// subgraph computing `cell`'s function over the actual input names.
+/// `emit` creates one gate — (type, input net names, output net name;
+/// empty = auto) — and returns the name of the net it drove.  The
+/// returned name drives the instance's output.  Purely name-level so the
+/// frontends can route it through their own graph builders.
+using EmitGateFn = std::function<std::string(
+    nl::CellType, std::vector<std::string> inputs, std::string output)>;
+std::string expand_cell_function(const frontend::LibCell& cell,
+                                 const std::vector<std::string>& actuals,
+                                 const std::string& output,
+                                 const EmitGateFn& emit);
 
 }  // namespace gfre::opt

@@ -53,6 +53,7 @@ core::BatchJob job_from_wire(const WireObject& msg) {
   opt.try_output_permutation =
       get_bool(msg, "permute", opt.try_output_permutation);
   opt.max_terms = get_u64(msg, "max_terms", opt.max_terms);
+  opt.library = get_string(msg, "library");
   job.deadline_ms = get_u64(msg, "deadline_ms", 0);
   if (const std::string priority = get_string(msg, "priority");
       !priority.empty()) {
@@ -77,6 +78,7 @@ std::string submit_message(std::uint64_t id, const core::BatchJob& job) {
   line.add("verify", opt.verify_with_golden);
   line.add("permute", opt.try_output_permutation);
   line.add("max_terms", static_cast<std::uint64_t>(opt.max_terms));
+  if (!opt.library.empty()) line.add("library", opt.library);
   line.add("deadline_ms", job.deadline_ms);
   line.add("priority", core::to_string(job.priority));
   return line.render();

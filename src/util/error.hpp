@@ -18,7 +18,9 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Malformed input file / unparseable netlist.
+/// Malformed input file / unparseable netlist.  Diagnostics carry the
+/// source position: "file:line: msg", or "file:line:col: msg" when the
+/// frontend knows the column (column 0 means "unknown/whole line").
 class ParseError : public Error {
  public:
   ParseError(const std::string& file, int line, const std::string& msg)
@@ -26,12 +28,23 @@ class ParseError : public Error {
         file_(file),
         line_(line) {}
 
+  ParseError(const std::string& file, int line, int column,
+             const std::string& msg)
+      : Error(file + ":" + std::to_string(line) + ":" +
+              std::to_string(column) + ": " + msg),
+        file_(file),
+        line_(line),
+        column_(column) {}
+
   const std::string& file() const { return file_; }
   int line() const { return line_; }
+  /// 1-based column, or 0 when the diagnostic is line-granular.
+  int column() const { return column_; }
 
  private:
   std::string file_;
   int line_;
+  int column_ = 0;
 };
 
 /// A request that is structurally invalid (bad degree, unknown cell, ...).

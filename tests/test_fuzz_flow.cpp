@@ -9,11 +9,14 @@
 // per-bit term budget turns exponential mutants into diagnosed failures).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/batch.hpp"
 #include "core/flow.hpp"
+#include "frontend/cell_library.hpp"
+#include "frontend/emit_hier.hpp"
 #include "gen/karatsuba.hpp"
 #include "gen/mastrovito.hpp"
 #include "gen/montgomery_gate.hpp"
@@ -22,12 +25,29 @@
 #include "gf2m/field.hpp"
 #include "gf2poly/irreducible.hpp"
 #include "netlist/cell.hpp"
+#include "netlist/io_verilog.hpp"
+#include "util/error.hpp"
 #include "util/prng.hpp"
+
+#ifndef GFRE_SOURCE_DIR
+#define GFRE_SOURCE_DIR "."
+#endif
 
 namespace gfre::core {
 namespace {
 
 using gf2::Poly;
+
+/// Per-mutation seed count.  2 in the tier-1 suite; the nightly CI long
+/// run dials it up through the environment (GFRE_FUZZ_ITERS=25 multiplies
+/// the whole wall without touching the code).
+std::uint64_t fuzz_iters() {
+  if (const char* env = std::getenv("GFRE_FUZZ_ITERS")) {
+    const unsigned long v = std::strtoul(env, nullptr, 10);
+    if (v >= 1 && v <= 1000000) return v;
+  }
+  return 2;
+}
 
 enum class Mutation {
   GateTypeFlip,     ///< swap a gate's cell for another of the same arity
@@ -250,7 +270,7 @@ TEST_P(FuzzFamilies, MutantsRecoverOrDiagnoseM4To12) {
     const auto base_hash = netlist_content_hash(base);
     const FlowReport base_report = reverse_engineer(base, fuzz_options());
     for (const Mutation kind : kMutations) {
-      for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      for (std::uint64_t seed = 1; seed <= fuzz_iters(); ++seed) {
         Prng rng(0x9e3779b9u * m + 1000003u * seed +
                  static_cast<std::uint64_t>(kind) * 7919u);
         const auto mutant = mutate(base, kind, rng);
@@ -331,6 +351,187 @@ TEST(FuzzBudget, DefaultBudgetIsUnlimited) {
   const gf2m::Field field(Poly{8, 4, 3, 1, 0});
   const auto report = reverse_engineer(gen::generate_mastrovito(field));
   EXPECT_TRUE(report.success) << report.summary();
+}
+
+// -- Hierarchical text mutants (the frontend fuzz stage) --------------------
+//
+// The flat mutator above exercises the flow on well-formed netlists; this
+// stage attacks the PARSER: seeded mutations of emitted hierarchical
+// cell-mapped Verilog text.  The contract: every mutant either fails with
+// a diagnosed ParseError (file:line position, never an uncaught foreign
+// exception) or parses into a netlist the flow recovers or diagnoses.
+
+enum class HierMutation {
+  InstanceNetSwap,  ///< swap two connection actuals on one instance line
+  ModuleDrop,       ///< delete one submodule definition (dangling instance)
+  CellSubstitute,   ///< swap a cell name for its dual (AND2 <-> NAND2, ...)
+  Truncate,         ///< cut the file mid-token
+};
+
+const char* to_string(HierMutation m) {
+  switch (m) {
+    case HierMutation::InstanceNetSwap: return "instance-net-swap";
+    case HierMutation::ModuleDrop: return "module-drop";
+    case HierMutation::CellSubstitute: return "cell-substitute";
+    case HierMutation::Truncate: return "truncate";
+  }
+  return "?";
+}
+
+const HierMutation kHierMutations[] = {
+    HierMutation::InstanceNetSwap, HierMutation::ModuleDrop,
+    HierMutation::CellSubstitute, HierMutation::Truncate,
+};
+
+/// Innermost "(...)" spans on one line: for an instance
+/// "AND2 g0 (.a1(x), .a2(y), .y(z));" these are the actuals x, y, z.
+std::vector<std::pair<std::size_t, std::size_t>> inner_groups(
+    const std::string& line) {
+  std::vector<std::pair<std::size_t, std::size_t>> groups;
+  std::size_t open = std::string::npos;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '(') open = i;
+    if (line[i] == ')' && open != std::string::npos) {
+      groups.emplace_back(open + 1, i);
+      open = std::string::npos;
+    }
+  }
+  return groups;
+}
+
+std::string mutate_hier_text(const std::string& text, HierMutation kind,
+                             Prng& rng) {
+  switch (kind) {
+    case HierMutation::InstanceNetSwap: {
+      // Candidate lines: instances with at least two actuals.
+      std::vector<std::pair<std::size_t, std::size_t>> lines;  // begin, end
+      for (std::size_t begin = 0; begin < text.size();) {
+        std::size_t end = text.find('\n', begin);
+        if (end == std::string::npos) end = text.size();
+        const std::string line = text.substr(begin, end - begin);
+        if (line.find(" g") != std::string::npos &&
+            inner_groups(line).size() >= 2)
+          lines.emplace_back(begin, end);
+        begin = end + 1;
+      }
+      if (lines.empty()) return text;
+      const auto [begin, end] = lines[rng.next_below(lines.size())];
+      std::string line = text.substr(begin, end - begin);
+      const auto groups = inner_groups(line);
+      const std::size_t a = rng.next_below(groups.size());
+      std::size_t b = rng.next_below(groups.size());
+      if (a == b) b = (b + 1) % groups.size();
+      const auto [a_lo, a_hi] = groups[std::min(a, b)];
+      const auto [b_lo, b_hi] = groups[std::max(a, b)];
+      const std::string a_net = line.substr(a_lo, a_hi - a_lo);
+      const std::string b_net = line.substr(b_lo, b_hi - b_lo);
+      // Replace back-to-front so earlier offsets stay valid.
+      line.replace(b_lo, b_hi - b_lo, a_net);
+      line.replace(a_lo, a_hi - a_lo, b_net);
+      return text.substr(0, begin) + line + text.substr(end);
+    }
+    case HierMutation::ModuleDrop: {
+      // Drop one "module ...part<k> ... endmodule" block; instances of it
+      // in the top module dangle.
+      std::vector<std::size_t> starts;
+      for (std::size_t pos = text.find("module ");
+           pos != std::string::npos; pos = text.find("module ", pos + 1)) {
+        if (pos > 0 && text[pos - 1] == 'd') continue;  // "endmodule "
+        starts.push_back(pos);
+      }
+      if (starts.size() < 2) return text;
+      // Never the last module (the top); dangling submodules are the point.
+      const std::size_t victim =
+          starts[rng.next_below(starts.size() - 1)];
+      const std::size_t stop = text.find("endmodule", victim);
+      if (stop == std::string::npos) return text;
+      return text.substr(0, victim) +
+             text.substr(stop + std::string("endmodule").size());
+    }
+    case HierMutation::CellSubstitute: {
+      const std::pair<const char*, const char*> duals[] = {
+          {" AND2 ", " NAND2 "}, {" XOR2 ", " XNOR2 "},
+          {" AOI21 ", " OAI21 "}, {" AOI22 ", " OAI22 "},
+          {" INV ", " BUF "},     {" TIE0 ", " TIE1 "},
+      };
+      // Try duals in seeded order until one is present.
+      std::size_t first = rng.next_below(std::size(duals));
+      for (std::size_t d = 0; d < std::size(duals); ++d) {
+        const auto& [from, to] = duals[(first + d) % std::size(duals)];
+        std::vector<std::size_t> sites;
+        for (std::size_t pos = text.find(from); pos != std::string::npos;
+             pos = text.find(from, pos + 1))
+          sites.push_back(pos);
+        if (sites.empty()) continue;
+        const std::size_t site = sites[rng.next_below(sites.size())];
+        std::string out = text;
+        out.replace(site, std::string(from).size(), to);
+        return out;
+      }
+      return text;
+    }
+    case HierMutation::Truncate:
+      // Cut somewhere in the second half — usually mid-module.
+      return text.substr(
+          0, text.size() / 2 + rng.next_below(text.size() / 2));
+  }
+  return text;
+}
+
+TEST(FuzzHier, TextMutantsParseOrDiagnoseNeverCrash) {
+  const auto library = std::make_shared<const frontend::CellLibrary>(
+      frontend::load_cell_library_file(std::string(GFRE_SOURCE_DIR) +
+                                       "/data/frontend/cells_basic.lib"));
+  frontend::FrontendOptions parse_options;
+  parse_options.library = library;
+
+  for (unsigned m : {4u, 8u}) {
+    const gf2m::Field field(gf2::default_irreducible(m));
+    const auto base = gen::generate_mastrovito(field);
+    frontend::HierEmitOptions emit_options;
+    emit_options.chunks = 3;
+    emit_options.library = library;
+    const std::string text = frontend::emit_hier_verilog(base, emit_options).top;
+
+    // The unmutated emission is the control: it must parse and recover.
+    {
+      const nl::Netlist parsed =
+          nl::read_verilog(text, "hier.v", parse_options);
+      const FlowReport report = reverse_engineer(parsed, fuzz_options());
+      ASSERT_TRUE(report.success) << "m=" << m << "\n" << report.summary();
+    }
+
+    for (const HierMutation kind : kHierMutations) {
+      for (std::uint64_t seed = 1; seed <= fuzz_iters(); ++seed) {
+        Prng rng(0x6a09e667u * m + 104729u * seed +
+                 static_cast<std::uint64_t>(kind) * 31337u);
+        const std::string mutant = mutate_hier_text(text, kind, rng);
+        const std::string label = "m=" + std::to_string(m) + " " +
+                                  to_string(kind) +
+                                  " seed=" + std::to_string(seed);
+        nl::Netlist parsed("unset");
+        try {
+          parsed = nl::read_verilog(mutant, "mutant.v", parse_options);
+        } catch (const ParseError& e) {
+          // Diagnosed rejection is a pass — but it must carry a position.
+          EXPECT_EQ(e.file(), "mutant.v") << label;
+          EXPECT_GE(e.line(), 1) << label;
+          continue;
+        }
+        // Parsed: the flow must recover or diagnose, never throw.
+        FlowReport report;
+        ASSERT_NO_THROW(report = reverse_engineer(parsed, fuzz_options()))
+            << label;
+        if (report.success) {
+          EXPECT_TRUE(report.verification.equivalent) << label;
+        } else {
+          EXPECT_FALSE(report.recovery.diagnosis.empty())
+              << label << " failed without a diagnosis\n"
+              << report.summary();
+        }
+      }
+    }
+  }
 }
 
 // -- Mutants through the batch engine ---------------------------------------
