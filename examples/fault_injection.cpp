@@ -1,104 +1,199 @@
-// Fault-injection demo — what the verification leg of the flow is for.
+// Fault-injection campaign — what the verification leg of the flow is for.
 //
 // The paper's pipeline does not just emit a polynomial: it checks the
 // implementation against a golden model built from the recovered P(x).
-// This example corrupts a correct GF(2^8) multiplier in four different
-// ways and shows the diagnosis each corruption produces:
-//   1. a partial-product AND flipped to OR   -> non-bilinear ANF
-//   2. a reduction XOR flipped to XNOR       -> constant term, non-bilinear
-//   3. one reduction tap moved to another bit-> inconsistent rows
-//   4. the correct circuit                   -> SUCCESS
+// This CLI drives the campaign's fault passes (src/obf/fault.cpp) through
+// the same scenario driver as examples/obfuscated_recovery.cpp: a control
+// scenario (clean multiplier, must recover) plus fault scenarios
+// (stuck-at pins / flipped cells, must diagnose or recover, never crash),
+// all through the batch scheduler, all in the shared JSONL schema.
+//
+//   fault_injection [--family NAME] [--m N] [--fault stuckat|flip|both]
+//                   [--count N] [--seed N] [--threads N]
+//                   [--out report.jsonl] [--quiet] [--help]
+//
+// Exit code 0 when the control recovers the true P(x) and every fault
+// scenario completes (diagnosed or recovered); 1 otherwise; 2 on usage
+// errors.
+#include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "core/flow.hpp"
-#include "gen/mastrovito.hpp"
-#include "gf2m/field.hpp"
+#include "obf/campaign.hpp"
+#include "obf/passes.hpp"
+#include "util/error.hpp"
+#include "util/jsonl.hpp"
+#include "util/options.hpp"
 
 namespace {
 
-using namespace gfre;
-
-/// Rebuilds the netlist applying `mutate` to each gate (type, inputs).
-template <typename MutateFn>
-nl::Netlist rebuild_with(const nl::Netlist& netlist, MutateFn&& mutate) {
-  nl::Netlist out(netlist.name() + "_mutated");
-  std::vector<nl::Var> map(netlist.num_vars());
-  for (nl::Var v : netlist.inputs()) {
-    map[v] = out.add_input(netlist.var_name(v));
-  }
-  std::size_t index = 0;
-  for (std::size_t g : netlist.topological_order()) {
-    const nl::Gate& gate = netlist.gate(g);
-    std::vector<nl::Var> inputs;
-    for (nl::Var in : gate.inputs) inputs.push_back(map[in]);
-    nl::CellType type = gate.type;
-    mutate(index, gate, type, inputs);
-    map[gate.output] =
-        out.add_gate(type, std::move(inputs), netlist.var_name(gate.output));
-    ++index;
-  }
-  for (nl::Var v : netlist.outputs()) out.mark_output(map[v]);
-  return out;
-}
-
-void run_case(const std::string& label, const nl::Netlist& netlist) {
-  std::cout << "=== " << label << " ===\n";
-  const auto report = core::reverse_engineer(netlist);
-  std::cout << report.summary() << "\n";
+void usage(std::ostream& os) {
+  os << "usage: fault_injection [options]\n"
+     << "\n"
+     << "  --family NAME   mastrovito|montgomery|karatsuba|shiftadd\n"
+     << "                  (default mastrovito)\n"
+     << "  --m N           field width (default 8)\n"
+     << "  --fault KIND    stuckat, flip, or both (default both)\n"
+     << "  --count N       faults injected per scenario (default 1)\n"
+     << "  --seed N        fault-site seed (default 1)\n"
+     << "  --threads N     flow worker threads (default: hardware)\n"
+     << "  --out FILE      write one JSONL record per scenario\n"
+     << "  --quiet         suppress the human-readable summary\n"
+     << "  --help          print this message and exit\n";
 }
 
 }  // namespace
 
-int main() {
-  const gf2m::Field field(gf2::Poly{8, 4, 3, 1, 0});  // the AES field
-  const auto good = gen::generate_mastrovito(field);
-  std::cout << "Base design: " << good.name() << " over "
-            << field.to_string() << ", " << good.num_equations()
-            << " equations\n\n";
+int main(int argc, char** argv) {
+  using namespace gfre;
 
-  // 1. Partial-product AND -> OR.
-  const auto fault_and = rebuild_with(
-      good, [&](std::size_t, const nl::Gate& gate, nl::CellType& type,
-                std::vector<nl::Var>&) {
-        if (type == nl::CellType::And &&
-            good.var_name(gate.output) == "pp_3_4") {
-          type = nl::CellType::Or;
-        }
-      });
-  run_case("fault 1: partial product pp_3_4 AND -> OR", fault_and);
+  std::string family = "mastrovito";
+  unsigned m = 8;
+  std::string fault = "both";
+  unsigned count = 1;
+  std::uint64_t seed = 1;
+  obf::CampaignOptions campaign;
+  campaign.threads = static_cast<unsigned>(configured_threads());
+  std::string out_path;
+  bool quiet = false;
 
-  // 2. A reduction XOR -> XNOR (injects a constant 1).
-  bool flipped = false;
-  const auto fault_xnor = rebuild_with(
-      good, [&](std::size_t, const nl::Gate&, nl::CellType& type,
-                std::vector<nl::Var>&) {
-        if (!flipped && type == nl::CellType::Xor) {
-          type = nl::CellType::Xnor;
-          flipped = true;
-        }
-      });
-  run_case("fault 2: first XOR -> XNOR", fault_xnor);
-
-  // 3. Swap the inputs of the last XOR with a stale signal: emulate a
-  //    mis-routed reduction tap by replacing one input of the final output
-  //    XOR with a different convolution sum.
-  const auto order = good.topological_order();
-  std::size_t last_xor = 0;
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    if (good.gate(order[i]).type == nl::CellType::Xor) last_xor = i;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--family" && i + 1 < argc) {
+      family = argv[++i];
+    } else if (arg == "--m" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (value.empty() || value[0] == '-') {
+        std::cerr << "--m wants a positive integer\n";
+        usage(std::cerr);
+        return 2;
+      }
+      const unsigned long width = std::stoul(value);
+      if (width < 2 || width > 1024) {
+        std::cerr << "--m wants 2..1024\n";
+        usage(std::cerr);
+        return 2;
+      }
+      m = static_cast<unsigned>(width);
+    } else if (arg == "--fault" && i + 1 < argc) {
+      fault = argv[++i];
+      if (fault != "stuckat" && fault != "flip" && fault != "both") {
+        std::cerr << "--fault wants stuckat, flip or both\n";
+        usage(std::cerr);
+        return 2;
+      }
+    } else if (arg == "--count" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (value.empty() || value[0] == '-') {
+        std::cerr << "--count wants a positive integer\n";
+        usage(std::cerr);
+        return 2;
+      }
+      const unsigned long n = std::stoul(value);
+      if (n == 0 || n > 1024) {
+        std::cerr << "--count wants 1..1024\n";
+        usage(std::cerr);
+        return 2;
+      }
+      count = static_cast<unsigned>(n);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (value.empty() || value[0] == '-') {
+        std::cerr << "--seed wants a non-negative integer\n";
+        usage(std::cerr);
+        return 2;
+      }
+      seed = std::stoull(value);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (value.empty() || value[0] == '-') {
+        std::cerr << "--threads wants a positive integer\n";
+        usage(std::cerr);
+        return 2;
+      }
+      const unsigned long threads = std::stoul(value);
+      if (threads == 0 || threads > 4096) {
+        std::cerr << "--threads wants 1..4096\n";
+        usage(std::cerr);
+        return 2;
+      }
+      campaign.threads = static_cast<unsigned>(threads);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "unknown argument '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
   }
-  const auto fault_route = rebuild_with(
-      good, [&](std::size_t index, const nl::Gate&, nl::CellType&,
-                std::vector<nl::Var>& inputs) {
-        if (index == last_xor && inputs.size() >= 2 && inputs[0] != inputs[1]) {
-          inputs[1] = inputs[0];  // duplicate tap: drops a term mod 2
+
+  // Control first (the clean twin the scheduler dedups against), then one
+  // scenario per requested fault kind.
+  std::vector<obf::Scenario> scenarios;
+  obf::Scenario control;
+  control.family = family;
+  control.m = m;
+  control.seed = seed;
+  control.key_mode = obf::KeyMode::None;
+  scenarios.push_back(control);
+  const auto add_fault = [&](obf::PassKind kind) {
+    obf::Scenario scenario = control;
+    scenario.passes = {obf::PassSpec{kind, count}};
+    scenarios.push_back(scenario);
+  };
+  if (fault == "stuckat" || fault == "both")
+    add_fault(obf::PassKind::FaultStuckAt);
+  if (fault == "flip" || fault == "both") add_fault(obf::PassKind::FaultFlip);
+
+  try {
+    const obf::CampaignReport report = obf::run_campaign(scenarios, campaign);
+
+    bool all_met = true;
+    for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+      const obf::ScenarioOutcome& outcome = report.outcomes[i];
+      const bool is_control = i == 0;
+      // Control must recover; fault scenarios must complete either way —
+      // a diagnosed fault and a masked (still-correct) fault both honor
+      // the recover-or-diagnose contract.
+      const bool met = is_control ? outcome.recovered
+                                  : (outcome.ok || !outcome.diagnosis.empty());
+      all_met = all_met && met;
+      if (!quiet) {
+        std::printf("=== %s ===\n", outcome.name.c_str());
+        if (outcome.ok) {
+          std::printf("recovered P(x) = %s (%s)\n",
+                      outcome.recovered_p.to_string().c_str(),
+                      outcome.recovered ? "true field"
+                                        : "NOT the true field");
+        } else {
+          std::printf("diagnosed: %s\n", outcome.diagnosis.c_str());
         }
-      });
-  run_case("fault 3: mis-routed reduction tap on the last XOR", fault_route);
-
-  // 4. Control: the untouched design.
-  run_case("control: unmodified multiplier", good);
-
-  const auto control = core::reverse_engineer(good);
-  return control.success ? 0 : 1;
+        std::printf("%s\n\n", met ? "contract MET" : "contract VIOLATED");
+      }
+    }
+    if (!out_path.empty()) {
+      JsonlWriter writer(out_path);
+      for (const obf::ScenarioOutcome& outcome : report.outcomes)
+        writer.write(obf::outcome_json(outcome));
+      writer.close();
+      if (!writer.ok()) {
+        std::cerr << "error: failed writing " << out_path << "\n";
+        return 2;
+      }
+    }
+    if (!quiet)
+      std::printf("%zu scenarios, %.2fs wall: %s\n", report.outcomes.size(),
+                  report.wall_seconds,
+                  all_met ? "all contracts met" : "CONTRACT VIOLATIONS");
+    return all_met ? 0 : 1;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
 }

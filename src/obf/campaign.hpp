@@ -1,0 +1,138 @@
+// Campaign driver — the measured attacker.
+//
+// A Scenario names one cell of the obfuscation matrix: {family, m, pass
+// stack, seed, key mode}.  prepare_scenario generates the clean twin,
+// obfuscates it, and derives the netlist the attack actually sees
+// (correct key applied / wrong key applied / key inputs left free).
+// run_campaign pushes every attack — and its clean twin, for the blowup
+// baseline — through the batch scheduler as in-memory jobs, so identical
+// clean twins across scenarios deduplicate via content-hash memoization
+// and an optional persistent ResultCache warms across runs, exactly like
+// the production serving tier.  Outcomes render to one shared JSONL
+// schema (outcome_json) used by examples/obfuscated_recovery.cpp,
+// examples/fault_injection.cpp and bench/bench_ablation_obfuscation.cpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "gf2m/field.hpp"
+#include "gf2poly/gf2_poly.hpp"
+#include "obf/passes.hpp"
+#include "util/jsonl.hpp"
+
+namespace gfre::obf {
+
+/// How the attack treats the key inputs of a key-gated netlist.
+enum class KeyMode {
+  None,     ///< no key gates in the stack; attack the netlist as-is
+  Correct,  ///< apply the correct key (de-obfuscate) before attacking
+  Wrong,    ///< apply the complement key — every key gate inverts
+  Free,     ///< leave key inputs as extra primary inputs (oracle-free)
+};
+
+const char* to_string(KeyMode mode);
+std::optional<KeyMode> key_mode_from_name(std::string_view name);
+
+/// Families the campaign can generate ("mastrovito", "montgomery",
+/// "karatsuba", "shiftadd").
+const std::vector<std::string>& campaign_families();
+
+/// Generates one family instance over `field`.  Throws InvalidArgument
+/// for unknown family names.
+nl::Netlist generate_family(const std::string& family,
+                            const gf2m::Field& field);
+
+/// The campaign's ground-truth P(x) for width m: the paper catalog's
+/// polynomial when listed, else the NIST-convention default.
+gf2::Poly field_polynomial(unsigned m);
+
+struct Scenario {
+  std::string name;  ///< label; auto-derived when empty
+  std::string family = "mastrovito";
+  unsigned m = 8;
+  std::vector<PassSpec> passes;
+  std::uint64_t seed = 1;
+  KeyMode key_mode = KeyMode::Correct;
+  /// Explicit key bits to apply instead of the key_mode policy.
+  std::optional<std::vector<bool>> explicit_key;
+};
+
+/// Deterministic scenario label:
+/// "<family>_m<m>_<stack>_s<seed>_<keymode>" ('+' and ':' flattened).
+std::string scenario_name(const Scenario& scenario);
+
+struct PreparedScenario {
+  Scenario scenario;
+  gf2::Poly truth;          ///< true field polynomial
+  nl::Netlist clean;        ///< unobfuscated twin
+  ObfuscationResult obf;    ///< obfuscated netlist + correct key + decoy
+  nl::Netlist attack;       ///< what the flow is run on
+  std::vector<bool> attack_key;  ///< key folded into `attack` (may be empty)
+};
+
+PreparedScenario prepare_scenario(const Scenario& scenario);
+
+struct ScenarioOutcome {
+  std::string name;
+  std::string family;
+  unsigned m = 0;
+  std::string pass;      ///< canonical stack string ("keygate:2+pxmix:1")
+  unsigned strength = 0; ///< summed stack strength
+  std::string key_mode;
+  std::size_t key_bits = 0;
+  gf2::Poly truth;
+  std::size_t clean_equations = 0;
+  std::size_t obf_equations = 0;
+  bool ok = false;         ///< flow succeeded end to end
+  bool recovered = false;  ///< ok and recovered P(x) == truth
+  gf2::Poly recovered_p;
+  std::string diagnosis;   ///< load error or recovery diagnosis when !ok
+  /// Wrong-key simulation verdict (set only for key-gated scenarios when
+  /// CampaignOptions::check_corruption): true when the complement key
+  /// provably changes outputs.
+  std::optional<bool> corrupts;
+  double seconds = 0.0;          ///< attack extraction wall time
+  std::size_t peak_terms = 0;    ///< attack total_peak_terms
+  std::size_t clean_peak_terms = 0;
+  double blowup = 0.0;  ///< peak_terms / clean_peak_terms (term budget)
+  bool cache_hit = false;
+};
+
+struct CampaignOptions {
+  unsigned threads = 1;
+  std::size_t max_terms = 2000000;
+  bool verify_with_golden = true;
+  /// Also run every clean twin through the flow (memo-deduplicated) so
+  /// outcomes carry the blowup baseline.
+  bool measure_clean = true;
+  /// Simulate the complement key against the clean twin for key-gated
+  /// scenarios (fills ScenarioOutcome::corrupts).
+  bool check_corruption = true;
+  std::shared_ptr<core::ResultCache> result_cache;
+};
+
+struct CampaignReport {
+  std::vector<ScenarioOutcome> outcomes;  ///< one per scenario, in order
+  core::BatchStats stats;
+  double wall_seconds = 0.0;
+
+  bool all_recovered() const;
+};
+
+/// Runs every scenario (attack + clean twin) through one shared batch
+/// scheduler.  Throws InvalidArgument for malformed scenarios (unknown
+/// family, key bits without key inputs); per-attack flow failures land in
+/// the outcome, never throw.
+CampaignReport run_campaign(const std::vector<Scenario>& scenarios,
+                            const CampaignOptions& options = {});
+
+/// The shared JSONL schema for one scenario outcome.
+JsonLine outcome_json(const ScenarioOutcome& outcome);
+
+}  // namespace gfre::obf

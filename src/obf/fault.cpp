@@ -1,0 +1,103 @@
+// Fault-injection passes — deliberately NOT semantics-preserving.
+//
+// stuckat ties `strength` seeded gate input pins to a constant; flip
+// replaces `strength` seeded gates with a different same-arity cell.
+// Against these the flow's contract is recover-or-diagnose-never-crash:
+// a fault either leaves the circuit a multiplier over some field (rare)
+// or the flow reports a diagnosed failure.
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/cell.hpp"
+#include "obf/internal.hpp"
+
+namespace gfre::obf::detail {
+namespace {
+
+std::vector<std::size_t> pick_distinct(std::size_t n, std::size_t count,
+                                       Prng& rng) {
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  count = std::min(count, n);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng.next_below(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(count);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace
+
+nl::Netlist fault_pass(const nl::Netlist& src, PassKind kind,
+                       unsigned strength, Prng& rng) {
+  using nl::CellType;
+  using nl::Var;
+  if (src.num_gates() == 0) return src;
+  const std::vector<std::size_t> topo = src.topological_order();
+
+  // stuckat: global input-pin indices; flip: gate topo positions.
+  std::vector<std::size_t> pin_offset(topo.size() + 1, 0);
+  for (std::size_t pos = 0; pos < topo.size(); ++pos)
+    pin_offset[pos + 1] = pin_offset[pos] + src.gate(topo[pos]).inputs.size();
+
+  std::vector<std::size_t> stuck_pins;
+  std::vector<bool> stuck_value;
+  std::vector<unsigned char> flip_at(topo.size(), 0);
+  std::vector<CellType> flip_to(topo.size(), CellType::Buf);
+  if (kind == PassKind::FaultStuckAt) {
+    if (pin_offset.back() == 0) return src;
+    stuck_pins = pick_distinct(pin_offset.back(), strength, rng);
+    for (std::size_t i = 0; i < stuck_pins.size(); ++i)
+      stuck_value.push_back(rng.next_bool());
+  } else {
+    for (std::size_t pos : pick_distinct(topo.size(), strength, rng)) {
+      const nl::Gate& gate = src.gate(topo[pos]);
+      std::vector<CellType> candidates;
+      for (CellType type : nl::all_cell_types())
+        if (type != gate.type && nl::arity_ok(type, gate.inputs.size()))
+          candidates.push_back(type);
+      if (candidates.empty()) continue;
+      flip_at[pos] = 1;
+      flip_to[pos] = candidates[rng.next_below(candidates.size())];
+    }
+  }
+
+  nl::Netlist out(src.name());
+  std::vector<Var> map(src.num_vars());
+  for (Var v : src.inputs()) map[v] = out.add_input(src.var_name(v));
+  std::optional<Var> tie0, tie1;
+  const auto const_for = [&](bool bit) -> Var {
+    std::optional<Var>& tie = bit ? tie1 : tie0;
+    if (!tie)
+      tie = out.add_gate(bit ? CellType::Const1 : CellType::Const0, {},
+                         std::string("obf_fault_tie") + (bit ? "1" : "0"));
+    return *tie;
+  };
+  std::size_t next_stuck = 0;
+  for (std::size_t pos = 0; pos < topo.size(); ++pos) {
+    const nl::Gate& gate = src.gate(topo[pos]);
+    std::vector<Var> in;
+    in.reserve(gate.inputs.size());
+    for (std::size_t p = 0; p < gate.inputs.size(); ++p) {
+      const std::size_t global_pin = pin_offset[pos] + p;
+      if (next_stuck < stuck_pins.size() &&
+          stuck_pins[next_stuck] == global_pin) {
+        in.push_back(const_for(stuck_value[next_stuck]));
+        ++next_stuck;
+      } else {
+        in.push_back(map[gate.inputs[p]]);
+      }
+    }
+    const CellType type = flip_at[pos] ? flip_to[pos] : gate.type;
+    map[gate.output] =
+        out.add_gate(type, std::move(in), src.var_name(gate.output));
+  }
+  for (Var v : src.outputs()) out.mark_output(map[v]);
+  return out;
+}
+
+}  // namespace gfre::obf::detail

@@ -1,0 +1,31 @@
+// Internal entry points of the individual obfuscation passes.  Shared by
+// the pass implementation files; apply_pass (passes.cpp) dispatches here
+// after handling strength 0 and deriving the Prng.
+#pragma once
+
+#include "obf/passes.hpp"
+#include "util/prng.hpp"
+
+namespace gfre::obf::detail {
+
+/// key_gates.cpp — XOR/XNOR key-gate insertion (strength >= 1).
+ObfuscationResult key_gate_pass(const nl::Netlist& netlist, unsigned strength,
+                                const PassOptions& options, Prng& rng);
+
+/// px_mix.cpp — decoy-polynomial reduction mixing (strength >= 1).
+/// `decoy_used` receives the decoy actually chosen (zero when the pass
+/// degenerated to the identity, e.g. < 2 outputs).
+nl::Netlist px_mix_pass(const nl::Netlist& netlist, unsigned strength,
+                        const PassOptions& options, Prng& rng,
+                        gf2::Poly* decoy_used);
+
+/// rewrite.cpp — structural rewriting via opt/ passes + seeded
+/// duplication stacks (strength >= 1).
+nl::Netlist rewrite_pass(const nl::Netlist& netlist, unsigned strength,
+                         Prng& rng);
+
+/// fault.cpp — stuck-at / cell-flip fault injection (strength >= 1).
+nl::Netlist fault_pass(const nl::Netlist& netlist, PassKind kind,
+                       unsigned strength, Prng& rng);
+
+}  // namespace gfre::obf::detail

@@ -1,0 +1,219 @@
+// Key-gate insertion and key application (logic-locking attack surface).
+//
+// Insertion rebuilds the netlist in topological order; a selected gate's
+// output net X is renamed X__pre<i> and the original name X is taken by a
+// new key gate XOR(X__pre<i>, k<i>) (or XNOR, seeded polarity).  Because
+// add_gate requires operands to exist, creation order is always
+// topological, so for generator-produced netlists the rebuild preserves
+// gate order exactly — which is what makes apply_key with the correct key
+// an exact inverse: folding the pass-through key gates away and restoring
+// the __pre names yields a netlist content-hash-identical to the clean
+// twin (tests/test_obfuscation.cpp pins this down).
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obf/internal.hpp"
+#include "util/error.hpp"
+
+namespace gfre::obf {
+namespace detail {
+namespace {
+
+/// Picks `count` distinct values from [0, n) by partial Fisher-Yates,
+/// returned ascending.
+std::vector<std::size_t> pick_distinct(std::size_t n, std::size_t count,
+                                       Prng& rng) {
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  count = std::min(count, n);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng.next_below(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(count);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace
+
+ObfuscationResult key_gate_pass(const nl::Netlist& src, unsigned strength,
+                                const PassOptions& options, Prng& rng) {
+  using nl::CellType;
+  using nl::Var;
+  ObfuscationResult result{nl::Netlist(src.name()), {}, options.key_base, {}};
+  nl::Netlist& out = result.netlist;
+  if (src.num_gates() == 0) {
+    result.netlist = src;
+    return result;
+  }
+
+  // 4 key gates per strength level, capped by the netlist size.
+  const std::size_t bits =
+      std::min<std::size_t>(src.num_gates(),
+                            static_cast<std::size_t>(strength) * 4);
+  const std::vector<std::size_t> topo = src.topological_order();
+  const std::vector<std::size_t> picked_pos =
+      pick_distinct(topo.size(), bits, rng);
+  // slot_at[topo position] = key index, or npos.
+  std::vector<std::size_t> slot_at(topo.size(), topo.size());
+  for (std::size_t s = 0; s < picked_pos.size(); ++s)
+    slot_at[picked_pos[s]] = s;
+
+  // Seeded per-gate polarity (XNOR => correct bit 1) and operand order.
+  std::vector<bool> xnor(picked_pos.size());
+  std::vector<bool> key_first(picked_pos.size());
+  for (std::size_t s = 0; s < picked_pos.size(); ++s) {
+    xnor[s] = rng.next_bool();
+    key_first[s] = rng.next_bool();
+  }
+
+  std::vector<Var> map(src.num_vars());
+  for (Var v : src.inputs()) map[v] = out.add_input(src.var_name(v));
+  std::vector<Var> keys(picked_pos.size());
+  for (std::size_t s = 0; s < picked_pos.size(); ++s) {
+    const unsigned index = options.first_key_index + static_cast<unsigned>(s);
+    keys[s] = out.add_input(options.key_base + std::to_string(index));
+    result.key.push_back(xnor[s]);
+  }
+
+  for (std::size_t pos = 0; pos < topo.size(); ++pos) {
+    const nl::Gate& gate = src.gate(topo[pos]);
+    std::vector<Var> in;
+    in.reserve(gate.inputs.size());
+    for (Var v : gate.inputs) in.push_back(map[v]);
+    const std::string& name = src.var_name(gate.output);
+    const std::size_t s = slot_at[pos];
+    if (s == topo.size()) {
+      map[gate.output] = out.add_gate(gate.type, std::move(in), name);
+      continue;
+    }
+    const unsigned index = options.first_key_index + static_cast<unsigned>(s);
+    const Var pre = out.add_gate(gate.type, std::move(in),
+                                 name + "__pre" + std::to_string(index));
+    std::vector<Var> operands = key_first[s] ? std::vector<Var>{keys[s], pre}
+                                             : std::vector<Var>{pre, keys[s]};
+    map[gate.output] = out.add_gate(
+        xnor[s] ? CellType::Xnor : CellType::Xor, std::move(operands), name);
+  }
+  for (Var v : src.outputs()) out.mark_output(map[v]);
+  return result;
+}
+
+}  // namespace detail
+
+nl::Netlist apply_key(const nl::Netlist& keyed, const std::vector<bool>& key,
+                      const std::string& key_base, unsigned first_key_index) {
+  using nl::CellType;
+  using nl::Var;
+
+  // Resolve each key bit to its primary input.
+  std::unordered_map<Var, bool> key_value;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    const std::string name =
+        key_base + std::to_string(first_key_index + static_cast<unsigned>(i));
+    const std::optional<Var> v = keyed.find_var(name);
+    if (!v || !keyed.is_input(*v))
+      throw InvalidArgument("key bit " + std::to_string(i) +
+                            " has no primary input '" + name + "'");
+    key_value.emplace(*v, key[i]);
+  }
+
+  const std::vector<std::size_t> topo = keyed.topological_order();
+
+  // Classify each gate: pass-through key gate (folds away), inverting key
+  // gate (becomes INV), or ordinary (kept).  A key gate is a 2-input
+  // XOR/XNOR with exactly one keyed operand.
+  enum class Fold { Keep, PassThrough, Invert };
+  std::vector<Fold> fold(keyed.num_gates(), Fold::Keep);
+  std::vector<Var> data_of(keyed.num_gates(), 0);
+  for (std::size_t g = 0; g < keyed.num_gates(); ++g) {
+    const nl::Gate& gate = keyed.gate(g);
+    if ((gate.type != CellType::Xor && gate.type != CellType::Xnor) ||
+        gate.inputs.size() != 2)
+      continue;
+    const bool k0 = key_value.count(gate.inputs[0]) != 0;
+    const bool k1 = key_value.count(gate.inputs[1]) != 0;
+    if (k0 == k1) continue;
+    const Var key_var = k0 ? gate.inputs[0] : gate.inputs[1];
+    const bool bit = key_value.at(key_var);
+    // XOR passes through at 0, XNOR at 1; the other bit inverts.
+    const bool inverts = (gate.type == CellType::Xor) ? bit : !bit;
+    fold[g] = inverts ? Fold::Invert : Fold::PassThrough;
+    data_of[g] = k0 ? gate.inputs[1] : gate.inputs[0];
+  }
+
+  // Restore names: a pass-through gate's data net takes the key gate's
+  // (original) name.  Reverse-topological so chained key gates resolve.
+  std::unordered_map<Var, std::string> final_name;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const std::size_t g = *it;
+    if (fold[g] != Fold::PassThrough) continue;
+    const Var out_var = keyed.gate(g).output;
+    const auto named = final_name.find(out_var);
+    final_name[data_of[g]] =
+        named != final_name.end() ? named->second : keyed.var_name(out_var);
+  }
+  const auto name_for = [&](Var v) -> const std::string& {
+    const auto it = final_name.find(v);
+    return it != final_name.end() ? it->second : keyed.var_name(v);
+  };
+
+  nl::Netlist out(keyed.name());
+  std::vector<Var> map(keyed.num_vars());
+  std::vector<bool> mapped(keyed.num_vars(), false);
+  for (Var v : keyed.inputs()) {
+    if (key_value.count(v)) continue;  // key inputs disappear
+    map[v] = out.add_input(keyed.var_name(v));
+    mapped[v] = true;
+  }
+  // Tie cells for the rare case of a key input feeding a non-key gate
+  // (hand-written netlists); created lazily so the common path stays an
+  // exact inverse of insertion.
+  std::optional<Var> tie0, tie1;
+  const auto const_for = [&](bool bit) -> Var {
+    std::optional<Var>& tie = bit ? tie1 : tie0;
+    if (!tie)
+      tie = out.add_gate(bit ? CellType::Const1 : CellType::Const0, {},
+                         std::string("obf_tie") + (bit ? "1" : "0"));
+    return *tie;
+  };
+
+  for (std::size_t pos = 0; pos < topo.size(); ++pos) {
+    const std::size_t g = topo[pos];
+    const nl::Gate& gate = keyed.gate(g);
+    const Var out_var = gate.output;
+    if (fold[g] == Fold::PassThrough) {
+      map[out_var] = map[data_of[g]];
+      mapped[out_var] = true;
+      continue;
+    }
+    if (fold[g] == Fold::Invert) {
+      map[out_var] = out.add_gate(CellType::Inv, {map[data_of[g]]},
+                                  name_for(out_var));
+      mapped[out_var] = true;
+      continue;
+    }
+    std::vector<Var> in;
+    in.reserve(gate.inputs.size());
+    for (Var v : gate.inputs) {
+      const auto kv = key_value.find(v);
+      in.push_back(kv != key_value.end() ? const_for(kv->second) : map[v]);
+    }
+    map[out_var] = out.add_gate(gate.type, std::move(in), name_for(out_var));
+    mapped[out_var] = true;
+  }
+  for (Var v : keyed.outputs()) {
+    if (!mapped[v] && key_value.count(v))
+      throw InvalidArgument("key input '" + keyed.var_name(v) +
+                            "' is a primary output; cannot fold");
+    out.mark_output(map[v]);
+  }
+  return out;
+}
+
+}  // namespace gfre::obf

@@ -1,0 +1,156 @@
+// Obfuscation pass suite — the defense side of the attack/defense campaign.
+//
+// Yu & Holcomb's sequel paper ("Algorithmic Obfuscation over GF(2^m)",
+// arXiv:1809.06207) obfuscates exactly the multipliers this library
+// reverse-engineers.  This module reproduces the defenses as deterministic,
+// seeded, composable netlist passes so the flow can be measured attacking
+// them:
+//
+//   keygate  — XOR/XNOR key-gate insertion.  Each selected internal net t
+//              is renamed t__pre<i> and re-driven through a key gate
+//              XOR(t__pre<i>, k<i>) (or XNOR).  The correct key bit (0 for
+//              XOR, 1 for XNOR) makes the gate a pass-through; any wrong
+//              bit inverts the net, which corrupts outputs (proved by
+//              simulation in the tests) and makes the ANF non-bilinear.
+//   pxmix    — P(x) mixing.  Selected output bits are re-expressed as
+//              z = z_raw ^ d ^ d', where d and d' are two structurally
+//              SEPARATE copies of a reduction row of a decoy irreducible
+//              polynomial Q(x) != P(x) (taps = support(x^k mod Q)).
+//              Semantics are untouched (d ^ d' = 0) but backward rewriting
+//              must expand both decoy cones before they cancel, so the
+//              attack's peak term count — the max_terms budget — grows
+//              with strength.  The true field stays recoverable; the cost
+//              of recovering it is what the bench measures.
+//   rewrite  — arithmetic/structural rewriting via the opt/ passes:
+//              XOR sharing + AOI/OAI remapping (strength 1), NAND/NOR tech
+//              mapping (strength 2), plus seeded INV-pair stacks and gate
+//              duplication with fanout splitting (strength >= 3).
+//              Semantics-preserving; hides the generator's structure.
+//   stuckat  — fault injection: `strength` gate input pins tied to a
+//              seeded constant.  NOT semantics-preserving — the flow must
+//              diagnose, not recover.
+//   flip     — fault injection: `strength` gates replaced by a different
+//              same-arity cell.  NOT semantics-preserving.
+//
+// Contracts the tests pin down:
+//   * strength 0 is the identity for every pass (bit-identical netlist);
+//   * same (pass, strength, seed) emits a byte-identical netlist across
+//     runs and thread counts;
+//   * apply_key with the correct key is the EXACT inverse of keygate
+//     insertion: the de-obfuscated netlist is content-hash-identical to
+//     the clean twin, so its FlowReport is bit-identical too.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gf2poly/gf2_poly.hpp"
+#include "netlist/netlist.hpp"
+
+namespace gfre::obf {
+
+enum class PassKind {
+  KeyGates,
+  PxMix,
+  Rewrite,
+  FaultStuckAt,
+  FaultFlip,
+};
+
+/// Canonical lower-case pass name ("keygate", "pxmix", "rewrite",
+/// "stuckat", "flip").
+const char* to_string(PassKind kind);
+
+/// Inverse of to_string (case-insensitive).
+std::optional<PassKind> pass_from_name(std::string_view name);
+
+/// True for passes that never change the netlist's Boolean function
+/// (keygate counts: with the correct key applied it is the identity).
+bool semantics_preserving(PassKind kind);
+
+/// One pass application in a stack.
+struct PassSpec {
+  PassKind kind = PassKind::KeyGates;
+  unsigned strength = 1;
+};
+
+/// Renders "keygate:2" / "keygate:2+pxmix:1" (always with strengths).
+std::string to_string(const std::vector<PassSpec>& stack);
+
+/// Parses a '+'-separated pass stack: "keygate", "keygate:2+pxmix:1".
+/// A spec without ":N" gets `default_strength`.  Throws InvalidArgument
+/// on unknown pass names or malformed strengths.
+std::vector<PassSpec> parse_pass_stack(const std::string& text,
+                                       unsigned default_strength = 1);
+
+struct PassOptions {
+  /// Seed for every random choice (sites, key-gate polarity, decoy rows,
+  /// duplication fanout splits).  Same seed => byte-identical output.
+  std::uint64_t seed = 1;
+  /// Key input base name: key i is a primary input `<key_base><i>`.
+  std::string key_base = "k";
+  /// First key index to allocate (apply_stack threads this so stacked
+  /// keygate passes share one contiguous key vector k0..k{K-1}).
+  unsigned first_key_index = 0;
+  /// pxmix: explicit decoy polynomial.  Zero (default) = pick a seeded
+  /// irreducible decoy of degree m distinct from the likely true P.
+  gf2::Poly decoy;
+};
+
+struct ObfuscationResult {
+  nl::Netlist netlist;
+  /// Correct key bits appended by keygate passes (empty otherwise),
+  /// key[i] belongs to input `<key_base><first_key_index + i>`.
+  std::vector<bool> key;
+  std::string key_base = "k";
+  /// pxmix: the decoy polynomial actually used (zero when none).
+  gf2::Poly decoy;
+};
+
+/// Applies one pass.  strength 0 returns the input unchanged (and an
+/// empty key).  Deterministic in (netlist, kind, strength, options).
+ObfuscationResult apply_pass(const nl::Netlist& netlist, PassKind kind,
+                             unsigned strength,
+                             const PassOptions& options = {});
+
+/// Applies a stack left to right, concatenating key vectors (key indices
+/// continue across keygate passes) and deriving per-pass seeds from
+/// options.seed so reordering a stack changes every choice.
+ObfuscationResult apply_stack(const nl::Netlist& netlist,
+                              const std::vector<PassSpec>& stack,
+                              const PassOptions& options = {});
+
+/// Folds the key inputs of a key-gated netlist away under a concrete key
+/// assignment: pass-through key gates (bit matches the gate's polarity)
+/// disappear and the pre-insertion net name is restored; inverting key
+/// gates become INV cells.  With the correct key this is the exact
+/// inverse of insertion — the result is content-hash-identical to the
+/// netlist before the keygate pass.  Keys longer than the number of key
+/// inputs are rejected (InvalidArgument); extra netlist inputs that do
+/// not look like keys are left alone.
+nl::Netlist apply_key(const nl::Netlist& keyed, const std::vector<bool>& key,
+                      const std::string& key_base = "k",
+                      unsigned first_key_index = 0);
+
+/// The all-bits-flipped key: every key gate inverts, guaranteeing
+/// corruption whenever any key gate sits in an output cone.
+std::vector<bool> complement_key(const std::vector<bool>& key);
+
+/// "0101..." rendering (empty string for an empty key).
+std::string render_key(const std::vector<bool>& key);
+
+/// Parses a "0101..." key string.  Throws InvalidArgument on anything
+/// but 0/1 characters.
+std::vector<bool> parse_key(const std::string& text);
+
+/// Reads a key file: first non-empty line, whitespace trimmed, parsed
+/// with parse_key.  Throws Error when unreadable.
+std::vector<bool> read_key_file(const std::string& path);
+
+/// Writes `render_key(key)` plus newline.  Throws Error on failure.
+void write_key_file(const std::vector<bool>& key, const std::string& path);
+
+}  // namespace gfre::obf

@@ -1,0 +1,101 @@
+// Arithmetic/structural rewriting — hides the generator's shape without
+// changing the function.
+//
+//   strength 1: the Table III synthesis pipeline (XOR sharing + AOI/OAI
+//               remapping), i.e. what an attacker meets after ABC.
+//   strength 2: + NAND/NOR technology mapping and a second AOI fusion
+//               over the mapped structure.
+//   strength 3+: + seeded INV-pair stacks and gate duplication with
+//               fanout splitting — redundant structure the flow has to
+//               rewrite through (the opt/ passes would cancel it; the
+//               attack deliberately does not get to run them).
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obf/internal.hpp"
+#include "opt/passes.hpp"
+
+namespace gfre::obf::detail {
+namespace {
+
+/// Distinct topo positions, ascending (partial Fisher-Yates).
+std::vector<std::size_t> pick_positions(std::size_t n, std::size_t count,
+                                        Prng& rng) {
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  count = std::min(count, n);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng.next_below(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(count);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+/// Seeded redundancy: INV-INV stacks after selected gates and duplicated
+/// gates whose later fanout is split at random between the original and
+/// the clone.
+nl::Netlist add_redundancy(const nl::Netlist& src, unsigned levels,
+                           Prng& rng) {
+  using nl::CellType;
+  using nl::Var;
+  if (src.num_gates() == 0) return src;
+  const std::vector<std::size_t> topo = src.topological_order();
+  const std::size_t per_kind = static_cast<std::size_t>(levels) *
+                               std::max<std::size_t>(1, topo.size() / 16);
+  const std::vector<std::size_t> inv_pos =
+      pick_positions(topo.size(), per_kind, rng);
+  const std::vector<std::size_t> dup_pos =
+      pick_positions(topo.size(), per_kind, rng);
+  std::vector<unsigned char> is_inv(topo.size(), 0), is_dup(topo.size(), 0);
+  for (std::size_t p : inv_pos) is_inv[p] = 1;
+  for (std::size_t p : dup_pos) is_dup[p] = 1;
+
+  nl::Netlist out(src.name());
+  std::vector<Var> map(src.num_vars());
+  std::vector<Var> clone_of(src.num_vars(), 0);
+  std::vector<unsigned char> has_clone(src.num_vars(), 0);
+  for (Var v : src.inputs()) map[v] = out.add_input(src.var_name(v));
+  std::size_t tag = 0;
+  for (std::size_t pos = 0; pos < topo.size(); ++pos) {
+    const nl::Gate& gate = src.gate(topo[pos]);
+    std::vector<Var> in;
+    in.reserve(gate.inputs.size());
+    for (Var v : gate.inputs)
+      in.push_back(has_clone[v] && rng.next_bool() ? clone_of[v] : map[v]);
+    const std::string& name = src.var_name(gate.output);
+    const std::string id = std::to_string(tag++);
+    Var mapped;
+    if (is_inv[pos]) {
+      const Var base =
+          out.add_gate(gate.type, in, name + "__obfb" + id);
+      const Var neg =
+          out.add_gate(CellType::Inv, {base}, "obf_inv" + id);
+      mapped = out.add_gate(CellType::Inv, {neg}, name);
+    } else {
+      mapped = out.add_gate(gate.type, in, name);
+    }
+    if (is_dup[pos]) {
+      clone_of[gate.output] =
+          out.add_gate(gate.type, std::move(in), "obf_dup" + id);
+      has_clone[gate.output] = 1;
+    }
+    map[gate.output] = mapped;
+  }
+  for (Var v : src.outputs()) out.mark_output(map[v]);
+  return out;
+}
+
+}  // namespace
+
+nl::Netlist rewrite_pass(const nl::Netlist& src, unsigned strength,
+                         Prng& rng) {
+  nl::Netlist current = opt::synthesize(src);
+  if (strength >= 2) current = opt::map_aoi(opt::tech_map(current));
+  if (strength >= 3) current = add_redundancy(current, strength - 2, rng);
+  return current;
+}
+
+}  // namespace gfre::obf::detail

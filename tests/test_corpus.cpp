@@ -6,10 +6,12 @@
 
 #include <string>
 
+#include "core/batch.hpp"
 #include "core/flow.hpp"
 #include "netlist/io_blif.hpp"
 #include "netlist/io_eqn.hpp"
 #include "netlist/io_verilog.hpp"
+#include "obf/passes.hpp"
 #include "util/error.hpp"
 
 #ifndef GFRE_SOURCE_DIR
@@ -103,6 +105,37 @@ TEST(Corpus, HandWrittenAoiNandMultiplier) {
   const auto report = core::reverse_engineer(netlist);
   EXPECT_TRUE(report.success) << report.summary();
   EXPECT_EQ(report.recovery.p, (Poly{2, 1, 0}));
+}
+
+TEST(Corpus, FrozenKeyGatedFixtureUnlocksToItsCleanTwin) {
+  // Frozen obfuscation pair (made by example_obfuscated_recovery
+  // --emit-obf/--emit-key): a key-gated mastrovito m=16, its correct
+  // 8-bit key, and the clean twin.  Pins the apply_key exact-inverse
+  // contract to files — a key-gate or .eqn writer regression cannot hide
+  // behind a matching change in the in-memory passes.
+  const auto keyed =
+      nl::read_eqn_file(data_path("obf/mastrovito_m16_keygate2_s1.eqn"));
+  const auto clean =
+      nl::read_eqn_file(data_path("obf/mastrovito_m16_clean.eqn"));
+  const auto key =
+      obf::read_key_file(data_path("obf/mastrovito_m16_keygate2_s1.key"));
+  ASSERT_EQ(key.size(), 8u);
+
+  const auto unlocked = obf::apply_key(keyed, key);
+  EXPECT_EQ(core::netlist_content_hash(unlocked),
+            core::netlist_content_hash(clean));
+
+  core::FlowOptions options;
+  options.threads = 2;
+  const auto report = core::reverse_engineer(unlocked, options);
+  EXPECT_TRUE(report.success) << report.summary();
+  EXPECT_EQ(report.recovery.p, (Poly{16, 5, 3, 1, 0}));
+
+  // The complement key must not pass for the true field.
+  const auto wrong = obf::apply_key(keyed, obf::complement_key(key));
+  const auto wrong_report = core::reverse_engineer(wrong, options);
+  EXPECT_FALSE(wrong_report.success &&
+               wrong_report.recovery.p == (Poly{16, 5, 3, 1, 0}));
 }
 
 TEST(Corpus, CorruptFixtureIsRejected) {

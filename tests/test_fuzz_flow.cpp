@@ -26,6 +26,7 @@
 #include "gf2poly/irreducible.hpp"
 #include "netlist/cell.hpp"
 #include "netlist/io_verilog.hpp"
+#include "obf/passes.hpp"
 #include "util/error.hpp"
 #include "util/prng.hpp"
 
@@ -560,6 +561,75 @@ TEST(FuzzBatch, MutantSwarmNeverPoisonsTheBatch) {
     EXPECT_TRUE(result.error.empty()) << result.name;
     if (!result.report.success) {
       EXPECT_FALSE(result.report.recovery.diagnosis.empty()) << result.name;
+    }
+  }
+}
+
+// -- Obfuscation-pass stacks -------------------------------------------------
+
+TEST_P(FuzzFamilies, ObfuscationStacksRecoverOrDiagnose) {
+  // Random pass stacks (1-3 passes, strengths 0-3) over the family grid,
+  // attacked correct-keyed / wrong-keyed / keys-free at random, under the
+  // same recover-or-diagnose-never-crash contract.  A correctly keyed
+  // semantics-preserving-only stack must additionally be an exact inverse
+  // back to the base netlist (content-hash equality => identical report).
+  const FamilyCase family = GetParam();
+  const obf::PassKind kPasses[] = {
+      obf::PassKind::KeyGates, obf::PassKind::PxMix, obf::PassKind::Rewrite,
+      obf::PassKind::FaultStuckAt, obf::PassKind::FaultFlip};
+  for (unsigned m : {4u, 8u}) {
+    const gf2m::Field field(gf2::default_irreducible(m));
+    const auto base = family.generate(field);
+    const auto base_hash = netlist_content_hash(base);
+    const FlowReport base_report = reverse_engineer(base, fuzz_options());
+    for (std::uint64_t seed = 1; seed <= fuzz_iters(); ++seed) {
+      Prng rng(0x0bf5ca7e * m + 1000003u * seed);
+      std::vector<obf::PassSpec> stack;
+      const std::size_t depth = 1 + rng.next_below(3);
+      bool keygate_only_obf = true;  // every pass a keygate or pure rewrite
+      for (std::size_t i = 0; i < depth; ++i) {
+        obf::PassSpec spec;
+        spec.kind = kPasses[rng.next_below(5)];
+        spec.strength = static_cast<unsigned>(rng.next_below(4));
+        if (spec.kind != obf::PassKind::KeyGates && spec.strength != 0)
+          keygate_only_obf = false;
+        stack.push_back(spec);
+      }
+      obf::PassOptions options;
+      options.seed = seed * 977u + m;
+      obf::ObfuscationResult obfd;
+      ASSERT_NO_THROW(obfd = obf::apply_stack(base, stack, options))
+          << family.name << " m=" << m << " " << obf::to_string(stack);
+      ASSERT_NO_THROW(obfd.netlist.validate())
+          << family.name << " m=" << m << " " << obf::to_string(stack);
+
+      nl::Netlist attack = obfd.netlist;
+      std::string mode = "free";
+      if (!obfd.key.empty()) {
+        switch (rng.next_below(3)) {
+          case 0:
+            attack = obf::apply_key(obfd.netlist, obfd.key);
+            mode = "correct";
+            break;
+          case 1:
+            attack =
+                obf::apply_key(obfd.netlist, obf::complement_key(obfd.key));
+            mode = "wrong";
+            break;
+          default:
+            break;
+        }
+      }
+      const std::string label = std::string(family.name) +
+                                " m=" + std::to_string(m) + " " +
+                                obf::to_string(stack) + " key=" + mode +
+                                " seed=" + std::to_string(seed);
+      if (mode == "correct" && keygate_only_obf) {
+        // Key application must be the exact inverse of key insertion.
+        EXPECT_EQ(netlist_content_hash(attack), base_hash) << label;
+      }
+      const bool changed = netlist_content_hash(attack) != base_hash;
+      expect_recovers_or_diagnoses(attack, label, changed, base_report);
     }
   }
 }
